@@ -1,0 +1,100 @@
+// Ablation for the TSO autosizing design choice (DESIGN.md §5).
+//
+// The paper explains (§4.2) that Linux picks the TSO size from the pacing
+// rate (~1 ms of data): large segments for CPU efficiency when the rate is
+// high, small segments for fine-grained pacing when it is low — and that a
+// TSO segment is an unbreakable line-rate micro burst, which is why Stob
+// interposes on exactly this decision.
+//
+// This bench compares rate-based autosizing against a fixed 64 kB TSO at
+// several bottleneck rates and reports goodput, the mean transport dispatch
+// size (= micro-burst granularity) and wire packets per dispatch. The
+// trade-off to expect: identical goodput, but autosizing shrinks the burst
+// unit by an order of magnitude at access-link rates.
+#include <cstdio>
+#include <vector>
+
+#include "stack/host_pair.hpp"
+#include "tcp/tcp_connection.hpp"
+
+namespace {
+
+using namespace stob;
+
+struct Result {
+  double mbps = 0;
+  double mean_dispatch_kb = 0;  // payload bytes per TSO super-segment
+  double pkts_per_dispatch = 0;
+};
+
+Result run(DataRate rate, bool autosize) {
+  stack::HostPair::Config cfg;
+  cfg.path = net::DuplexPath::symmetric(rate, Duration::millis(10), Bytes::mebi(4));
+  stack::HostPair hp(cfg);
+
+  tcp::TcpConnection::Config conn;
+  conn.cca = "bbr";
+  conn.recv_buffer = Bytes::mebi(64);
+  if (!autosize) conn.tso_enabled = true;  // both use TSO;
+  // Fixed mode is emulated by disabling the rate-based shrink: a huge
+  // "target" makes autosizing always return tso_max.
+  // (tso_autosize caps at tso_max for any rate when the target window is
+  // large, so we instead pin the floor by bypassing pacing-based sizing.)
+
+  tcp::TcpListener listener(hp.server(), 5201, conn);
+  Bytes received;
+  listener.set_accept_callback([&](tcp::TcpConnection& c) {
+    c.on_data = [&received](Bytes n) { received += n; };
+  });
+
+  tcp::TcpConnection::Config sender_cfg = conn;
+  sender_cfg.send_buffer = Bytes::mebi(1024);
+  if (!autosize) sender_cfg.pacing_enabled = false;  // unpaced -> always 64 kB TSO
+  tcp::TcpConnection sender(hp.client(), sender_cfg);
+  sender.connect(hp.server().id(), 5201);
+  sender.send(Bytes::mebi(1024));
+
+  const TimePoint warm = TimePoint(Duration::millis(400).ns());
+  hp.run(warm);
+  const Bytes at_warm = received;
+  const auto segs_at_warm = sender.stats().segments_sent;
+  const auto bytes_at_warm = sender.stats().bytes_sent;
+  const auto wire_at_warm = hp.client().nic().wire_packets_sent();
+  const Duration window = Duration::millis(400);
+  hp.run(warm + window);
+
+  Result r;
+  r.mbps = DataRate::from(received - at_warm, window).mbps_f();
+  const double segs = static_cast<double>(sender.stats().segments_sent - segs_at_warm);
+  const double bytes = static_cast<double>((sender.stats().bytes_sent - bytes_at_warm).count());
+  const double wire = static_cast<double>(hp.client().nic().wire_packets_sent() - wire_at_warm);
+  if (segs > 0) {
+    r.mean_dispatch_kb = bytes / segs / 1000.0;
+    r.pkts_per_dispatch = wire / segs;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: rate-based TSO autosizing vs fixed 64 kB (20 ms RTT, BBR) ===\n\n");
+  std::printf("%-10s %-22s %12s %16s %14s\n", "link", "TSO sizing", "goodput", "mean dispatch",
+              "pkts/dispatch");
+  for (const auto& [name, rate] :
+       std::vector<std::pair<const char*, DataRate>>{{"50Mbps", DataRate::mbps(50)},
+                                                     {"200Mbps", DataRate::mbps(200)},
+                                                     {"1Gbps", DataRate::gbps(1)}}) {
+    const Result a = run(rate, true);
+    const Result f = run(rate, false);
+    std::printf("%-10s %-22s %10.1fM %14.1fkB %14.1f\n", name, "rate-based (Linux)", a.mbps,
+                a.mean_dispatch_kb, a.pkts_per_dispatch);
+    std::printf("%-10s %-22s %10.1fM %14.1fkB %14.1f\n", name, "fixed 64 kB (unpaced)", f.mbps,
+                f.mean_dispatch_kb, f.pkts_per_dispatch);
+    std::fflush(stdout);
+  }
+  std::printf("\nReading: goodput is equivalent, but autosizing dispatches ~1 ms of data\n");
+  std::printf("per TSO segment — the micro-burst unit a WF adversary can observe, and\n");
+  std::printf("the knob Stob reuses for obfuscation without throughput collapse.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// §2.3 experiment: the paper's motivating claim that application-level
+// timing intent is destroyed by the stack, while in-stack enforcement
+// (Stob) is exact.
+//
+// A sender wants its data packets spaced exactly GAP apart on the wire.
+//   (a) App-level: the application writes one MSS of data every GAP from a
+//       timer — the approach WF defense prototypes take. Socket-buffer
+//       deferral (window stalls) and TSO coalescing then distort the
+//       on-wire schedule.
+//   (b) In-stack: the application writes bulk data; a Stob policy sets each
+//       segment's departure time (EDT) to last + GAP with one MSS per
+//       departure, enforced by the fq qdisc at the bottom of the stack.
+//
+// We report the achieved wire-gap distribution for both. Shape to expect:
+// the app-level gaps are bimodal (near-zero from coalesced bursts, then
+// RTT-scale stalls) while the in-stack gaps sit tightly on the target.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "stack/host_pair.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace stob;
+
+constexpr Duration kGap = Duration::micros(500);
+constexpr std::int64_t kChunk = 1448;  // one MSS per intended packet
+constexpr int kChunks = 400;
+
+/// In-stack uniform-gap policy: one MSS per departure, each departure at
+/// least kGap after the previous one (and never before the CCA schedule).
+class UniformGapPolicy final : public core::Policy {
+ public:
+  core::SegmentDecision on_segment(const core::SegmentContext& ctx) override {
+    core::SegmentDecision d = core::SegmentDecision::passthrough(ctx);
+    d.segment = Bytes(std::min<std::int64_t>(kChunk, ctx.cca_segment.count()));
+    const TimePoint earliest = last_.ns() == 0 ? ctx.cca_departure : last_ + kGap;
+    d.departure = std::max(ctx.cca_departure, earliest);
+    last_ = d.departure;
+    return d;
+  }
+  std::string name() const override { return "uniform-gap"; }
+
+ private:
+  TimePoint last_;
+};
+
+struct GapStats {
+  double mean_us = 0;
+  double std_us = 0;
+  double within_20pct = 0;  // fraction of gaps within +-20% of the target
+  std::size_t packets = 0;
+};
+
+GapStats run(bool app_level) {
+  stack::HostPair::Config cfg;
+  cfg.path = net::DuplexPath::symmetric(DataRate::mbps(100), Duration::millis(20),
+                                        Bytes::kibi(256));
+  stack::HostPair hp(cfg);
+
+  UniformGapPolicy policy;
+  tcp::TcpConnection::Config conn_cfg;
+  if (!app_level) conn_cfg.policy = &policy;
+
+  tcp::TcpListener listener(hp.server(), 443, tcp::TcpConnection::Config{});
+  tcp::TcpConnection sender(hp.client(), conn_cfg);
+
+  std::vector<double> tx_times;
+  hp.path().forward().set_tx_tap([&](const net::Packet& p, TimePoint t) {
+    if (p.payload.count() > 0) tx_times.push_back(t.sec());
+  });
+
+  sender.connect(hp.server().id(), 443);
+  // Both locals must outlive hp.run(): the callbacks fire inside it.
+  int remaining = kChunks;
+  std::function<void()> tick = [&] {
+    if (remaining-- <= 0) return;
+    sender.send(Bytes(kChunk));
+    hp.sim().schedule_after(kGap, tick);
+  };
+  if (app_level) {
+    // The application enforces the schedule itself: one write per timer.
+    sender.on_connected = [&] { tick(); };
+  } else {
+    // The application just posts the data; the stack enforces the schedule.
+    sender.on_connected = [&] { sender.send(Bytes(kChunk * kChunks)); };
+  }
+  hp.run(TimePoint(Duration::seconds(10).ns()));
+
+  GapStats out;
+  out.packets = tx_times.size();
+  std::vector<double> gaps_us;
+  for (std::size_t i = 1; i < tx_times.size(); ++i) {
+    gaps_us.push_back((tx_times[i] - tx_times[i - 1]) * 1e6);
+  }
+  out.mean_us = stats::mean(gaps_us);
+  out.std_us = stats::stddev(gaps_us);
+  const double target = kGap.us();
+  const auto close_count = std::count_if(gaps_us.begin(), gaps_us.end(), [&](double g) {
+    return g >= 0.8 * target && g <= 1.2 * target;
+  });
+  out.within_20pct = gaps_us.empty() ? 0.0 : static_cast<double>(close_count) /
+                                                 static_cast<double>(gaps_us.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Enforcement gap (Section 2.3): app-level vs in-stack timing control ===\n");
+  std::printf("intent: one %lld-byte packet every %.0f us; 100 Mb/s, 40 ms RTT path\n\n",
+              static_cast<long long>(kChunk), kGap.us());
+
+  const GapStats app = run(/*app_level=*/true);
+  const GapStats stack = run(/*app_level=*/false);
+
+  std::printf("%-22s %10s %12s %12s %14s\n", "enforcement", "packets", "gap-mean", "gap-std",
+              "within +-20%");
+  std::printf("%-22s %10zu %10.1fus %10.1fus %13.1f%%\n", "application-level", app.packets,
+              app.mean_us, app.std_us, app.within_20pct * 100.0);
+  std::printf("%-22s %10zu %10.1fus %10.1fus %13.1f%%\n", "in-stack (Stob)", stack.packets,
+              stack.mean_us, stack.std_us, stack.within_20pct * 100.0);
+
+  std::printf("\nReading: the stack defers and coalesces the app's writes (window stalls,\n");
+  std::printf("TSO batching), so few wire gaps match the intent; the in-stack policy sets\n");
+  std::printf("per-packet departure times where they are enforced, and nearly all do.\n");
+  return 0;
+}

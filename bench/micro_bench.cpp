@@ -1,0 +1,168 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical pieces:
+// event queue operations, qdisc enqueue/dequeue, TSO splitting through the
+// NIC, Stob policy hooks, k-FP feature extraction, and random-forest
+// training/prediction. These bound the simulator's throughput and the
+// attack pipeline's cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/cca_guard.hpp"
+#include "core/histogram.hpp"
+#include "core/policies.hpp"
+#include "net/pipe.hpp"
+#include "sim/simulator.hpp"
+#include "stack/nic.hpp"
+#include "stack/qdisc.hpp"
+#include "wf/features.hpp"
+#include "wf/kfp.hpp"
+#include "wf/random_forest.hpp"
+
+namespace {
+
+using namespace stob;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(TimePoint(static_cast<std::int64_t>(i * 7919 % 100000)), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
+
+net::Packet micro_packet(std::int64_t payload, net::Port src_port = 1000) {
+  net::Packet p;
+  p.id = net::next_packet_id();
+  p.flow = {1, 2, src_port, 443, net::Proto::Tcp};
+  p.header = Bytes(net::kEthIpTcpHeader);
+  p.payload = Bytes(payload);
+  return p;
+}
+
+void BM_FqQdiscEnqueueDequeue(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  stack::FqQdisc q;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.enqueue(micro_packet(1448, static_cast<net::Port>(1000 + i % flows)));
+    }
+    while (auto p = q.dequeue(TimePoint::zero())) benchmark::DoNotOptimize(p->id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_FqQdiscEnqueueDequeue)->Arg(1)->Arg(16);
+
+void BM_NicTsoSplit(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Pipe pipe(sim, {DataRate::gbps(400), Duration::micros(1), Bytes(0), 0.0});
+  stack::Nic nic(sim, std::make_unique<stack::FifoQdisc>());
+  nic.attach_egress(pipe);
+  pipe.set_sink([](net::Packet) {});
+  for (auto _ : state) {
+    auto p = micro_packet(65160);
+    p.tso_mss = 1448;
+    nic.transmit(std::move(p));
+    sim.run();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 65160);
+}
+BENCHMARK(BM_NicTsoSplit);
+
+void BM_PolicyHook(benchmark::State& state) {
+  core::SplitPolicy split;
+  core::DelayPolicy delay;
+  core::CompositePolicy combo({&split, &delay});
+  core::CcaGuard guard(combo);
+  core::SegmentContext ctx;
+  ctx.flow = {1, 2, 1000, 443, net::Proto::Tcp};
+  ctx.cca_segment = Bytes(65160);
+  ctx.mss = Bytes(1448);
+  ctx.cca_pacing_rate = DataRate::gbps(10);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ctx.now = TimePoint(t += 1000);
+    ctx.cca_departure = ctx.now;
+    benchmark::DoNotOptimize(guard.on_segment(ctx));
+  }
+}
+BENCHMARK(BM_PolicyHook);
+
+void BM_HistogramSample(benchmark::State& state) {
+  core::Histogram h(0.0, 1.0, 64);
+  Rng fill(1);
+  for (int i = 0; i < 10000; ++i) h.add(fill.uniform());
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(h.sample(rng));
+}
+BENCHMARK(BM_HistogramSample);
+
+wf::Trace micro_trace(std::size_t packets) {
+  Rng rng(3);
+  wf::Trace t;
+  double time = 0;
+  for (std::size_t i = 0; i < packets; ++i) {
+    t.add(time, rng.chance(0.3) ? +1 : -1, rng.uniform_int(66, 1514));
+    time += rng.uniform(0.0001, 0.01);
+  }
+  return t;
+}
+
+void BM_KfpFeatureExtraction(benchmark::State& state) {
+  const wf::Trace t = micro_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(wf::kfp_features(t));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_KfpFeatureExtraction)->Arg(100)->Arg(1000)->Arg(5000);
+
+struct ForestFixture {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+
+  ForestFixture() {
+    Rng rng(4);
+    for (int c = 0; c < 9; ++c) {
+      for (int i = 0; i < 60; ++i) {
+        std::vector<double> row(120);
+        for (double& v : row) v = rng.normal(c, 2.0);
+        rows.push_back(std::move(row));
+        labels.push_back(c);
+      }
+    }
+  }
+};
+
+void BM_RandomForestFit(benchmark::State& state) {
+  static const ForestFixture fx;
+  wf::RandomForest::Config cfg;
+  cfg.num_trees = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    wf::RandomForest forest(cfg);
+    forest.fit({fx.rows, fx.labels, 9});
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  static const ForestFixture fx;
+  wf::RandomForest::Config cfg;
+  cfg.num_trees = 100;
+  wf::RandomForest forest(cfg);
+  forest.fit({fx.rows, fx.labels, 9});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(fx.rows[i++ % fx.rows.size()]));
+  }
+}
+BENCHMARK(BM_RandomForestPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

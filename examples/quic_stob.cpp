@@ -1,0 +1,95 @@
+// QUIC + Stob: the paper's observation (§2.3) that QUIC has the same
+// problem as TCP — packetisation and scheduling belong to the transport,
+// not the application — and the same stack-level hook solves it.
+//
+// Runs two identical QUIC transfers, one stock and one with a guarded
+// split+delay policy at the packetisation hook, and compares the wire
+// behaviour an eavesdropper sees.
+//
+// Build & run:   ./build/examples/quic_stob
+#include <cstdio>
+#include <vector>
+
+#include "core/cca_guard.hpp"
+#include "core/policies.hpp"
+#include "quic/quic_connection.hpp"
+#include "stack/host_pair.hpp"
+#include "util/stats.hpp"
+
+using namespace stob;
+
+namespace {
+
+struct WireStats {
+  double mean_payload = 0;
+  double mean_gap_us = 0;
+  std::size_t packets = 0;
+  double seconds = 0;
+};
+
+WireStats run_transfer(core::Policy* policy) {
+  stack::HostPair::Config cfg;
+  cfg.path = net::DuplexPath::symmetric(DataRate::mbps(200), Duration::millis(8));
+  stack::HostPair hp(cfg);
+
+  quic::QuicConnection::Config conn_cfg;
+  conn_cfg.cca = "bbr";
+  conn_cfg.policy = policy;
+
+  quic::QuicListener listener(hp.server(), 443, conn_cfg);
+  listener.set_accept_callback([&](quic::QuicConnection& c) {
+    c.on_connected = [&c] {
+      c.send_stream(0, Bytes::mebi(2));
+      c.finish_stream(0);
+    };
+  });
+
+  std::vector<double> payloads, times;
+  hp.path().backward().set_tx_tap([&](const net::Packet& p, TimePoint t) {
+    if (p.is_quic() && p.payload.count() > 100) {  // data packets only
+      payloads.push_back(static_cast<double>(p.payload.count()));
+      times.push_back(t.sec());
+    }
+  });
+
+  quic::QuicConnection client(hp.client(), quic::QuicConnection::Config{});
+  Bytes received;
+  client.on_stream_data = [&](std::uint64_t, Bytes n, bool) { received += n; };
+  client.connect(hp.server().id(), 443);
+  hp.run(TimePoint(Duration::seconds(60).ns()));
+
+  WireStats out;
+  out.packets = payloads.size();
+  out.mean_payload = stats::mean(payloads);
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < times.size(); ++i) gaps.push_back((times[i] - times[i - 1]) * 1e6);
+  out.mean_gap_us = stats::mean(gaps);
+  out.seconds = times.empty() ? 0 : times.back();
+  if (received.count() != Bytes::mebi(2).count()) std::printf("WARNING: incomplete transfer!\n");
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::SplitPolicy split;
+  core::DelayPolicy delay;
+  core::CompositePolicy combo({&split, &delay});
+  core::CcaGuard guarded(combo);
+
+  std::printf("2 MB server push over QUIC-lite (BBR, 200 Mb/s, 16 ms RTT)\n\n");
+  const WireStats stock = run_transfer(nullptr);
+  const WireStats stob = run_transfer(&guarded);
+
+  std::printf("%-22s %10s %14s %12s %10s\n", "stack", "packets", "mean-payload", "mean-gap",
+              "duration");
+  std::printf("%-22s %10zu %12.0f B %10.1f us %8.3f s\n", "stock QUIC", stock.packets,
+              stock.mean_payload, stock.mean_gap_us, stock.seconds);
+  std::printf("%-22s %10zu %12.0f B %10.1f us %8.3f s\n", "QUIC + Stob policy", stob.packets,
+              stob.mean_payload, stob.mean_gap_us, stob.seconds);
+  std::printf("\nguard clamps: %llu departures (0 = policy stayed within the CCA schedule)\n",
+              static_cast<unsigned long long>(guarded.departure_clamps()));
+  std::printf("The same Policy object drives TCP and QUIC: the hook lives at the\n");
+  std::printf("transport's packetisation point, exactly where the paper puts Stob.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "core/cca_guard.hpp"
+
+#include <algorithm>
+
+namespace stob::core {
+
+SegmentDecision CcaGuard::on_segment(const SegmentContext& ctx) {
+  SegmentDecision d = inner_.on_segment(ctx);
+  if (d.segment > ctx.cca_segment) {
+    d.segment = ctx.cca_segment;
+    ++segment_clamps_;
+  }
+  if (d.segment.count() < 1) {
+    d.segment = Bytes(1);
+    ++segment_clamps_;
+  }
+  if (d.wire_mss > ctx.mss) {
+    d.wire_mss = ctx.mss;
+    ++mss_clamps_;
+  }
+  if (d.wire_mss.count() < 1) {
+    d.wire_mss = Bytes(1);
+    ++mss_clamps_;
+  }
+  if (d.departure < ctx.cca_departure) {
+    d.departure = ctx.cca_departure;
+    ++departure_clamps_;
+  }
+  return d;
+}
+
+}  // namespace stob::core

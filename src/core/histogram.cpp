@@ -1,0 +1,103 @@
+#include "core/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace stob::core {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo) || bins == 0) throw std::invalid_argument("histogram: bad range/bins");
+  counts_.assign(bins, 0);
+}
+
+Histogram Histogram::fit(std::span<const double> samples, double lo, double hi,
+                         std::size_t bins) {
+  Histogram h(lo, hi, bins);
+  for (double s : samples) h.add(s);
+  return h;
+}
+
+double Histogram::bin_width() const {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::size_t Histogram::bin_of(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  return std::min(static_cast<std::size_t>((value - lo_) / bin_width()), counts_.size() - 1);
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * bin_width();
+}
+
+void Histogram::add(double value, std::uint64_t n) {
+  counts_[bin_of(value)] += n;
+  total_ += n;
+}
+
+double Histogram::sample(Rng& rng) const {
+  if (total_ == 0) throw std::logic_error("histogram: sampling an empty histogram");
+  std::uint64_t target = static_cast<std::uint64_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(total_) - 1));
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (target < counts_[i]) {
+      return bin_lo(i) + rng.uniform(0.0, bin_width());
+    }
+    target -= counts_[i];
+  }
+  return hi_;  // unreachable with consistent total_
+}
+
+double Histogram::sample_and_remove(Rng& rng) {
+  if (total_ == 0) throw std::logic_error("histogram: sampling an empty histogram");
+  if (snapshot_.empty()) snapshot_ = counts_;
+  std::uint64_t target = static_cast<std::uint64_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(total_) - 1));
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (target < counts_[i]) {
+      const double v = bin_lo(i) + rng.uniform(0.0, bin_width());
+      counts_[i] -= 1;
+      total_ -= 1;
+      if (total_ == 0) {  // refill from the snapshot (WTF-PAD behaviour)
+        counts_ = snapshot_;
+        for (std::uint64_t c : counts_) total_ += c;
+      }
+      return v;
+    }
+    target -= counts_[i];
+  }
+  return hi_;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += static_cast<double>(counts_[i]) * (bin_lo(i) + bin_width() / 2.0);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+std::vector<double> Histogram::serialize() const {
+  std::vector<double> out;
+  out.reserve(2 + counts_.size());
+  out.push_back(lo_);
+  out.push_back(hi_);
+  for (std::uint64_t c : counts_) out.push_back(static_cast<double>(c));
+  return out;
+}
+
+Histogram Histogram::deserialize(std::span<const double> data) {
+  if (data.size() < 3) throw std::invalid_argument("histogram: truncated serialisation");
+  Histogram h(data[0], data[1], data.size() - 2);
+  for (std::size_t i = 2; i < data.size(); ++i) {
+    const auto c = static_cast<std::uint64_t>(data[i]);
+    h.counts_[i - 2] = c;
+    h.total_ += c;
+  }
+  return h;
+}
+
+}  // namespace stob::core

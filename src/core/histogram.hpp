@@ -1,0 +1,66 @@
+// Compact distribution representation for obfuscation policies.
+//
+// The paper (§4.1) observes that departure-time and size policies "can be
+// represented as relatively compact distribution functions like histograms"
+// and shared between the application and the stack (and across flows with
+// the same destination). This histogram is that representation: fixed bins
+// over a value range, integer token counts per bin, inverse-CDF sampling.
+// The same structure backs WTF-PAD-style adaptive-padding schedules.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stob::core {
+
+class Histogram {
+ public:
+  /// Uniform-width bins covering [lo, hi); values sampled within a bin are
+  /// uniform over the bin.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Build from observed samples (counts values into bins; out-of-range
+  /// samples clamp into the edge bins).
+  static Histogram fit(std::span<const double> samples, double lo, double hi,
+                       std::size_t bins);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t total_tokens() const { return total_; }
+  std::uint64_t tokens(std::size_t bin) const { return counts_.at(bin); }
+
+  /// Add `n` tokens to the bin containing `value`.
+  void add(double value, std::uint64_t n = 1);
+
+  /// Inverse-CDF sample. Requires total_tokens() > 0.
+  double sample(Rng& rng) const;
+
+  /// Sample and remove one token (adaptive-padding style consumption).
+  /// Refills from the snapshot taken at the first drain when exhausted.
+  double sample_and_remove(Rng& rng);
+
+  /// Mean of the represented distribution (bin mid-points weighted).
+  double mean() const;
+
+  /// Serialise to the compact wire layout that would live in shared memory:
+  /// lo, hi, and one count per bin.
+  std::vector<double> serialize() const;
+  static Histogram deserialize(std::span<const double> data);
+
+ private:
+  std::size_t bin_of(double value) const;
+  double bin_lo(std::size_t i) const;
+  double bin_width() const;
+
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> snapshot_;  // refill source for sample_and_remove
+};
+
+}  // namespace stob::core

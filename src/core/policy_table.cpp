@@ -1,0 +1,13 @@
+#include "core/policy_table.hpp"
+
+namespace stob::core {
+
+Policy* PolicyTable::lookup(const net::FlowKey& flow) const {
+  if (auto it = by_flow_.find(flow); it != by_flow_.end()) return it->second.get();
+  if (auto it = by_destination_.find(flow.dst_host); it != by_destination_.end()) {
+    return it->second.get();
+  }
+  return default_.get();
+}
+
+}  // namespace stob::core

@@ -1,0 +1,74 @@
+// PolicyTable — the "shared memory" policy region of §4.1.
+//
+// Obfuscation policies are installed by the application or administrator
+// and consulted by the stack per flow. Instances can be shared between
+// flows (e.g. all flows to the same destination host use one policy), which
+// is exactly what this table models:
+//
+//   exact flow  >  destination host  >  table default  >  nullptr
+//
+// DispatchPolicy adapts the table to the transport's single Policy* hook:
+// the connection keeps one pointer for its lifetime while the effective
+// policy remains centrally managed and hot-swappable.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/policy.hpp"
+
+namespace stob::core {
+
+class PolicyTable {
+ public:
+  /// Install a policy for every flow towards `dst`.
+  void set_for_destination(net::HostId dst, std::shared_ptr<Policy> policy) {
+    by_destination_[dst] = std::move(policy);
+  }
+
+  /// Install a policy for one exact flow (highest precedence).
+  void set_for_flow(const net::FlowKey& flow, std::shared_ptr<Policy> policy) {
+    by_flow_[flow] = std::move(policy);
+  }
+
+  /// Install the fallback policy used when nothing more specific matches.
+  void set_default(std::shared_ptr<Policy> policy) { default_ = std::move(policy); }
+
+  void clear_for_destination(net::HostId dst) { by_destination_.erase(dst); }
+  void clear_for_flow(const net::FlowKey& flow) { by_flow_.erase(flow); }
+
+  /// Resolve the effective policy for `flow`; may be nullptr (stock stack).
+  Policy* lookup(const net::FlowKey& flow) const;
+
+  std::size_t flow_entries() const { return by_flow_.size(); }
+  std::size_t destination_entries() const { return by_destination_.size(); }
+
+ private:
+  std::unordered_map<net::FlowKey, std::shared_ptr<Policy>, net::FlowKeyHash> by_flow_;
+  std::unordered_map<net::HostId, std::shared_ptr<Policy>> by_destination_;
+  std::shared_ptr<Policy> default_;
+};
+
+/// Policy facade over a PolicyTable: resolves per segment, so installs and
+/// removals take effect immediately for live flows.
+class DispatchPolicy final : public Policy {
+ public:
+  explicit DispatchPolicy(const PolicyTable& table) : table_(table) {}
+
+  SegmentDecision on_segment(const SegmentContext& ctx) override {
+    Policy* p = table_.lookup(ctx.flow);
+    return p != nullptr ? p->on_segment(ctx) : SegmentDecision::passthrough(ctx);
+  }
+  void on_flow_start(const net::FlowKey& flow) override {
+    if (Policy* p = table_.lookup(flow)) p->on_flow_start(flow);
+  }
+  void on_flow_end(const net::FlowKey& flow) override {
+    if (Policy* p = table_.lookup(flow)) p->on_flow_end(flow);
+  }
+  std::string name() const override { return "dispatch"; }
+
+ private:
+  const PolicyTable& table_;
+};
+
+}  // namespace stob::core

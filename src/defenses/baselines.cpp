@@ -1,0 +1,202 @@
+#include "defenses/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stob::defenses {
+
+// ------------------------------------------------------------ FrontDefense
+
+wf::Trace FrontDefense::apply(const wf::Trace& trace, Rng& rng) const {
+  wf::Trace out = trace;
+  // FRONT front-loads dummies on a Rayleigh schedule whose window was tuned
+  // for Tor page loads (seconds). Our direct page loads finish in hundreds
+  // of milliseconds, so the sampled window is scaled into the page duration
+  // — keeping the *shape* (dense early cover, thinning tail) while padding
+  // only while there is traffic to hide; stragglers past the page end are
+  // dropped rather than extending the connection.
+  const double page_end = std::max(trace.duration(), 0.05);
+  const double scale = page_end / cfg_.window_max;
+  auto inject = [&](int direction, int max_dummies) {
+    const auto n = static_cast<int>(rng.uniform_int(1, max_dummies));
+    const double window = rng.uniform(cfg_.window_min, cfg_.window_max) * scale;
+    for (int i = 0; i < n; ++i) {
+      const double t = rng.rayleigh(window / 2.0);
+      if (t <= page_end) out.add(t, direction, cfg_.dummy_size);
+    }
+  };
+  inject(+1, cfg_.client_dummies_max);
+  inject(-1, cfg_.server_dummies_max);
+  out.normalize();
+  return out;
+}
+
+// ------------------------------------------------------------ BufloDefense
+
+wf::Trace BufloDefense::apply(const wf::Trace& trace, Rng& /*rng*/) const {
+  // Per direction: real packets occupy the next slots of a fixed-interval
+  // schedule; empty slots up to max(data end, min_duration) become dummies.
+  wf::Trace out;
+  for (int dir : {+1, -1}) {
+    std::size_t queued = 0;  // real packets waiting for a slot
+    std::size_t next_real = 0;
+    std::vector<double> real_times;
+    for (const wf::PacketRecord& p : trace.packets()) {
+      if (p.direction == dir) real_times.push_back(p.time);
+    }
+    const double data_end = real_times.empty() ? 0.0 : real_times.back();
+    const double end = std::max(cfg_.min_duration, data_end);
+    for (double t = 0.0; t <= end || next_real < real_times.size(); t += cfg_.interval) {
+      // Count real packets that have arrived by this slot.
+      while (next_real + queued < real_times.size() &&
+             real_times[next_real + queued] <= t) {
+        ++queued;
+      }
+      if (queued > 0) {
+        --queued;
+        ++next_real;
+        out.add(t, dir, cfg_.packet_size);
+      } else {
+        out.add(t, dir, cfg_.packet_size);  // dummy fills the slot
+      }
+      if (t > end + 120.0) break;  // safety against pathological schedules
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+// ---------------------------------------------------------- TamarawDefense
+
+wf::Trace TamarawDefense::apply(const wf::Trace& trace, Rng& /*rng*/) const {
+  wf::Trace out;
+  for (int dir : {+1, -1}) {
+    const double interval = dir > 0 ? cfg_.interval_out : cfg_.interval_in;
+    std::vector<double> real_times;
+    for (const wf::PacketRecord& p : trace.packets()) {
+      if (p.direction == dir) real_times.push_back(p.time);
+    }
+    // Schedule real packets onto the grid.
+    std::size_t sent = 0;
+    std::size_t count = 0;
+    double t = 0.0;
+    std::size_t arrived = 0;
+    while (sent < real_times.size()) {
+      while (arrived < real_times.size() && real_times[arrived] <= t) ++arrived;
+      out.add(t, dir, cfg_.packet_size);  // slot carries data if any arrived
+      ++count;
+      if (arrived > sent) ++sent;
+      t += interval;
+    }
+    // Pad the per-direction count up to a multiple of L.
+    const auto mult = static_cast<std::size_t>(cfg_.pad_multiple);
+    const std::size_t target = ((count + mult - 1) / mult) * mult;
+    for (; count < target; ++count, t += interval) out.add(t, dir, cfg_.packet_size);
+  }
+  out.normalize();
+  return out;
+}
+
+// ----------------------------------------------------------- WtfPadDefense
+
+WtfPadDefense::WtfPadDefense(Config cfg)
+    : cfg_(cfg), inter_dummy_(0.0005, 0.05, 32) {
+  // Default burst-mode histogram: short inter-dummy gaps, geometric-ish
+  // token decay (more tokens on short gaps).
+  for (std::size_t b = 0; b < inter_dummy_.bin_count(); ++b) {
+    const double v = 0.0005 + (0.05 - 0.0005) * (static_cast<double>(b) + 0.5) / 32.0;
+    inter_dummy_.add(v, 32 - static_cast<std::uint64_t>(b));
+  }
+}
+
+wf::Trace WtfPadDefense::apply(const wf::Trace& trace, Rng& rng) const {
+  wf::Trace out = trace;
+  const auto& pkts = trace.packets();
+  core::Histogram hist = inter_dummy_;  // local copy; sampling mutates tokens
+  for (std::size_t i = 1; i < pkts.size(); ++i) {
+    const double gap = pkts[i].time - pkts[i - 1].time;
+    if (gap <= cfg_.gap_threshold) continue;
+    // Unusually long silence: fill the start of the gap with a short dummy
+    // burst in the direction of the preceding packet (adaptive padding).
+    double t = pkts[i - 1].time;
+    for (int d = 0; d < cfg_.max_dummies_per_gap; ++d) {
+      t += hist.sample_and_remove(rng);
+      if (t >= pkts[i].time) break;
+      out.add(t, pkts[i - 1].direction, cfg_.dummy_size);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+// -------------------------------------------------------- RegulatorDefense
+
+wf::Trace RegulatorDefense::apply(const wf::Trace& trace, Rng& /*rng*/) const {
+  // Downloads ride a decaying surge schedule; a new surge starts whenever
+  // the backlog of undelivered download packets exceeds the threshold
+  // fraction of what the schedule has emitted so far.
+  std::vector<double> down_times;
+  for (const wf::PacketRecord& p : trace.packets()) {
+    if (p.direction < 0) down_times.push_back(p.time);
+  }
+  wf::Trace out;
+  double surge_start = 0.0;
+  std::size_t delivered = 0;
+  std::size_t emitted = 0;
+  double t = 0.0;
+  while (delivered < down_times.size() && t < down_times.back() + 60.0) {
+    const double rate = cfg_.initial_rate * std::pow(cfg_.decay, t - surge_start);
+    const double step = 1.0 / std::max(rate, 1.0);
+    t += step;
+    std::size_t arrived = 0;
+    while (arrived + delivered < down_times.size() &&
+           down_times[arrived + delivered] <= t) {
+      ++arrived;
+    }
+    // Surge restart: backlog became large relative to the schedule.
+    if (static_cast<double>(arrived) >
+        cfg_.surge_threshold * std::max<double>(1.0, rate * 0.25)) {
+      surge_start = t;
+    }
+    out.add(t, -1, cfg_.packet_size);
+    ++emitted;
+    if (arrived > 0) ++delivered;
+    // Upload coupling: one padded upload packet per `upload_ratio` downloads.
+    if (emitted % std::max<std::size_t>(1, static_cast<std::size_t>(cfg_.upload_ratio)) == 0) {
+      out.add(t, +1, cfg_.packet_size);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+// ---------------------------------------------------- PadToConstantDefense
+
+wf::Trace PadToConstantDefense::apply(const wf::Trace& trace, Rng& /*rng*/) const {
+  wf::Trace out;
+  for (const wf::PacketRecord& p : trace.packets()) {
+    std::int64_t size = p.size;
+    if (!cfg_.incoming_only || p.direction < 0) {
+      size = ((size + cfg_.quantum - 1) / cfg_.quantum) * cfg_.quantum;
+    }
+    out.add(p.time, p.direction, size);
+  }
+  out.normalize();
+  return out;
+}
+
+std::vector<std::unique_ptr<TraceDefense>> all_defenses() {
+  std::vector<std::unique_ptr<TraceDefense>> v;
+  v.push_back(std::make_unique<SplitDefense>());
+  v.push_back(std::make_unique<DelayDefense>());
+  v.push_back(std::make_unique<CombinedDefense>());
+  v.push_back(std::make_unique<FrontDefense>());
+  v.push_back(std::make_unique<BufloDefense>());
+  v.push_back(std::make_unique<TamarawDefense>());
+  v.push_back(std::make_unique<WtfPadDefense>());
+  v.push_back(std::make_unique<RegulatorDefense>());
+  v.push_back(std::make_unique<PadToConstantDefense>());
+  return v;
+}
+
+}  // namespace stob::defenses

@@ -1,0 +1,133 @@
+// Trace-level WF defenses.
+//
+// Two families live here:
+//  * the paper's §3 emulation primitives (packet splitting, delaying, their
+//    combination, optionally applied to only the first N packets) used to
+//    produce the 16 datasets behind Table 2, and
+//  * the literature baselines summarised in Table 1 (FRONT, BuFLO, Tamaraw,
+//    WTF-PAD, RegulaTor, ALPaCA-style padding), implemented as trace
+//    transforms with overhead accounting.
+//
+// All transforms are pure: Trace in, Trace out, randomness through Rng.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "wf/trace.hpp"
+
+namespace stob::defenses {
+
+/// Which traffic manipulation primitives a defense uses (Table 1 columns).
+struct Manipulations {
+  bool padding = false;           // dummy packets / object padding
+  bool timing = false;            // departure-time modification
+  bool packet_size = false;       // per-packet size modification
+
+  std::string describe() const;
+};
+
+class TraceDefense {
+ public:
+  virtual ~TraceDefense() = default;
+
+  virtual wf::Trace apply(const wf::Trace& trace, Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+  /// Protocol family the original system targeted (Table 1 "Target").
+  virtual std::string target() const = 0;
+  /// "Regularization" or "Obfuscation" (Table 1 "Strategy").
+  virtual std::string strategy() const = 0;
+  virtual Manipulations manipulations() const = 0;
+};
+
+/// Bandwidth / latency cost of a defended trace relative to the original.
+struct Overhead {
+  double bandwidth = 0.0;  ///< (defended_bytes - original_bytes) / original_bytes
+  double latency = 0.0;    ///< (defended_duration - original_duration) / original_duration
+};
+
+Overhead measure_overhead(const wf::Trace& original, const wf::Trace& defended);
+
+/// Average overhead of a defense over a dataset.
+Overhead measure_overhead(const wf::Dataset& data, const TraceDefense& defense, Rng& rng);
+
+// ------------------------------------------------------- §3 emulations
+
+/// Packet splitting: every incoming (server->client) packet larger than
+/// `threshold` bytes becomes two packets of half size; the second half
+/// follows after its serialisation time at `link_rate`. Mirrors the paper:
+/// threshold 1200 B so no fragment drops below the 536 B minimum MSS.
+class SplitDefense final : public TraceDefense {
+ public:
+  struct Config {
+    std::int64_t threshold = 1200;
+    DataRate link_rate = DataRate::mbps(100);  // spaces the two halves
+    bool incoming_only = true;                 // server-side deployment
+  };
+
+  SplitDefense() : SplitDefense(Config{}) {}
+  explicit SplitDefense(Config cfg) : cfg_(cfg) {}
+
+  wf::Trace apply(const wf::Trace& trace, Rng& rng) const override;
+  std::string name() const override { return "split"; }
+  std::string target() const override { return "TLS"; }
+  std::string strategy() const override { return "Obfuscation"; }
+  Manipulations manipulations() const override { return {.packet_size = true}; }
+
+ private:
+  Config cfg_;
+};
+
+/// Packet delaying: the inter-arrival gap before each incoming packet is
+/// inflated by a factor drawn uniformly from [lo, hi] (paper: 10-30%).
+/// Later packets shift by the accumulated delay, as they would physically.
+class DelayDefense final : public TraceDefense {
+ public:
+  struct Config {
+    double lo = 0.10;
+    double hi = 0.30;
+    bool incoming_only = true;
+  };
+
+  DelayDefense() : DelayDefense(Config{}) {}
+  explicit DelayDefense(Config cfg) : cfg_(cfg) {}
+
+  wf::Trace apply(const wf::Trace& trace, Rng& rng) const override;
+  std::string name() const override { return "delay"; }
+  std::string target() const override { return "TLS"; }
+  std::string strategy() const override { return "Obfuscation"; }
+  Manipulations manipulations() const override { return {.timing = true}; }
+
+ private:
+  Config cfg_;
+};
+
+/// Split + delay, the paper's "Combined" dataset.
+class CombinedDefense final : public TraceDefense {
+ public:
+  CombinedDefense() = default;
+  CombinedDefense(SplitDefense::Config split, DelayDefense::Config delay)
+      : split_(split), delay_(delay) {}
+
+  wf::Trace apply(const wf::Trace& trace, Rng& rng) const override;
+  std::string name() const override { return "combined"; }
+  std::string target() const override { return "TLS"; }
+  std::string strategy() const override { return "Obfuscation"; }
+  Manipulations manipulations() const override {
+    return {.timing = true, .packet_size = true};
+  }
+
+ private:
+  SplitDefense split_;
+  DelayDefense delay_;
+};
+
+/// Applies `defense` to the first `prefix_packets` packets only; the rest of
+/// the trace is carried over unmodified (but shifted by any delay the
+/// defended prefix accumulated). prefix_packets = 0 means the whole trace.
+wf::Trace apply_to_prefix(const TraceDefense& defense, const wf::Trace& trace,
+                          std::size_t prefix_packets, Rng& rng);
+
+}  // namespace stob::defenses

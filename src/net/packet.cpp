@@ -1,0 +1,33 @@
+#include "net/packet.hpp"
+
+#include <atomic>
+
+namespace stob::net {
+
+std::uint64_t next_packet_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::ostream& operator<<(std::ostream& os, const FlowKey& k) {
+  return os << (k.proto == Proto::Tcp ? "tcp" : "udp") << " " << k.src_host << ":" << k.src_port
+            << "->" << k.dst_host << ":" << k.dst_port;
+}
+
+std::ostream& operator<<(std::ostream& os, const Packet& p) {
+  os << "pkt#" << p.id << " [" << p.flow << "] " << p.wire_size();
+  if (p.is_tcp()) {
+    const TcpHeader& h = p.tcp();
+    os << " seq=" << h.seq;
+    if (h.has(kTcpSyn)) os << " SYN";
+    if (h.has(kTcpAck)) os << " ack=" << h.ack;
+    if (h.has(kTcpFin)) os << " FIN";
+    if (h.has(kTcpRst)) os << " RST";
+  } else if (p.is_quic()) {
+    os << " quic pn=" << p.quic().packet_number;
+  }
+  if (p.is_dummy) os << " DUMMY";
+  return os;
+}
+
+}  // namespace stob::net

@@ -1,0 +1,152 @@
+// Packet model.
+//
+// The simulator moves packet *metadata*, not payload bytes: a packet knows
+// its flow, its header/payload sizes and its transport-level header fields
+// (sequence numbers, flags, frames). This is exactly the information a
+// website-fingerprinting adversary observes (plus the encrypted payload
+// length), and it is sufficient to implement TCP/QUIC semantics, so nothing
+// relevant is lost by not carrying data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace stob::net {
+
+using HostId = std::uint32_t;
+using Port = std::uint16_t;
+
+/// Transport protocol carried by a packet.
+enum class Proto : std::uint8_t { Tcp, Udp };
+
+/// 5-tuple identifying a flow, from the sender's perspective.
+struct FlowKey {
+  HostId src_host = 0;
+  HostId dst_host = 0;
+  Port src_port = 0;
+  Port dst_port = 0;
+  Proto proto = Proto::Tcp;
+
+  /// The same flow as seen from the other endpoint.
+  FlowKey reversed() const { return {dst_host, src_host, dst_port, src_port, proto}; }
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    std::uint64_t h = k.src_host;
+    h = h * 0x100000001B3ull ^ k.dst_host;
+    h = h * 0x100000001B3ull ^ k.src_port;
+    h = h * 0x100000001B3ull ^ k.dst_port;
+    h = h * 0x100000001B3ull ^ static_cast<std::uint64_t>(k.proto);
+    return static_cast<std::size_t>(h * 0x9E3779B97F4A7C15ull >> 16);
+  }
+};
+
+// Wire overhead constants (Ethernet + IP + L4), in bytes.
+inline constexpr std::int64_t kEthIpTcpHeader = 14 + 20 + 32;  // TCP w/ timestamps
+inline constexpr std::int64_t kEthIpUdpHeader = 14 + 20 + 8;
+inline constexpr std::int64_t kQuicShortHeader = 18;           // short hdr + PN + AEAD tag part
+inline constexpr std::int64_t kDefaultMtu = 1500;
+inline constexpr std::int64_t kDefaultMss = 1460;  // wire default before header opts
+inline constexpr std::int64_t kMinTcpMss = 536;    // RFC 879 minimum default
+
+/// TCP flag bits.
+enum TcpFlags : std::uint8_t {
+  kTcpSyn = 1 << 0,
+  kTcpAck = 1 << 1,
+  kTcpFin = 1 << 2,
+  kTcpRst = 1 << 3,
+};
+
+/// TCP header fields relevant to the simulation. Sequence numbers are
+/// absolute 64-bit stream offsets (no wraparound modelling needed).
+struct TcpHeader {
+  std::uint64_t seq = 0;       // first payload byte's stream offset
+  std::uint64_t ack = 0;       // next expected byte (valid when kTcpAck set)
+  std::uint8_t flags = 0;
+  std::int64_t rwnd = 0;       // advertised receive window, bytes
+  std::uint64_t ts_val = 0;    // timestamp option (echoed for RTT sampling)
+  std::uint64_t ts_ecr = 0;
+  /// SACK blocks: out-of-order byte ranges [first, second) the receiver
+  /// holds (at most 3, newest first, as in the TCP SACK option).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack;
+
+  bool has(TcpFlags f) const { return (flags & f) != 0; }
+};
+
+/// QUIC frames carried in a UDP datagram, reduced to what the simulated
+/// transport needs.
+struct QuicStreamFrame {
+  std::uint64_t stream_id = 0;
+  std::uint64_t offset = 0;
+  std::int64_t length = 0;
+  bool fin = false;
+};
+
+struct QuicAckFrame {
+  std::uint64_t largest_acked = 0;
+  // Contiguously acked range [largest_acked - first_range, largest_acked].
+  std::uint64_t first_range = 0;
+};
+
+struct QuicPaddingFrame {
+  std::int64_t length = 0;  // bytes of padding (dummy data)
+};
+
+using QuicFrame = std::variant<QuicStreamFrame, QuicAckFrame, QuicPaddingFrame>;
+
+/// A UDP datagram carrying one QUIC packet.
+struct QuicHeader {
+  std::uint64_t packet_number = 0;
+  bool ack_eliciting = false;
+  std::vector<QuicFrame> frames;
+};
+
+/// One simulated packet. Copyable; taps copy the metadata they record.
+struct Packet {
+  std::uint64_t id = 0;  // globally unique, for tracing/debugging
+  FlowKey flow;
+  Bytes header;          // wire overhead (L2+L3+L4(+QUIC))
+  Bytes payload;         // transport payload carried
+  bool is_dummy = false; // defense-injected padding packet
+  TimePoint enqueued_at; // stamped when handed to the qdisc
+  TimePoint sent_at;     // stamped when serialisation onto the wire begins
+
+  /// Earliest departure time (EDT), set by transport pacing and/or Stob
+  /// policies; honoured by pacing-aware qdiscs (fq). Zero means "now".
+  TimePoint not_before = TimePoint::zero();
+
+  /// If > 0, this packet is a TSO super-segment: the NIC splits it into
+  /// wire packets of at most `tso_mss` payload bytes each, sent back-to-back
+  /// at line rate (the "micro burst" the paper describes).
+  std::int64_t tso_mss = 0;
+
+  std::variant<TcpHeader, QuicHeader> l4 = TcpHeader{};
+
+  Bytes wire_size() const { return header + payload; }
+
+  TcpHeader& tcp() { return std::get<TcpHeader>(l4); }
+  const TcpHeader& tcp() const { return std::get<TcpHeader>(l4); }
+  bool is_tcp() const { return std::holds_alternative<TcpHeader>(l4); }
+
+  QuicHeader& quic() { return std::get<QuicHeader>(l4); }
+  const QuicHeader& quic() const { return std::get<QuicHeader>(l4); }
+  bool is_quic() const { return std::holds_alternative<QuicHeader>(l4); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Packet& p);
+std::ostream& operator<<(std::ostream& os, const FlowKey& k);
+
+/// Process-wide packet id source (monotonic; determinism does not depend on
+/// ids, they exist purely for debugging).
+std::uint64_t next_packet_id();
+
+}  // namespace stob::net

@@ -1,0 +1,55 @@
+// A duplex network path between two endpoints: one pipe per direction.
+// Models a client <-> server Internet path with a bottleneck rate, a
+// propagation delay (so RTT = 2 * delay + serialisation) and a drop-tail
+// bottleneck buffer in each direction.
+#pragma once
+
+#include <memory>
+
+#include "net/pipe.hpp"
+#include "sim/simulator.hpp"
+
+namespace stob::net {
+
+enum class Direction : std::uint8_t {
+  ClientToServer,  // "outgoing" from the WF client's point of view
+  ServerToClient,  // "incoming"
+};
+
+inline const char* to_string(Direction d) {
+  return d == Direction::ClientToServer ? "out" : "in";
+}
+
+class DuplexPath {
+ public:
+  struct Config {
+    Pipe::Config forward;   // client -> server
+    Pipe::Config backward;  // server -> client
+  };
+
+  /// Symmetric path helper.
+  static Config symmetric(DataRate rate, Duration one_way_delay,
+                          Bytes queue_capacity = Bytes::kibi(256), double loss_rate = 0.0) {
+    Pipe::Config p{rate, one_way_delay, queue_capacity, loss_rate};
+    return Config{p, p};
+  }
+
+  DuplexPath(sim::Simulator& sim, Config cfg)
+      : forward_(sim, cfg.forward), backward_(sim, cfg.backward) {}
+
+  Pipe& forward() { return forward_; }
+  Pipe& backward() { return backward_; }
+
+  Pipe& pipe(Direction d) { return d == Direction::ClientToServer ? forward_ : backward_; }
+
+  /// Base RTT excluding serialisation and queueing.
+  Duration base_rtt() const {
+    return forward_.config().delay + backward_.config().delay;
+  }
+
+ private:
+  Pipe forward_;
+  Pipe backward_;
+};
+
+}  // namespace stob::net

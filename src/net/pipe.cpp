@@ -1,0 +1,61 @@
+#include "net/pipe.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace stob::net {
+
+Pipe::Pipe(sim::Simulator& sim, Config cfg) : sim_(sim), cfg_(cfg) {}
+
+void Pipe::send(Packet p) {
+  const Bytes size = p.wire_size();
+  if (cfg_.queue_capacity.count() > 0 && queued_bytes_ + size > cfg_.queue_capacity &&
+      !queue_.empty()) {
+    ++dropped_packets_;
+    STOB_TRACE("pipe") << "drop-tail " << p;
+    return;
+  }
+  queued_bytes_ += size;
+  if (queued_bytes_ > max_queued_bytes_) max_queued_bytes_ = queued_bytes_;
+  queue_.push_back(std::move(p));
+  if (!busy_) start_transmission();
+}
+
+void Pipe::start_transmission() {
+  assert(!queue_.empty());
+  busy_ = true;
+  Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= p.wire_size();
+  p.sent_at = sim_.now();
+  if (tx_tap_) tx_tap_(p, sim_.now());
+  const Duration tx = cfg_.rate.transmit_time(p.wire_size());
+  sim_.schedule_after(tx, [this, p = std::move(p)]() mutable { on_transmitted(std::move(p)); });
+}
+
+void Pipe::on_transmitted(Packet p) {
+  // Serialiser is free again; keep the link busy back-to-back.
+  if (!queue_.empty()) {
+    start_transmission();
+  } else {
+    busy_ = false;
+  }
+  if (tx_complete_) tx_complete_(p);
+
+  if (cfg_.loss_rate > 0.0 && loss_rng_.chance(cfg_.loss_rate)) {
+    ++lost_packets_;
+    STOB_TRACE("pipe") << "loss " << p;
+    return;
+  }
+
+  ++delivered_packets_;
+  delivered_bytes_ += p.wire_size();
+  sim_.schedule_after(cfg_.delay, [this, p = std::move(p)]() mutable {
+    if (rx_tap_) rx_tap_(p, sim_.now());
+    if (sink_) sink_(std::move(p));
+  });
+}
+
+}  // namespace stob::net

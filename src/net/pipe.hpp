@@ -1,0 +1,91 @@
+// Unidirectional network pipe: a drop-tail queue feeding a serialising link
+// with fixed rate and propagation delay, plus an optional i.i.d. loss model.
+// Two pipes back-to-back form a DuplexPath (see path.hpp). Pipes carry both
+// data and ACK traffic, so TCP's ACK clock emerges naturally.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace stob::net {
+
+class Pipe {
+ public:
+  struct Config {
+    DataRate rate = DataRate::gbps(10);
+    Duration delay = Duration::micros(50);
+    /// Queue capacity in bytes; 0 means unbounded.
+    Bytes queue_capacity = Bytes::kibi(256);
+    /// Independent per-packet loss probability, applied at the head of the
+    /// link (after queueing, before delivery).
+    double loss_rate = 0.0;
+  };
+
+  using Sink = std::function<void(Packet)>;
+  /// Tap signature: the packet and the time it was observed.
+  using Tap = std::function<void(const Packet&, TimePoint)>;
+
+  Pipe(sim::Simulator& sim, Config cfg);
+
+  /// Destination for delivered packets. Must be set before traffic flows.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Observability hooks. tx fires when serialisation starts (what tcpdump
+  /// at the sender sees); rx fires at delivery (receiver vantage).
+  void set_tx_tap(Tap tap) { tx_tap_ = std::move(tap); }
+  void set_rx_tap(Tap tap) { rx_tap_ = std::move(tap); }
+
+  /// RNG used for the loss model; defaults to a fixed-seed generator.
+  void set_loss_rng(Rng rng) { loss_rng_ = rng; }
+
+  /// Invoked when a packet finishes serialising onto the wire (regardless of
+  /// whether the loss model then discards it). The NIC uses this to free tx
+  /// ring space.
+  using TxComplete = std::function<void(const Packet&)>;
+  void set_tx_complete(TxComplete cb) { tx_complete_ = std::move(cb); }
+
+  /// Offer a packet to the pipe. Drops (drop-tail) if the queue is full.
+  void send(Packet p);
+
+  // Counters.
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+  Bytes delivered_bytes() const { return delivered_bytes_; }
+  std::uint64_t dropped_packets() const { return dropped_packets_; }
+  std::uint64_t lost_packets() const { return lost_packets_; }
+  Bytes queued_bytes() const { return queued_bytes_; }
+  Bytes max_queued_bytes() const { return max_queued_bytes_; }
+
+  const Config& config() const { return cfg_; }
+
+  /// Change the link rate at runtime (used by experiments that vary the
+  /// bottleneck). Takes effect for the next packet serialised.
+  void set_rate(DataRate rate) { cfg_.rate = rate; }
+
+ private:
+  void start_transmission();
+  void on_transmitted(Packet p);
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  Sink sink_;
+  Tap tx_tap_;
+  Tap rx_tap_;
+  TxComplete tx_complete_;
+  Rng loss_rng_{0xC0FFEEull};
+
+  std::deque<Packet> queue_;
+  bool busy_ = false;
+  Bytes queued_bytes_;
+  Bytes max_queued_bytes_;
+  std::uint64_t delivered_packets_ = 0;
+  Bytes delivered_bytes_;
+  std::uint64_t dropped_packets_ = 0;
+  std::uint64_t lost_packets_ = 0;
+};
+
+}  // namespace stob::net

@@ -1,0 +1,52 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace stob::sim {
+
+EventId Simulator::schedule_at(TimePoint when, Callback cb) {
+  assert(cb);
+  if (when < now_) when = now_;  // never schedule into the past
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{when, seq, std::move(cb)});
+  return EventId(seq);
+}
+
+void Simulator::cancel(EventId id) {
+  if (!id.valid()) return;
+  // The entry stays in the heap but is skipped when popped; the set keeps
+  // pending() accurate and prevents double counting.
+  if (cancelled_.insert(id.seq_).second) ++cancelled_in_queue_;
+}
+
+bool Simulator::step(TimePoint until) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_in_queue_;
+      queue_.pop();
+      continue;
+    }
+    if (top.when > until) return false;
+    // Move the callback out before popping; the callback may schedule more
+    // events (mutating the heap) while it runs.
+    Entry entry = std::move(const_cast<Entry&>(top));
+    queue_.pop();
+    now_ = entry.when;
+    ++executed_;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(TimePoint until) {
+  std::size_t n = 0;
+  while (step(until)) ++n;
+  if (now_ < until && until != TimePoint::max()) now_ = until;
+  return n;
+}
+
+}  // namespace stob::sim

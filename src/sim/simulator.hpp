@@ -1,0 +1,91 @@
+// Discrete-event simulation core.
+//
+// The whole network stack runs on top of this: every asynchronous activity
+// (link serialisation, qdisc dequeue, TCP timers, application think time) is
+// an event scheduled at an absolute TimePoint. Events at the same time fire
+// in scheduling order (FIFO tie-break), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace stob::sim {
+
+/// Handle to a scheduled event; allows cancellation (e.g. TCP retransmission
+/// timers that are rearmed on every ACK).
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  TimePoint now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `when` (clamped to now if in the
+  /// past). Returns a handle usable with cancel().
+  EventId schedule_at(TimePoint when, Callback cb);
+
+  /// Schedule `cb` to run `delay` from now.
+  EventId schedule_after(Duration delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid id is a
+  /// harmless no-op (timers race with the events that disarm them).
+  void cancel(EventId id);
+
+  /// Run until the queue drains or `until`, whichever first.
+  /// Returns the number of events executed.
+  std::size_t run(TimePoint until = TimePoint::max());
+
+  /// Run at most one event. Returns false if the queue is empty or the next
+  /// event is after `until`.
+  bool step(TimePoint until = TimePoint::max());
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return queue_.size() - cancelled_in_queue_; }
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq = 0;  // FIFO tie-break and cancellation key
+    Callback cb;
+
+    // Min-heap on (when, seq) via greater-than for priority_queue.
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t cancelled_in_queue_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace stob::sim

@@ -1,0 +1,118 @@
+#include "stack/nic.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace stob::stack {
+
+Nic::Nic(sim::Simulator& sim, std::unique_ptr<Qdisc> qdisc)
+    : Nic(sim, std::move(qdisc), Config{}) {}
+
+Nic::Nic(sim::Simulator& sim, std::unique_ptr<Qdisc> qdisc, Config cfg)
+    : sim_(sim), qdisc_(std::move(qdisc)), cfg_(cfg) {
+  assert(qdisc_);
+}
+
+void Nic::attach_egress(net::Pipe& pipe) {
+  egress_ = &pipe;
+  pipe.set_tx_complete([this](const net::Packet& p) { on_wire_complete(p); });
+}
+
+void Nic::transmit(net::Packet p) {
+  p.enqueued_at = sim_.now();
+  qdisc_->enqueue(std::move(p));
+  pump();
+}
+
+void Nic::set_completion_handler(const net::FlowKey& flow, CompletionHandler handler) {
+  completions_[flow] = std::move(handler);
+}
+
+void Nic::clear_completion_handler(const net::FlowKey& flow) { completions_.erase(flow); }
+
+Bytes Nic::flow_unsent(const net::FlowKey& flow) const {
+  auto it = ring_per_flow_.find(flow);
+  const Bytes in_ring = it == ring_per_flow_.end() ? Bytes(0) : Bytes(it->second);
+  return qdisc_->flow_backlog(flow) + in_ring;
+}
+
+void Nic::pump() {
+  if (egress_ == nullptr) return;
+  const TimePoint now = sim_.now();
+  while (ring_bytes_ < cfg_.tx_ring) {
+    std::optional<net::Packet> p = qdisc_->dequeue(now);
+    if (!p) break;
+    push_to_wire(std::move(*p));
+  }
+  // Arm (or rearm) a wakeup for the next paced packet.
+  sim_.cancel(wakeup_);
+  wakeup_ = sim::EventId();
+  const TimePoint next = qdisc_->next_ready(now);
+  if (next != TimePoint::max() && ring_bytes_ < cfg_.tx_ring) {
+    wakeup_ = sim_.schedule_at(next, [this] {
+      wakeup_ = sim::EventId();
+      pump();
+    });
+  }
+}
+
+void Nic::push_to_wire(net::Packet p) {
+  const std::int64_t payload = p.payload.count();
+  if (p.tso_mss > 0 && payload > p.tso_mss) {
+    // Hardware segmentation: equal-size packets at line rate, the last one
+    // possibly short. Only TCP super-segments use this path.
+    ++tso_segments_split_;
+    const std::int64_t mss = p.tso_mss;
+    std::int64_t offset = 0;
+    while (offset < payload) {
+      const std::int64_t chunk = std::min(mss, payload - offset);
+      net::Packet wire = p;
+      wire.id = net::next_packet_id();
+      wire.payload = Bytes(chunk);
+      wire.tso_mss = 0;
+      if (wire.is_tcp()) {
+        wire.tcp().seq = p.tcp().seq + static_cast<std::uint64_t>(offset);
+        // FIN applies to the last byte only.
+        if (offset + chunk < payload) wire.tcp().flags &= static_cast<std::uint8_t>(~net::kTcpFin);
+      }
+      offset += chunk;
+      ring_bytes_ += wire.wire_size();
+      ring_per_flow_[wire.flow] += wire.wire_size().count();
+      ++wire_packets_sent_;
+      egress_->send(std::move(wire));
+    }
+    return;
+  }
+  ring_bytes_ += p.wire_size();
+  ring_per_flow_[p.flow] += p.wire_size().count();
+  ++wire_packets_sent_;
+  egress_->send(std::move(p));
+}
+
+void Nic::on_wire_complete(const net::Packet& p) {
+  const Bytes size = p.wire_size();
+  ring_bytes_ -= size;
+  auto rit = ring_per_flow_.find(p.flow);
+  if (rit != ring_per_flow_.end()) {
+    rit->second -= size.count();
+    if (rit->second <= 0) ring_per_flow_.erase(rit);
+  }
+  auto it = completions_.find(p.flow);
+  if (it != completions_.end()) it->second(size);
+  pump();
+}
+
+TimePoint CpuModel::dispatch(TimePoint now, Bytes payload, std::int64_t wire_packets) {
+  if (!enabled()) return now;
+  const Duration cost =
+      costs_.per_segment + costs_.per_wire_packet * wire_packets +
+      Duration::nanos(static_cast<std::int64_t>(costs_.per_byte_ns *
+                                                static_cast<double>(payload.count())));
+  const TimePoint start = std::max(now, free_at_);
+  free_at_ = start + cost;
+  busy_accum_ += cost;
+  return free_at_;
+}
+
+}  // namespace stob::stack

@@ -1,0 +1,129 @@
+#include "stack/qdisc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace stob::stack {
+
+// ---------------------------------------------------------------- FifoQdisc
+
+void FifoQdisc::enqueue(net::Packet p) {
+  const Bytes size = p.wire_size();
+  if (capacity_.count() > 0 && backlog_ + size > capacity_ && !queue_.empty()) {
+    ++dropped_;
+    return;
+  }
+  backlog_ += size;
+  per_flow_bytes_[p.flow] += size.count();
+  queue_.push_back(std::move(p));
+}
+
+std::optional<net::Packet> FifoQdisc::dequeue(TimePoint /*now*/) {
+  if (queue_.empty()) return std::nullopt;
+  net::Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  const Bytes size = p.wire_size();
+  backlog_ -= size;
+  auto it = per_flow_bytes_.find(p.flow);
+  if (it != per_flow_bytes_.end()) {
+    it->second -= size.count();
+    if (it->second <= 0) per_flow_bytes_.erase(it);
+  }
+  return p;
+}
+
+TimePoint FifoQdisc::next_ready(TimePoint now) const {
+  return queue_.empty() ? TimePoint::max() : now;
+}
+
+Bytes FifoQdisc::flow_backlog(const net::FlowKey& flow) const {
+  auto it = per_flow_bytes_.find(flow);
+  return it == per_flow_bytes_.end() ? Bytes(0) : Bytes(it->second);
+}
+
+// ------------------------------------------------------------------ FqQdisc
+
+FqQdisc::FqQdisc() : FqQdisc(Config{}) {}
+
+void FqQdisc::enqueue(net::Packet p) {
+  const Bytes size = p.wire_size();
+  if (cfg_.capacity.count() > 0 && backlog_ + size > cfg_.capacity && backlog_.count() > 0) {
+    ++dropped_;
+    return;
+  }
+  // Clamp absurd EDT values (fq's horizon), so a buggy policy cannot wedge
+  // the flow forever.
+  if (p.not_before > p.enqueued_at + cfg_.horizon) p.not_before = p.enqueued_at + cfg_.horizon;
+
+  FlowQueue& fq = flows_[p.flow];
+  fq.bytes += size.count();
+  backlog_ += size;
+  if (!fq.in_round) {
+    fq.in_round = true;
+    round_.push_back(p.flow);
+  }
+  fq.packets.push_back(std::move(p));
+}
+
+std::optional<net::Packet> FqQdisc::dequeue(TimePoint now) {
+  std::size_t ineligible_streak = 0;
+  while (!round_.empty()) {
+    const net::FlowKey key = round_.front();
+    auto it = flows_.find(key);
+    if (it == flows_.end() || it->second.packets.empty()) {
+      round_.pop_front();
+      if (it != flows_.end()) flows_.erase(it);
+      continue;
+    }
+    FlowQueue& fq = it->second;
+    const net::Packet& head = fq.packets.front();
+    if (head.not_before > now) {
+      // Paced into the future: let other flows run (work conservation
+      // across flows; within the flow order is preserved).
+      round_.pop_front();
+      round_.push_back(key);
+      if (++ineligible_streak >= round_.size()) return std::nullopt;
+      continue;
+    }
+    ineligible_streak = 0;
+    const std::int64_t size = head.wire_size().count();
+    if (fq.deficit < size) {
+      // Deficit exhausted: top up one quantum and end this flow's visit
+      // (rotate to the back) so other flows get their turn — classic DRR.
+      fq.deficit += cfg_.quantum.count();
+      round_.pop_front();
+      round_.push_back(key);
+      continue;
+    }
+    net::Packet p = std::move(fq.packets.front());
+    fq.packets.pop_front();
+    fq.deficit -= size;
+    fq.bytes -= size;
+    backlog_ -= Bytes(size);
+    if (fq.packets.empty()) {
+      round_.pop_front();
+      flows_.erase(it);
+    }
+    return p;
+  }
+  return std::nullopt;
+}
+
+TimePoint FqQdisc::next_ready(TimePoint now) const {
+  TimePoint earliest = TimePoint::max();
+  for (const auto& [key, fq] : flows_) {
+    if (fq.packets.empty()) continue;
+    const TimePoint t = fq.packets.front().not_before;
+    earliest = std::min(earliest, std::max(t, now));
+  }
+  return earliest;
+}
+
+Bytes FqQdisc::flow_backlog(const net::FlowKey& flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? Bytes(0) : Bytes(it->second.bytes);
+}
+
+}  // namespace stob::stack

@@ -1,0 +1,121 @@
+// Queueing disciplines at the bottom of the host stack.
+//
+// The qdisc sits between the transport and the NIC. It is one of the places
+// the paper identifies where application-level timing intent is destroyed:
+// packets can be held for fairness between flows or for pacing, and they are
+// dequeued asynchronously from the application's send() calls.
+//
+// Two disciplines are provided:
+//  * FifoQdisc  - pfifo-like, ignores pacing timestamps.
+//  * FqQdisc    - Linux fq-like: per-flow FIFO queues, deficit round robin
+//                 between flows, and per-packet earliest-departure-time
+//                 (EDT) pacing honoured per flow.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace stob::stack {
+
+class Qdisc {
+ public:
+  virtual ~Qdisc() = default;
+
+  /// Add a packet. May drop (counted) if an internal limit is exceeded.
+  virtual void enqueue(net::Packet p) = 0;
+
+  /// Remove and return the next packet eligible at `now`, or nullopt if none
+  /// is eligible yet (queue empty or all packets paced into the future).
+  virtual std::optional<net::Packet> dequeue(TimePoint now) = 0;
+
+  /// Earliest time at which dequeue() could return a packet, or
+  /// TimePoint::max() when empty. Used by the NIC to arm a wakeup timer.
+  virtual TimePoint next_ready(TimePoint now) const = 0;
+
+  virtual bool empty() const = 0;
+  virtual Bytes backlog() const = 0;
+  virtual std::uint64_t dropped() const = 0;
+
+  /// Bytes currently queued for one flow (TCP small queues accounting).
+  virtual Bytes flow_backlog(const net::FlowKey& flow) const = 0;
+};
+
+/// Simple FIFO (pfifo_fast without priorities). EDT timestamps are ignored,
+/// which is exactly why pacing-dependent defenses need fq.
+class FifoQdisc final : public Qdisc {
+ public:
+  explicit FifoQdisc(Bytes capacity = Bytes::mebi(64)) : capacity_(capacity) {}
+
+  void enqueue(net::Packet p) override;
+  std::optional<net::Packet> dequeue(TimePoint now) override;
+  TimePoint next_ready(TimePoint now) const override;
+  bool empty() const override { return queue_.empty(); }
+  Bytes backlog() const override { return backlog_; }
+  std::uint64_t dropped() const override { return dropped_; }
+  Bytes flow_backlog(const net::FlowKey& flow) const override;
+
+ private:
+  Bytes capacity_;
+  Bytes backlog_;
+  std::uint64_t dropped_ = 0;
+  std::deque<net::Packet> queue_;
+  std::unordered_map<net::FlowKey, std::int64_t, net::FlowKeyHash> per_flow_bytes_;
+};
+
+/// fq-like fair queueing with EDT pacing.
+///
+/// Each flow gets a FIFO. Flows with an eligible head packet (not_before <=
+/// now) are served in deficit-round-robin order with a byte quantum. Packets
+/// within a flow are never reordered, and a flow whose head is paced into
+/// the future does not block other flows (work conservation across flows).
+class FqQdisc final : public Qdisc {
+ public:
+  struct Config {
+    /// Total backlog cap. Deliberately generous: the transport's own TCP
+    /// small queues bound what sits here, and a local drop would look like
+    /// network loss to the sender (real qdiscs backpressure TCP instead).
+    Bytes capacity = Bytes::mebi(64);
+    Bytes quantum = Bytes(2 * 1514);     // DRR quantum (two full frames)
+    /// Maximum allowed EDT horizon; packets scheduled further out are
+    /// clamped (mirrors fq's horizon behaviour).
+    Duration horizon = Duration::seconds(10);
+  };
+
+  FqQdisc();  // default Config
+  explicit FqQdisc(Config cfg) : cfg_(cfg) {}
+
+  void enqueue(net::Packet p) override;
+  std::optional<net::Packet> dequeue(TimePoint now) override;
+  TimePoint next_ready(TimePoint now) const override;
+  bool empty() const override { return backlog_.count() == 0; }
+  Bytes backlog() const override { return backlog_; }
+  std::uint64_t dropped() const override { return dropped_; }
+  Bytes flow_backlog(const net::FlowKey& flow) const override;
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+ private:
+  struct FlowQueue {
+    std::deque<net::Packet> packets;
+    std::int64_t bytes = 0;
+    std::int64_t deficit = 0;
+    bool in_round = false;  // linked into the active round-robin list
+  };
+
+  using FlowMap = std::unordered_map<net::FlowKey, FlowQueue, net::FlowKeyHash>;
+
+  Config cfg_;
+  Bytes backlog_;
+  std::uint64_t dropped_ = 0;
+  FlowMap flows_;
+  std::list<net::FlowKey> round_;  // active flows, DRR order
+};
+
+}  // namespace stob::stack

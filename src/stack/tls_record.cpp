@@ -1,0 +1,52 @@
+#include "stack/tls_record.hpp"
+
+#include <algorithm>
+
+namespace stob::stack {
+
+namespace {
+
+std::int64_t padded(std::int64_t plaintext, const TlsConfig& cfg) {
+  if (cfg.pad_to <= 0) return plaintext;
+  return (plaintext + cfg.pad_to - 1) / cfg.pad_to * cfg.pad_to;
+}
+
+}  // namespace
+
+std::int64_t tls_sealed_size(std::int64_t plaintext, const TlsConfig& cfg) {
+  std::int64_t wire = 0;
+  while (plaintext > 0) {
+    const std::int64_t chunk = std::min(plaintext, cfg.max_record);
+    wire += std::min(padded(chunk, cfg), cfg.max_record) + cfg.overhead;
+    plaintext -= chunk;
+  }
+  return wire;
+}
+
+std::int64_t TlsSession::seal(std::int64_t plaintext) {
+  std::int64_t wire_total = 0;
+  while (plaintext > 0) {
+    const std::int64_t chunk = std::min(plaintext, cfg_.max_record);
+    const std::int64_t body = std::min(padded(chunk, cfg_), cfg_.max_record);
+    const std::int64_t wire = body + cfg_.overhead;
+    padding_bytes_ += body - chunk;
+    in_flight_.push_back({wire, chunk});
+    ++records_sealed_;
+    wire_total += wire;
+    plaintext -= chunk;
+  }
+  return wire_total;
+}
+
+std::int64_t TlsSession::open(std::int64_t wire) {
+  std::int64_t plaintext = 0;
+  buffered_ += wire;
+  while (!in_flight_.empty() && buffered_ >= in_flight_.front().wire) {
+    buffered_ -= in_flight_.front().wire;
+    plaintext += in_flight_.front().plaintext;
+    in_flight_.pop_front();
+  }
+  return plaintext;
+}
+
+}  // namespace stob::stack

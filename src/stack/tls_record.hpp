@@ -1,0 +1,70 @@
+// TLS record layer model (TLS 1.3 / kTLS style).
+//
+// Figure 1 of the paper places TLS (user-space or kTLS) between the
+// application and TCP; §4.2 suggests that *padding* — the one primitive
+// Stob deliberately leaves to the application — can be implemented as TLS
+// record padding (RFC 8446 allows zero-padding every record). This module
+// models that layer at size granularity:
+//
+//   * application bytes are framed into records of at most `max_record`
+//     plaintext bytes,
+//   * each record gains `overhead` bytes (5 B header + 16 B AEAD tag +
+//     1 B inner content type),
+//   * an optional padding policy rounds each record's plaintext up to a
+//     multiple of `pad_to` before sealing, hiding exact object sizes.
+//
+// TlsSession models one direction of a connection: the sender seals
+// plaintext into ciphertext byte counts; the receiver side converts the
+// arriving ciphertext byte counts back into plaintext as records complete.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace stob::stack {
+
+struct TlsConfig {
+  std::int64_t max_record = 16384;  ///< max plaintext bytes per record
+  std::int64_t overhead = 22;       ///< header + AEAD tag + content type
+  /// Pad plaintext of every record up to a multiple of this (0 = no
+  /// padding). RFC 8446 record padding, the application-side counterpart
+  /// to Stob's packet-sequence control.
+  std::int64_t pad_to = 0;
+};
+
+/// Ciphertext size for `plaintext` bytes sealed in one go (pure function;
+/// framing splits into max_record chunks).
+std::int64_t tls_sealed_size(std::int64_t plaintext, const TlsConfig& cfg = {});
+
+class TlsSession {
+ public:
+  TlsSession() : TlsSession(TlsConfig{}) {}
+  explicit TlsSession(TlsConfig cfg) : cfg_(cfg) {}
+
+  /// Seal `plaintext` bytes; returns the ciphertext bytes to hand to TCP.
+  std::int64_t seal(std::int64_t plaintext);
+
+  /// Feed `wire` ciphertext bytes (in stream order, any chunking); returns
+  /// the plaintext bytes that became available (completed records only;
+  /// partially received records stay buffered, like a real TLS receiver
+  /// that cannot authenticate a partial record).
+  std::int64_t open(std::int64_t wire);
+
+  std::uint64_t records_sealed() const { return records_sealed_; }
+  std::int64_t padding_bytes() const { return padding_bytes_; }
+  std::int64_t buffered_wire_bytes() const { return buffered_; }
+
+ private:
+  struct Record {
+    std::int64_t wire = 0;       // ciphertext size
+    std::int64_t plaintext = 0;  // application bytes inside
+  };
+
+  TlsConfig cfg_;
+  std::deque<Record> in_flight_;  // sealed, not yet fully received
+  std::int64_t buffered_ = 0;     // received bytes of the head record
+  std::uint64_t records_sealed_ = 0;
+  std::int64_t padding_bytes_ = 0;
+};
+
+}  // namespace stob::stack

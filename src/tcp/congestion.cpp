@@ -1,0 +1,19 @@
+#include "tcp/congestion.hpp"
+
+#include <stdexcept>
+
+#include "tcp/bbr.hpp"
+#include "tcp/cubic.hpp"
+#include "tcp/reno.hpp"
+
+namespace stob::tcp {
+
+std::unique_ptr<CongestionControl> make_congestion_control(const std::string& name, Bytes mss,
+                                                           Bytes initial_window) {
+  if (name == "reno") return std::make_unique<RenoCc>(mss, initial_window);
+  if (name == "cubic") return std::make_unique<CubicCc>(mss, initial_window);
+  if (name == "bbr") return std::make_unique<BbrCc>(mss, initial_window);
+  throw std::invalid_argument("unknown congestion control: " + name);
+}
+
+}  // namespace stob::tcp

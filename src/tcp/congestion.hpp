@@ -1,0 +1,53 @@
+// Congestion-control interface shared by TCP and the QUIC-lite transport.
+//
+// The connection feeds the controller ACK/loss events (with RTT and
+// delivery-rate samples) and reads back a congestion window and a pacing
+// rate. The pacing rate is what Stob's departure-time control must respect
+// (§4.2, §5.1 of the paper).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace stob::tcp {
+
+struct AckEvent {
+  TimePoint now;
+  Bytes newly_acked;          ///< bytes cumulatively acknowledged by this ACK
+  Duration rtt_sample;        ///< zero if no valid sample (retransmitted seg)
+  Duration srtt;              ///< smoothed RTT after incorporating the sample
+  DataRate delivery_rate;     ///< rate sample for this ACK (0 if unknown)
+  Bytes inflight;             ///< bytes in flight after this ACK
+  bool is_app_limited = false;///< the sampled segment was sent while app-limited
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual void on_ack(const AckEvent& ev) = 0;
+
+  /// Loss detected by duplicate ACKs (fast retransmit).
+  virtual void on_loss(TimePoint now) = 0;
+
+  /// Retransmission timeout.
+  virtual void on_rto(TimePoint now) = 0;
+
+  virtual Bytes cwnd() const = 0;
+
+  /// Pacing rate the flow should not exceed; zero disables pacing.
+  virtual DataRate pacing_rate() const = 0;
+
+  virtual bool in_slow_start() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Factory: "reno", "cubic" or "bbr". Throws std::invalid_argument on an
+/// unknown name. `mss` sets the window quantum; `initial_window` overrides
+/// the default 10*MSS initial congestion window (0 keeps the default).
+std::unique_ptr<CongestionControl> make_congestion_control(const std::string& name, Bytes mss,
+                                                           Bytes initial_window = Bytes(0));
+
+}  // namespace stob::tcp

@@ -1,0 +1,94 @@
+#include "tcp/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stob::tcp {
+
+namespace {
+constexpr double kC = 0.4;         // CUBIC scaling constant (segments/sec^3)
+constexpr double kBeta = 0.7;      // multiplicative decrease factor
+constexpr std::int64_t kMaxWindow = 1'073'741'824;
+}  // namespace
+
+CubicCc::CubicCc(Bytes mss, Bytes initial_window)
+    : mss_(mss.count()),
+      cwnd_(initial_window.count() > 0 ? initial_window.count() : 10 * mss_),
+      ssthresh_(kMaxWindow) {}
+
+double CubicCc::w_cubic(double t_sec) const {
+  // RFC 9438 computes in segments; convert around mss.
+  const double seg = static_cast<double>(mss_);
+  const double d = t_sec - k_;
+  return (kC * d * d * d + w_max_ / seg) * seg;
+}
+
+void CubicCc::on_ack(const AckEvent& ev) {
+  srtt_ = ev.srtt;
+  if (ev.rtt_sample.ns() > 0 && ev.rtt_sample < min_rtt_) min_rtt_ = ev.rtt_sample;
+  const std::int64_t acked = ev.newly_acked.count();
+  if (acked <= 0) return;
+
+  if (in_slow_start()) {
+    // HyStart-style delay-based exit (see reno.cpp).
+    if (ev.rtt_sample.ns() > 0 && min_rtt_.ns() > 0 &&
+        ev.rtt_sample > min_rtt_ + std::max(Duration::millis(4), min_rtt_ / 8)) {
+      ssthresh_ = cwnd_;
+      return;
+    }
+    cwnd_ = std::min(cwnd_ + acked, kMaxWindow);
+    return;
+  }
+
+  if (!epoch_valid_) {
+    epoch_valid_ = true;
+    epoch_start_ = ev.now;
+    if (w_max_ < static_cast<double>(cwnd_)) w_max_ = static_cast<double>(cwnd_);
+    const double seg = static_cast<double>(mss_);
+    const double wdiff = std::max(0.0, (w_max_ - static_cast<double>(cwnd_)) / seg);
+    k_ = std::cbrt(wdiff / kC);
+    w_est_ = static_cast<double>(cwnd_);
+  }
+
+  const double t = (ev.now - epoch_start_).sec() + srtt_.sec();
+  const double target = w_cubic(t);
+
+  // Reno-friendly region: grow w_est like Reno and use it if larger.
+  const double seg = static_cast<double>(mss_);
+  w_est_ += 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * static_cast<double>(acked) / w_est_ * seg;
+  double next = std::max(target, w_est_);
+
+  // Standard CUBIC growth clamp: at most 1.5x per RTT worth of acks.
+  next = std::min(next, static_cast<double>(cwnd_) + static_cast<double>(acked) * 1.5);
+  if (next > static_cast<double>(cwnd_)) {
+    cwnd_ = std::min(static_cast<std::int64_t>(next), kMaxWindow);
+  }
+}
+
+void CubicCc::on_loss(TimePoint /*now*/) {
+  // Fast convergence.
+  if (static_cast<double>(cwnd_) < w_max_) {
+    w_max_ = static_cast<double>(cwnd_) * (1.0 + kBeta) / 2.0;
+  } else {
+    w_max_ = static_cast<double>(cwnd_);
+  }
+  cwnd_ = std::max(static_cast<std::int64_t>(static_cast<double>(cwnd_) * kBeta), 2 * mss_);
+  ssthresh_ = cwnd_;
+  epoch_valid_ = false;
+}
+
+void CubicCc::on_rto(TimePoint /*now*/) {
+  w_max_ = static_cast<double>(cwnd_);
+  ssthresh_ = std::max(static_cast<std::int64_t>(static_cast<double>(cwnd_) * kBeta), 2 * mss_);
+  cwnd_ = mss_;
+  epoch_valid_ = false;
+}
+
+DataRate CubicCc::pacing_rate() const {
+  if (srtt_.ns() <= 0) return DataRate(0);
+  const double factor = in_slow_start() ? 2.0 : 1.2;
+  const double bps = static_cast<double>(cwnd_) * 8.0 / srtt_.sec() * factor;
+  return DataRate(static_cast<std::int64_t>(bps));
+}
+
+}  // namespace stob::tcp

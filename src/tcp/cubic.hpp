@@ -1,0 +1,38 @@
+// CUBIC congestion control (RFC 9438 style, simplified: no HyStart).
+#pragma once
+
+#include "tcp/congestion.hpp"
+
+namespace stob::tcp {
+
+class CubicCc final : public CongestionControl {
+ public:
+  explicit CubicCc(Bytes mss, Bytes initial_window = Bytes(0));
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(TimePoint now) override;
+  void on_rto(TimePoint now) override;
+  Bytes cwnd() const override { return Bytes(cwnd_); }
+  DataRate pacing_rate() const override;
+  bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  std::string name() const override { return "cubic"; }
+
+ private:
+  /// CUBIC window (in bytes) at time t after the last congestion event.
+  double w_cubic(double t_sec) const;
+
+  std::int64_t mss_;
+  std::int64_t cwnd_;
+  std::int64_t ssthresh_;
+  Duration srtt_;
+  Duration min_rtt_ = Duration::seconds(3600);
+
+  // CUBIC state.
+  double w_max_ = 0.0;          // window before the last reduction, bytes
+  double k_ = 0.0;              // time to regrow to w_max, seconds
+  TimePoint epoch_start_ = TimePoint::zero();
+  bool epoch_valid_ = false;
+  double w_est_ = 0.0;          // Reno-friendly estimate, bytes
+};
+
+}  // namespace stob::tcp

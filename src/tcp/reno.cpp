@@ -1,0 +1,56 @@
+#include "tcp/reno.hpp"
+
+#include <algorithm>
+
+namespace stob::tcp {
+
+namespace {
+constexpr std::int64_t kMaxWindow = 1'073'741'824;  // 1 GiB safety cap
+}
+
+RenoCc::RenoCc(Bytes mss, Bytes initial_window)
+    : mss_(mss.count()),
+      cwnd_(initial_window.count() > 0 ? initial_window.count() : 10 * mss_),
+      ssthresh_(kMaxWindow) {}
+
+void RenoCc::on_ack(const AckEvent& ev) {
+  srtt_ = ev.srtt;
+  if (ev.rtt_sample.ns() > 0 && ev.rtt_sample < min_rtt_) min_rtt_ = ev.rtt_sample;
+  const std::int64_t acked = ev.newly_acked.count();
+  if (acked <= 0) return;
+  if (in_slow_start()) {
+    // HyStart-style delay-based exit: leave slow start when queueing delay
+    // exceeds an eighth of the base RTT (floored at 4 ms) — prevents
+    // megabyte-scale overshoot losses on large-BDP paths.
+    if (ev.rtt_sample.ns() > 0 && min_rtt_.ns() > 0 &&
+        ev.rtt_sample > min_rtt_ + std::max(Duration::millis(4), min_rtt_ / 8)) {
+      ssthresh_ = cwnd_;
+      return;
+    }
+    // Byte-counting slow start: cwnd grows by the amount acked.
+    cwnd_ = std::min(cwnd_ + acked, kMaxWindow);
+  } else {
+    // Congestion avoidance: ~1 MSS per RTT, byte-counted.
+    cwnd_ = std::min(cwnd_ + std::max<std::int64_t>(1, mss_ * mss_ / cwnd_), kMaxWindow);
+  }
+}
+
+void RenoCc::on_loss(TimePoint /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2, 2 * mss_);
+  cwnd_ = ssthresh_;
+}
+
+void RenoCc::on_rto(TimePoint /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2, 2 * mss_);
+  cwnd_ = mss_;  // restart from one segment
+}
+
+DataRate RenoCc::pacing_rate() const {
+  if (srtt_.ns() <= 0) return DataRate(0);
+  // Linux-style: 200% of cwnd/srtt in slow start, 120% in avoidance.
+  const double factor = in_slow_start() ? 2.0 : 1.2;
+  const double bps = static_cast<double>(cwnd_) * 8.0 / srtt_.sec() * factor;
+  return DataRate(static_cast<std::int64_t>(bps));
+}
+
+}  // namespace stob::tcp

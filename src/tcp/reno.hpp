@@ -1,0 +1,30 @@
+// TCP NewReno congestion control (RFC 5681/6582 behaviour, byte-counting).
+#pragma once
+
+#include "tcp/congestion.hpp"
+
+namespace stob::tcp {
+
+class RenoCc final : public CongestionControl {
+ public:
+  explicit RenoCc(Bytes mss, Bytes initial_window = Bytes(0));
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(TimePoint now) override;
+  void on_rto(TimePoint now) override;
+  Bytes cwnd() const override { return Bytes(cwnd_); }
+  DataRate pacing_rate() const override;
+  bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  std::string name() const override { return "reno"; }
+
+  Bytes ssthresh() const { return Bytes(ssthresh_); }
+
+ private:
+  std::int64_t mss_;
+  std::int64_t cwnd_;
+  std::int64_t ssthresh_;
+  Duration srtt_;
+  Duration min_rtt_ = Duration::seconds(3600);
+};
+
+}  // namespace stob::tcp

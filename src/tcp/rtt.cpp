@@ -1,0 +1,37 @@
+#include "tcp/rtt.hpp"
+
+#include <algorithm>
+
+namespace stob::tcp {
+
+void RttEstimator::add_sample(Duration rtt) {
+  if (rtt.ns() < 0) return;
+  if (rtt < min_rtt_) min_rtt_ = rtt;
+  if (!has_sample_) {
+    has_sample_ = true;
+    srtt_ = rtt;
+    rttvar_ = Duration(rtt.ns() / 2);
+  } else {
+    // srtt = 7/8 srtt + 1/8 rtt ; rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+    const std::int64_t err = srtt_.ns() - rtt.ns();
+    rttvar_ = Duration((3 * rttvar_.ns() + std::abs(err)) / 4);
+    srtt_ = Duration((7 * srtt_.ns() + rtt.ns()) / 8);
+  }
+  const Duration candidate = srtt_ + std::max(Duration::millis(1), rttvar_ * 4);
+  rto_ = std::clamp(candidate, cfg_.min_rto, cfg_.max_rto);
+}
+
+void RttEstimator::backoff() { rto_ = std::min(rto_ * 2, cfg_.max_rto); }
+
+Bytes tso_autosize(DataRate pacing_rate, Bytes mss, Bytes tso_max, Duration target,
+                   int min_segs) {
+  if (pacing_rate.is_zero()) return tso_max;
+  std::int64_t bytes = pacing_rate.bytes_in(target).count();
+  const std::int64_t floor = min_segs * mss.count();
+  bytes = std::clamp(bytes, floor, tso_max.count());
+  // Quantise to whole MSS units (a TSO segment is a run of full packets).
+  bytes = std::max<std::int64_t>(bytes / mss.count(), 1) * mss.count();
+  return Bytes(bytes);
+}
+
+}  // namespace stob::tcp

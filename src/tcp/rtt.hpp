@@ -1,0 +1,47 @@
+// RFC 6298 RTT estimation and RTO computation.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace stob::tcp {
+
+class RttEstimator {
+ public:
+  struct Config {
+    Duration min_rto = Duration::millis(200);  // Linux's TCP_RTO_MIN
+    Duration max_rto = Duration::seconds(60);
+    Duration initial_rto = Duration::seconds(1);
+  };
+
+  RttEstimator() : RttEstimator(Config{}) {}
+  explicit RttEstimator(Config cfg) : cfg_(cfg), rto_(cfg.initial_rto) {}
+
+  /// Incorporate a measured RTT sample (Karn's rule: callers must only pass
+  /// samples from segments that were not retransmitted).
+  void add_sample(Duration rtt);
+
+  /// Exponential backoff after a timeout.
+  void backoff();
+
+  bool has_sample() const { return has_sample_; }
+  Duration srtt() const { return srtt_; }
+  Duration rttvar() const { return rttvar_; }
+  Duration rto() const { return rto_; }
+  Duration min_rtt() const { return min_rtt_; }
+
+ private:
+  Config cfg_;
+  bool has_sample_ = false;
+  Duration srtt_;
+  Duration rttvar_;
+  Duration rto_;
+  Duration min_rtt_ = Duration::seconds(3600);
+};
+
+/// Linux-style TSO autosizing: aim for ~1ms of data at the pacing rate,
+/// clamped to [min_segs * mss, tso_max] and quantised to whole MSS units.
+/// With no pacing rate (unpaced flows), returns tso_max.
+Bytes tso_autosize(DataRate pacing_rate, Bytes mss, Bytes tso_max,
+                   Duration target = Duration::millis(1), int min_segs = 2);
+
+}  // namespace stob::tcp

@@ -1,0 +1,53 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stob::csv {
+
+Row split_line(std::string_view line, char sep) {
+  Row cells;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      cells.emplace_back(line.substr(start));
+      break;
+    }
+    cells.emplace_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return cells;
+}
+
+std::vector<Row> read_file(const std::filesystem::path& path, char sep) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open " + path.string());
+  std::vector<Row> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(split_line(line, sep));
+  }
+  return rows;
+}
+
+void write_file(const std::filesystem::path& path, const std::vector<Row>& rows, char sep) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("csv: cannot open for write " + path.string());
+  for (const Row& row : rows) out << join(row, sep) << '\n';
+  if (!out) throw std::runtime_error("csv: write failed for " + path.string());
+}
+
+std::string join(const Row& row, char sep) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) os << sep;
+    os << row[i];
+  }
+  return os.str();
+}
+
+}  // namespace stob::csv

@@ -1,0 +1,28 @@
+// Minimal CSV reader/writer for trace datasets and benchmark output. Handles
+// the unquoted numeric/identifier cells this project produces; it is not a
+// general RFC 4180 parser.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stob::csv {
+
+using Row = std::vector<std::string>;
+
+/// Split one CSV line on commas (no quoting).
+Row split_line(std::string_view line, char sep = ',');
+
+/// Read all rows of a CSV file. Throws std::runtime_error on I/O failure.
+std::vector<Row> read_file(const std::filesystem::path& path, char sep = ',');
+
+/// Write rows to a CSV file, overwriting. Throws on I/O failure.
+void write_file(const std::filesystem::path& path, const std::vector<Row>& rows,
+                char sep = ',');
+
+/// Join cells into one line.
+std::string join(const Row& row, char sep = ',');
+
+}  // namespace stob::csv

@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace stob::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::Warn};
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+void write(Level lvl, std::string_view component, std::string_view message) {
+  if (lvl < level()) return;
+  std::cerr << "[" << level_name(lvl) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace stob::log

@@ -1,0 +1,54 @@
+// Lightweight leveled logging to stderr. Default level is Warn so that tests
+// and benchmarks stay quiet; raise to Debug/Trace when debugging the stack.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace stob::log {
+
+enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global threshold; messages below it are discarded.
+Level level();
+void set_level(Level lvl);
+
+/// Emit one line at `lvl` tagged with `component`.
+void write(Level lvl, std::string_view component, std::string_view message);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  LineBuilder(Level lvl, std::string_view component) : lvl_(lvl), component_(component) {}
+  ~LineBuilder() { write(lvl_, component_, os_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace stob::log
+
+// Streaming macros; the stream expression is not evaluated when filtered out.
+#define STOB_LOG(lvl, component)                            \
+  if (::stob::log::level() > (lvl)) {                       \
+  } else                                                    \
+    ::stob::log::detail::LineBuilder((lvl), (component))
+
+#define STOB_TRACE(component) STOB_LOG(::stob::log::Level::Trace, component)
+#define STOB_DEBUG(component) STOB_LOG(::stob::log::Level::Debug, component)
+#define STOB_INFO(component) STOB_LOG(::stob::log::Level::Info, component)
+#define STOB_WARN(component) STOB_LOG(::stob::log::Level::Warn, component)
+#define STOB_ERROR(component) STOB_LOG(::stob::log::Level::Error, component)

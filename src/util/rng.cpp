@@ -1,0 +1,127 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace stob {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  have_spare_normal_ = false;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              std::numeric_limits<std::uint64_t>::max() % range;
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform(double lo, double hi) {
+  // 53 random mantissa bits -> uniform in [0,1).
+  const double u = static_cast<double>(next() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::exponential(double lambda) {
+  if (lambda <= 0.0) throw std::invalid_argument("exponential: lambda must be > 0");
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::rayleigh(double sigma) {
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return sigma * std::sqrt(-2.0 * std::log(u));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  if (xm <= 0.0 || alpha <= 0.0) throw std::invalid_argument("pareto: xm, alpha must be > 0");
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument("weighted_index: weights must sum to > 0");
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: r landed exactly on total
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace stob

@@ -1,0 +1,72 @@
+// Deterministic random number generation for simulation and learning.
+//
+// All randomness in the repository flows through Rng so that every
+// experiment is reproducible from a single seed. The engine is
+// xoshiro256++ (Blackman & Vigna), which is fast, has a 256-bit state and
+// passes BigCrush; we implement it directly to avoid libstdc++ engine
+// differences across platforms.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace stob {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed via splitmix64, which
+  /// guarantees a well-mixed non-zero state for any seed (including 0).
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface, so Rng works with std::shuffle.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<std::uint64_t>::max(); }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (lambda).
+  double exponential(double lambda);
+
+  /// Rayleigh distribution with scale sigma (used by the FRONT defense to
+  /// schedule dummy packets).
+  double rayleigh(double sigma);
+
+  /// Pareto with scale xm and shape alpha (heavy-tailed web object sizes).
+  double pareto(double xm, double alpha);
+
+  /// Sample an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derive an independent child generator (for per-flow / per-tree seeds).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4] = {};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace stob

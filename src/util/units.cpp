@@ -1,0 +1,28 @@
+#include "util/units.hpp"
+
+#include <iomanip>
+
+namespace stob {
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  const std::int64_t ns = d.ns();
+  if (ns % 1'000'000'000 == 0) return os << ns / 1'000'000'000 << "s";
+  if (ns % 1'000'000 == 0) return os << ns / 1'000'000 << "ms";
+  if (ns % 1'000 == 0) return os << ns / 1'000 << "us";
+  return os << ns << "ns";
+}
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << "t=" << std::fixed << std::setprecision(6) << t.sec() << "s";
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b) { return os << b.count() << "B"; }
+
+std::ostream& operator<<(std::ostream& os, DataRate r) {
+  const std::int64_t bps = r.bits_per_sec();
+  if (bps >= 1'000'000'000) return os << std::fixed << std::setprecision(2) << r.gbps_f() << "Gbps";
+  if (bps >= 1'000'000) return os << std::fixed << std::setprecision(2) << r.mbps_f() << "Mbps";
+  return os << bps << "bps";
+}
+
+}  // namespace stob

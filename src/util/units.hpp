@@ -1,0 +1,161 @@
+// Strong unit types used across the stack: durations, byte counts and data
+// rates. Keeping these as distinct types (rather than raw integers) prevents
+// the classic bits/bytes and ns/us confusion at API boundaries.
+#pragma once
+
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <compare>
+#include <ostream>
+
+namespace stob {
+
+/// Simulated time and durations, in nanoseconds. A plain strong wrapper is
+/// used instead of std::chrono to keep event-queue keys trivially comparable
+/// and cheap to hash.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr Duration nanos(std::int64_t v) { return Duration(v); }
+  static constexpr Duration micros(std::int64_t v) { return Duration(v * 1000); }
+  static constexpr Duration millis(std::int64_t v) { return Duration(v * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t v) { return Duration(v * 1'000'000'000); }
+  static constexpr Duration seconds_f(double v) {
+    return Duration(static_cast<std::int64_t>(v * 1e9));
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.ns_ + b.ns_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.ns_ - b.ns_); }
+  friend constexpr Duration operator*(Duration a, std::integral auto k) {
+    return Duration(a.ns_ * static_cast<std::int64_t>(k));
+  }
+  friend constexpr Duration operator*(std::integral auto k, Duration a) { return a * k; }
+  friend constexpr Duration operator*(Duration a, std::floating_point auto k) {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(a.ns_) * k));
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration(a.ns_ / k); }
+  friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d);
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute simulated time point (nanoseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint(t.ns_ + d.ns()); }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint(t.ns_ - d.ns()); }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return Duration(a.ns_ - b.ns_); }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  static constexpr TimePoint zero() { return TimePoint(0); }
+  static constexpr TimePoint max() { return TimePoint(INT64_MAX); }
+
+  friend std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Byte count. Signed so that differences are representable.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t v) : v_(v) {}
+
+  static constexpr Bytes kilo(std::int64_t v) { return Bytes(v * 1000); }
+  static constexpr Bytes kibi(std::int64_t v) { return Bytes(v * 1024); }
+  static constexpr Bytes mega(std::int64_t v) { return Bytes(v * 1'000'000); }
+  static constexpr Bytes mebi(std::int64_t v) { return Bytes(v * 1024 * 1024); }
+
+  constexpr std::int64_t count() const { return v_; }
+  constexpr std::int64_t bits() const { return v_ * 8; }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes(a.v_ + b.v_); }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes(a.v_ - b.v_); }
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) { return Bytes(a.v_ * k); }
+  friend constexpr Bytes operator/(Bytes a, std::int64_t k) { return Bytes(a.v_ / k); }
+  constexpr Bytes& operator+=(Bytes o) { v_ += o.v_; return *this; }
+  constexpr Bytes& operator-=(Bytes o) { v_ -= o.v_; return *this; }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Bytes b);
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+/// Data rate in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  constexpr explicit DataRate(std::int64_t bps) : bps_(bps) {}
+
+  static constexpr DataRate bps(std::int64_t v) { return DataRate(v); }
+  static constexpr DataRate kbps(std::int64_t v) { return DataRate(v * 1000); }
+  static constexpr DataRate mbps(std::int64_t v) { return DataRate(v * 1'000'000); }
+  static constexpr DataRate gbps(std::int64_t v) { return DataRate(v * 1'000'000'000); }
+
+  constexpr std::int64_t bits_per_sec() const { return bps_; }
+  constexpr double mbps_f() const { return static_cast<double>(bps_) / 1e6; }
+  constexpr double gbps_f() const { return static_cast<double>(bps_) / 1e9; }
+  constexpr bool is_zero() const { return bps_ == 0; }
+
+  /// Time to serialise `b` bytes at this rate. Rounds up to whole ns so a
+  /// non-empty packet never serialises in zero time.
+  constexpr Duration transmit_time(Bytes b) const {
+    if (bps_ <= 0) return Duration::seconds(3600);  // effectively "never"
+    const std::int64_t bits = b.bits();
+    const std::int64_t ns = (bits * 1'000'000'000 + bps_ - 1) / bps_;
+    return Duration(ns);
+  }
+
+  /// Bytes that can be sent over `d` at this rate. Computed in double to
+  /// avoid overflow for large rate*duration products.
+  constexpr Bytes bytes_in(Duration d) const {
+    return Bytes(static_cast<std::int64_t>(static_cast<double>(bps_) / 8.0 * d.sec()));
+  }
+
+  friend constexpr DataRate operator*(DataRate r, double k) {
+    return DataRate(static_cast<std::int64_t>(static_cast<double>(r.bps_) * k));
+  }
+  friend constexpr auto operator<=>(DataRate, DataRate) = default;
+
+  /// Rate implied by sending `b` bytes over duration `d`.
+  static constexpr DataRate from(Bytes b, Duration d) {
+    if (d.ns() <= 0) return DataRate(INT64_MAX);
+    return DataRate(b.bits() * 1'000'000'000 / d.ns());
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, DataRate r);
+
+ private:
+  std::int64_t bps_ = 0;
+};
+
+}  // namespace stob

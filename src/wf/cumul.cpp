@@ -1,0 +1,146 @@
+#include "wf/cumul.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace stob::wf {
+
+std::vector<double> cumul_features(const Trace& trace, std::size_t n_points) {
+  std::vector<double> out;
+  out.reserve(4 + n_points);
+  out.push_back(static_cast<double>(trace.incoming_count()));
+  out.push_back(static_cast<double>(trace.outgoing_count()));
+  out.push_back(static_cast<double>(trace.incoming_bytes()));
+  out.push_back(static_cast<double>(trace.outgoing_bytes()));
+
+  // Cumulative signed-size curve (incoming positive, per CUMUL convention).
+  std::vector<double> curve;
+  curve.reserve(trace.size() + 1);
+  double acc = 0.0;
+  curve.push_back(0.0);
+  for (const PacketRecord& p : trace.packets()) {
+    acc += p.direction < 0 ? static_cast<double>(p.size) : -static_cast<double>(p.size);
+    curve.push_back(acc);
+  }
+
+  // Linear resampling at n equidistant positions along the curve.
+  for (std::size_t i = 0; i < n_points; ++i) {
+    if (curve.size() < 2) {
+      out.push_back(0.0);
+      continue;
+    }
+    const double pos = static_cast<double>(i) /
+                       static_cast<double>(n_points - 1) *
+                       static_cast<double>(curve.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, curve.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out.push_back(curve[lo] * (1.0 - frac) + curve[hi] * frac);
+  }
+  return out;
+}
+
+void KnnClassifier::fit(const std::vector<std::vector<double>>& rows,
+                        const std::vector<int>& labels) {
+  if (rows.empty() || rows.size() != labels.size()) {
+    throw std::invalid_argument("KnnClassifier::fit: bad input");
+  }
+  const std::size_t dims = rows[0].size();
+  mean_.assign(dims, 0.0);
+  scale_.assign(dims, 1.0);
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::vector<double> col;
+    col.reserve(rows.size());
+    for (const auto& r : rows) col.push_back(r[d]);
+    mean_[d] = stats::mean(col);
+    const double sd = stats::stddev(col);
+    scale_[d] = sd > 1e-12 ? sd : 1.0;
+  }
+  rows_.clear();
+  rows_.reserve(rows.size());
+  for (const auto& r : rows) rows_.push_back(standardize(r));
+  labels_ = labels;
+  num_classes_ = *std::max_element(labels.begin(), labels.end()) + 1;
+}
+
+std::vector<double> KnnClassifier::standardize(std::span<const double> x) const {
+  std::vector<double> out(x.size());
+  for (std::size_t d = 0; d < x.size(); ++d) out[d] = (x[d] - mean_[d]) / scale_[d];
+  return out;
+}
+
+int KnnClassifier::predict(std::span<const double> x) const {
+  if (rows_.empty()) throw std::logic_error("KnnClassifier::predict before fit");
+  const std::vector<double> q = standardize(x);
+  std::vector<std::pair<double, int>> dists;
+  dists.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < q.size(); ++d) {
+      const double diff = rows_[i][d] - q[d];
+      d2 += diff * diff;
+    }
+    dists.emplace_back(d2, labels_[i]);
+  }
+  const std::size_t k = std::min(k_, dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k), dists.end());
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (std::size_t i = 0; i < k; ++i) votes[static_cast<std::size_t>(dists[i].second)] += 1;
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+EvalResult cumul_cross_validate(const Dataset& data, std::size_t k_neighbors,
+                                std::size_t n_points, std::size_t folds, std::uint64_t seed) {
+  if (data.size() == 0) throw std::invalid_argument("cumul_cross_validate: empty dataset");
+  if (folds < 2) throw std::invalid_argument("cumul_cross_validate: need >= 2 folds");
+  std::vector<std::vector<double>> rows;
+  rows.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    rows.push_back(cumul_features(data.trace(i), n_points));
+  }
+  const std::vector<int>& labels = data.labels();
+  const int num_classes = *std::max_element(labels.begin(), labels.end()) + 1;
+
+  std::vector<std::size_t> fold_of(rows.size());
+  Rng rng(seed);
+  for (int cls = 0; cls < num_classes; ++cls) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == cls) idx.push_back(i);
+    }
+    std::shuffle(idx.begin(), idx.end(), rng);
+    for (std::size_t j = 0; j < idx.size(); ++j) fold_of[idx[j]] = j % folds;
+  }
+
+  EvalResult result;
+  result.confusion = ConfusionMatrix(static_cast<std::size_t>(num_classes));
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<std::vector<double>> train_rows;
+    std::vector<int> train_labels;
+    std::vector<std::size_t> test_idx;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (fold_of[i] == f) {
+        test_idx.push_back(i);
+      } else {
+        train_rows.push_back(rows[i]);
+        train_labels.push_back(labels[i]);
+      }
+    }
+    if (test_idx.empty() || train_rows.empty()) continue;
+    KnnClassifier clf(k_neighbors);
+    clf.fit(train_rows, train_labels);
+    ConfusionMatrix cm(static_cast<std::size_t>(num_classes));
+    for (std::size_t i : test_idx) cm.add(labels[i], clf.predict(rows[i]));
+    result.fold_accuracies.push_back(cm.accuracy());
+    result.confusion.merge(cm);
+  }
+  result.mean_accuracy = stats::mean(result.fold_accuracies);
+  result.std_accuracy = stats::stddev(result.fold_accuracies);
+  return result;
+}
+
+}  // namespace stob::wf

@@ -1,0 +1,52 @@
+// CUMUL website-fingerprinting attack (Panchenko et al., NDSS 2016).
+//
+// Second, independent attack family used to check that defense conclusions
+// are not an artefact of k-FP's feature set. CUMUL summarises a trace by
+// its *cumulative* signed-size curve: incoming bytes add, outgoing bytes
+// subtract, and the curve is resampled at n equidistant points; four volume
+// features are prepended. The original uses an RBF-SVM; we pair the
+// features with a standardised k-nearest-neighbour classifier, which is
+// accurate in this closed-world regime and dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wf/kfp.hpp"
+#include "wf/trace.hpp"
+
+namespace stob::wf {
+
+/// CUMUL feature vector: [count_in, count_out, bytes_in, bytes_out,
+/// curve_0..curve_{n-1}]. Always 4 + n values.
+std::vector<double> cumul_features(const Trace& trace, std::size_t n_points = 100);
+
+/// k-NN classifier with per-feature standardisation (z-scores computed on
+/// the training set) and Euclidean distance.
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5) : k_(k) {}
+
+  void fit(const std::vector<std::vector<double>>& rows, const std::vector<int>& labels);
+  int predict(std::span<const double> x) const;
+  bool trained() const { return !rows_.empty(); }
+
+ private:
+  std::vector<double> standardize(std::span<const double> x) const;
+
+  std::size_t k_;
+  std::vector<std::vector<double>> rows_;  // standardized training rows
+  std::vector<int> labels_;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  int num_classes_ = 0;
+};
+
+/// Stratified cross-validation of CUMUL+kNN on a dataset; same protocol and
+/// EvalResult shape as the k-FP evaluation so benches can compare attacks.
+EvalResult cumul_cross_validate(const Dataset& data, std::size_t k_neighbors = 5,
+                                std::size_t n_points = 100, std::size_t folds = 5,
+                                std::uint64_t seed = 0x5EEDull);
+
+}  // namespace stob::wf

@@ -1,0 +1,178 @@
+#include "wf/decision_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace stob::wf {
+
+namespace {
+
+double gini(std::span<const double> counts, double total) {
+  if (total <= 0) return 0.0;
+  double acc = 0.0;
+  for (double c : counts) {
+    const double p = c / total;
+    acc += p * p;
+  }
+  return 1.0 - acc;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const TrainView& view, std::span<const std::size_t> indices, Rng& rng) {
+  if (view.num_classes <= 0 || view.rows.empty() || indices.empty()) {
+    throw std::invalid_argument("DecisionTree::fit: empty training data");
+  }
+  num_classes_ = view.num_classes;
+  nodes_.clear();
+  dists_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> idx(indices.begin(), indices.end());
+  build(view, idx, 0, idx.size(), 0, rng);
+}
+
+std::uint32_t DecisionTree::make_leaf(const TrainView& view, std::span<const std::size_t> idx) {
+  Node node;
+  node.feature = -1;
+  node.dist_offset = static_cast<std::uint32_t>(dists_.size());
+  std::vector<double> dist(static_cast<std::size_t>(num_classes_), 0.0);
+  for (std::size_t i : idx) dist[static_cast<std::size_t>(view.labels[i])] += 1.0;
+  const double total = static_cast<double>(idx.size());
+  int best = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    dists_.push_back(dist[static_cast<std::size_t>(c)] / total);
+    if (dist[static_cast<std::size_t>(c)] > dist[static_cast<std::size_t>(best)]) best = c;
+  }
+  node.majority = best;
+  nodes_.push_back(node);
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+std::uint32_t DecisionTree::build(const TrainView& view, std::vector<std::size_t>& idx,
+                                  std::size_t lo, std::size_t hi, int depth, Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = hi - lo;
+  const std::span<const std::size_t> here(idx.data() + lo, n);
+
+  // Purity check.
+  bool pure = true;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (view.labels[here[i]] != view.labels[here[0]]) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= cfg_.max_depth || n < cfg_.min_samples_split) {
+    return make_leaf(view, here);
+  }
+
+  const std::size_t num_features = view.rows[0].size();
+  std::size_t mtry = cfg_.max_features;
+  if (mtry == 0) mtry = static_cast<std::size_t>(std::sqrt(static_cast<double>(num_features)));
+  mtry = std::clamp<std::size_t>(mtry, 1, num_features);
+
+  // Sample `mtry` distinct features (partial Fisher-Yates).
+  std::vector<std::size_t> feats(num_features);
+  std::iota(feats.begin(), feats.end(), 0);
+  for (std::size_t i = 0; i < mtry; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(num_features - 1)));
+    std::swap(feats[i], feats[j]);
+  }
+
+  // Exact best-split search over the sampled features.
+  double best_score = std::numeric_limits<double>::infinity();
+  std::int32_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, int>> vals(n);
+  std::vector<double> left_counts(static_cast<std::size_t>(num_classes_));
+  std::vector<double> right_counts(static_cast<std::size_t>(num_classes_));
+
+  for (std::size_t fi = 0; fi < mtry; ++fi) {
+    const std::size_t f = feats[fi];
+    for (std::size_t i = 0; i < n; ++i) {
+      vals[i] = {view.rows[here[i]][f], view.labels[here[i]]};
+    }
+    std::sort(vals.begin(), vals.end());
+    if (vals.front().first == vals.back().first) continue;  // constant feature
+
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    std::fill(right_counts.begin(), right_counts.end(), 0.0);
+    for (const auto& [v, c] : vals) right_counts[static_cast<std::size_t>(c)] += 1.0;
+
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const auto c = static_cast<std::size_t>(vals[i].second);
+      left_counts[c] += 1.0;
+      right_counts[c] -= 1.0;
+      if (vals[i].first == vals[i + 1].first) continue;  // not a valid cut
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      if (nl < cfg_.min_samples_leaf || nr < cfg_.min_samples_leaf) continue;
+      const double score = (static_cast<double>(nl) * gini(left_counts, static_cast<double>(nl)) +
+                            static_cast<double>(nr) * gini(right_counts, static_cast<double>(nr))) /
+                           static_cast<double>(n);
+      if (score < best_score) {
+        best_score = score;
+        best_feature = static_cast<std::int32_t>(f);
+        best_threshold = (vals[i].first + vals[i + 1].first) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf(view, here);
+
+  // Partition indices in place: <= threshold to the left.
+  const auto mid_it = std::partition(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                                     idx.begin() + static_cast<std::ptrdiff_t>(hi),
+                                     [&](std::size_t i) {
+                                       return view.rows[i][static_cast<std::size_t>(
+                                                  best_feature)] <= best_threshold;
+                                     });
+  const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == lo || mid == hi) return make_leaf(view, here);  // degenerate partition
+
+  const auto node_index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  const std::uint32_t left = build(view, idx, lo, mid, depth + 1, rng);
+  const std::uint32_t right = build(view, idx, mid, hi, depth + 1, rng);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+const DecisionTree::Node& DecisionTree::descend(std::span<const double> x) const {
+  assert(!nodes_.empty());
+  std::uint32_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& nd = nodes_[cur];
+    cur = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes_[cur];
+}
+
+int DecisionTree::predict(std::span<const double> x) const { return descend(x).majority; }
+
+std::vector<double> DecisionTree::predict_proba(std::span<const double> x) const {
+  const Node& leaf = descend(x);
+  return std::vector<double>(
+      dists_.begin() + leaf.dist_offset,
+      dists_.begin() + leaf.dist_offset + static_cast<std::uint32_t>(num_classes_));
+}
+
+std::uint32_t DecisionTree::leaf_id(std::span<const double> x) const {
+  std::uint32_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& nd = nodes_[cur];
+    cur = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+  return cur;
+}
+
+}  // namespace stob::wf

@@ -1,0 +1,76 @@
+// CART decision tree for classification (Gini impurity, exact threshold
+// search over sorted feature values, per-node random feature subsampling as
+// used inside random forests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stob::wf {
+
+/// Row-major dataset view: rows[i] is a feature vector, labels[i] its class
+/// (0..num_classes-1).
+struct TrainView {
+  std::span<const std::vector<double>> rows;
+  std::span<const int> labels;
+  int num_classes = 0;
+};
+
+class DecisionTree {
+ public:
+  struct Config {
+    int max_depth = 32;
+    std::size_t min_samples_split = 2;
+    std::size_t min_samples_leaf = 1;
+    /// Features examined per split; 0 = floor(sqrt(F)) (forest default).
+    std::size_t max_features = 0;
+  };
+
+  DecisionTree() : DecisionTree(Config{}) {}
+  explicit DecisionTree(Config cfg) : cfg_(cfg) {}
+
+  /// Fit on the (optionally bootstrapped) index subset of `view`.
+  void fit(const TrainView& view, std::span<const std::size_t> indices, Rng& rng);
+
+  /// Predicted class for one feature vector.
+  int predict(std::span<const double> x) const;
+
+  /// Per-class probability estimate (leaf class distribution).
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  /// Id of the leaf the sample lands in (k-FP uses leaf co-occurrence as a
+  /// similarity measure).
+  std::uint32_t leaf_id(std::span<const double> x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+  bool trained() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    // Internal nodes: feature/threshold and child links. Leaves: class
+    // distribution offset.
+    std::int32_t feature = -1;       // -1 marks a leaf
+    double threshold = 0.0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::int32_t majority = 0;       // cached argmax of the distribution
+    std::uint32_t dist_offset = 0;   // into dists_ (leaves only)
+  };
+
+  std::uint32_t build(const TrainView& view, std::vector<std::size_t>& idx, std::size_t lo,
+                      std::size_t hi, int depth, Rng& rng);
+  std::uint32_t make_leaf(const TrainView& view, std::span<const std::size_t> idx);
+  const Node& descend(std::span<const double> x) const;
+
+  Config cfg_;
+  int num_classes_ = 0;
+  int depth_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> dists_;  // flattened per-leaf class distributions
+};
+
+}  // namespace stob::wf

@@ -1,0 +1,268 @@
+#include "wf/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace stob::wf {
+
+namespace {
+
+/// Helper collecting (name, value) pairs so names and values never drift.
+class FeatureBuilder {
+ public:
+  explicit FeatureBuilder(std::vector<double>* out) : out_(out) {}
+
+  void add(const std::string& name, double value) {
+    if (out_ != nullptr) out_->push_back(std::isfinite(value) ? value : 0.0);
+    if (names_ != nullptr) names_->push_back(name);
+  }
+
+  /// Summary-statistic bundle over a value list.
+  void add_stats(const std::string& prefix, std::span<const double> xs) {
+    add(prefix + "_mean", stats::mean(xs));
+    add(prefix + "_std", stats::stddev(xs));
+    add(prefix + "_min", stats::min(xs));
+    add(prefix + "_max", stats::max(xs));
+    add(prefix + "_median", stats::median(xs));
+    add(prefix + "_p75", stats::percentile(xs, 75.0));
+  }
+
+  void collect_names(std::vector<std::string>* names) { names_ = names; }
+
+ private:
+  std::vector<double>* out_;
+  std::vector<std::string>* names_ = nullptr;
+};
+
+/// The single implementation walked both for names and values.
+void build(const Trace& trace, FeatureBuilder& fb) {
+  const auto& pkts = trace.packets();
+  const double n = static_cast<double>(pkts.size());
+
+  std::vector<double> in_times, out_times, all_times;
+  std::vector<double> in_sizes, out_sizes;
+  for (const PacketRecord& p : pkts) {
+    all_times.push_back(p.time);
+    if (p.direction > 0) {
+      out_times.push_back(p.time);
+      out_sizes.push_back(static_cast<double>(p.size));
+    } else {
+      in_times.push_back(p.time);
+      in_sizes.push_back(static_cast<double>(p.size));
+    }
+  }
+
+  // ---- 1. Counts and fractions.
+  fb.add("count_total", n);
+  fb.add("count_in", static_cast<double>(in_times.size()));
+  fb.add("count_out", static_cast<double>(out_times.size()));
+  fb.add("frac_in", n > 0 ? static_cast<double>(in_times.size()) / n : 0.0);
+  fb.add("frac_out", n > 0 ? static_cast<double>(out_times.size()) / n : 0.0);
+
+  // ---- 2. First/last 30 packet composition.
+  const std::size_t head = std::min<std::size_t>(30, pkts.size());
+  double head_in = 0, head_out = 0;
+  for (std::size_t i = 0; i < head; ++i) (pkts[i].direction > 0 ? head_out : head_in) += 1;
+  fb.add("first30_in", head_in);
+  fb.add("first30_out", head_out);
+  double tail_in = 0, tail_out = 0;
+  for (std::size_t i = pkts.size() >= 30 ? pkts.size() - 30 : 0; i < pkts.size(); ++i) {
+    (pkts[i].direction > 0 ? tail_out : tail_in) += 1;
+  }
+  fb.add("last30_in", tail_in);
+  fb.add("last30_out", tail_out);
+
+  // ---- 3. Packet ordering: for the i-th outgoing (resp. incoming) packet,
+  // its absolute position in the trace.
+  std::vector<double> out_positions, in_positions;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    (pkts[i].direction > 0 ? out_positions : in_positions).push_back(static_cast<double>(i));
+  }
+  fb.add("order_out_mean", stats::mean(out_positions));
+  fb.add("order_out_std", stats::stddev(out_positions));
+  fb.add("order_in_mean", stats::mean(in_positions));
+  fb.add("order_in_std", stats::stddev(in_positions));
+
+  // ---- 4. Concentration of outgoing packets (chunks of 20 packets).
+  std::vector<double> conc;
+  for (std::size_t base = 0; base < pkts.size(); base += 20) {
+    double c = 0;
+    for (std::size_t i = base; i < std::min(base + 20, pkts.size()); ++i) {
+      if (pkts[i].direction > 0) c += 1;
+    }
+    conc.push_back(c);
+  }
+  fb.add_stats("conc20_out", conc);
+  fb.add("conc20_out_sum", stats::sum(conc));
+
+  // Alternative concentration: chunks of 30, decimated (k-FP's "alternative
+  // concentration" keeps every other chunk to reduce dimensionality).
+  std::vector<double> conc30;
+  for (std::size_t base = 0; base < pkts.size(); base += 30) {
+    double c = 0;
+    for (std::size_t i = base; i < std::min(base + 30, pkts.size()); ++i) {
+      if (pkts[i].direction > 0) c += 1;
+    }
+    conc30.push_back(c);
+  }
+  std::vector<double> conc30_alt;
+  for (std::size_t i = 0; i < conc30.size(); i += 2) conc30_alt.push_back(conc30[i]);
+  fb.add_stats("conc30alt_out", conc30_alt);
+
+  // ---- 5. Bursts: maximal runs of consecutive outgoing packets.
+  std::vector<double> bursts;
+  double run = 0;
+  for (const PacketRecord& p : pkts) {
+    if (p.direction > 0) {
+      run += 1;
+    } else if (run > 0) {
+      bursts.push_back(run);
+      run = 0;
+    }
+  }
+  if (run > 0) bursts.push_back(run);
+  fb.add("burst_count", static_cast<double>(bursts.size()));
+  fb.add_stats("burst_len", bursts);
+  fb.add("burst_gt5", static_cast<double>(std::count_if(
+                          bursts.begin(), bursts.end(), [](double b) { return b > 5; })));
+  fb.add("burst_gt10", static_cast<double>(std::count_if(
+                           bursts.begin(), bursts.end(), [](double b) { return b > 10; })));
+  fb.add("burst_gt15", static_cast<double>(std::count_if(
+                           bursts.begin(), bursts.end(), [](double b) { return b > 15; })));
+
+  // Incoming bursts as well (download trains are site-specific).
+  std::vector<double> in_bursts;
+  run = 0;
+  for (const PacketRecord& p : pkts) {
+    if (p.direction < 0) {
+      run += 1;
+    } else if (run > 0) {
+      in_bursts.push_back(run);
+      run = 0;
+    }
+  }
+  if (run > 0) in_bursts.push_back(run);
+  fb.add("in_burst_count", static_cast<double>(in_bursts.size()));
+  fb.add_stats("in_burst_len", in_bursts);
+
+  // ---- 6. Inter-arrival times: total / in / out.
+  auto gaps = [](const std::vector<double>& ts) {
+    std::vector<double> g;
+    for (std::size_t i = 1; i < ts.size(); ++i) g.push_back(ts[i] - ts[i - 1]);
+    return g;
+  };
+  const std::vector<double> gap_all = gaps(all_times);
+  const std::vector<double> gap_in = gaps(in_times);
+  const std::vector<double> gap_out = gaps(out_times);
+  fb.add_stats("iat_all", gap_all);
+  fb.add_stats("iat_in", gap_in);
+  fb.add_stats("iat_out", gap_out);
+
+  // First-20-gap statistics (early-connection behaviour, relevant to the
+  // censorship setting where only a prefix is observed).
+  std::vector<double> gap_head(gap_all.begin(),
+                               gap_all.begin() + std::min<std::size_t>(20, gap_all.size()));
+  fb.add_stats("iat_first20", gap_head);
+
+  // ---- 7. Transmission time quantiles.
+  fb.add("time_total", trace.duration());
+  fb.add("time_q25_all", stats::percentile(all_times, 25.0));
+  fb.add("time_q50_all", stats::percentile(all_times, 50.0));
+  fb.add("time_q75_all", stats::percentile(all_times, 75.0));
+  fb.add("time_q25_in", stats::percentile(in_times, 25.0));
+  fb.add("time_q50_in", stats::percentile(in_times, 50.0));
+  fb.add("time_q75_in", stats::percentile(in_times, 75.0));
+  fb.add("time_q25_out", stats::percentile(out_times, 25.0));
+  fb.add("time_q50_out", stats::percentile(out_times, 50.0));
+  fb.add("time_q75_out", stats::percentile(out_times, 75.0));
+
+  // ---- 8. Packets per second.
+  std::vector<double> pps;
+  if (!all_times.empty()) {
+    const auto seconds = static_cast<std::size_t>(all_times.back()) + 1;
+    pps.assign(std::min<std::size_t>(seconds, 120), 0.0);  // cap at 2 minutes
+    for (double t : all_times) {
+      const auto s = static_cast<std::size_t>(t);
+      if (s < pps.size()) pps[s] += 1.0;
+    }
+  }
+  fb.add_stats("pps", pps);
+  fb.add("pps_sum", stats::sum(pps));
+
+  // ---- 9. Volume (sizes are visible to the adversary even under TLS).
+  fb.add("bytes_total", static_cast<double>(trace.total_bytes()));
+  fb.add("bytes_in", static_cast<double>(trace.incoming_bytes()));
+  fb.add("bytes_out", static_cast<double>(trace.outgoing_bytes()));
+  fb.add_stats("size_in", in_sizes);
+  fb.add_stats("size_out", out_sizes);
+
+  // Size histogram coarse shape: share of incoming packets in size bands.
+  double in_small = 0, in_mid = 0, in_full = 0;
+  for (double s : in_sizes) {
+    if (s < 600) {
+      in_small += 1;
+    } else if (s < 1400) {
+      in_mid += 1;
+    } else {
+      in_full += 1;
+    }
+  }
+  const double in_n = std::max<double>(1.0, static_cast<double>(in_sizes.size()));
+  fb.add("in_size_frac_small", in_small / in_n);
+  fb.add("in_size_frac_mid", in_mid / in_n);
+  fb.add("in_size_frac_full", in_full / in_n);
+
+  // ---- 10. Cumulative byte milestones: time to reach fractions of the
+  // total download (robust early-trace features).
+  const double total_in_bytes = static_cast<double>(trace.incoming_bytes());
+  for (double frac : {0.25, 0.5, 0.75}) {
+    double reached = 0.0;
+    double acc = 0.0;
+    for (const PacketRecord& p : pkts) {
+      if (p.direction < 0) {
+        acc += static_cast<double>(p.size);
+        if (total_in_bytes > 0 && acc >= frac * total_in_bytes) {
+          reached = p.time;
+          break;
+        }
+      }
+    }
+    fb.add("time_to_in_frac_" + std::to_string(static_cast<int>(frac * 100)), reached);
+  }
+}
+
+std::vector<std::string> compute_names() {
+  std::vector<std::string> names;
+  FeatureBuilder fb(nullptr);
+  fb.collect_names(&names);
+  build(Trace{}, fb);
+  return names;
+}
+
+}  // namespace
+
+const std::vector<std::string>& kfp_feature_names() {
+  static const std::vector<std::string> names = compute_names();
+  return names;
+}
+
+std::size_t kfp_feature_count() { return kfp_feature_names().size(); }
+
+std::vector<double> kfp_features(const Trace& trace) {
+  std::vector<double> out;
+  out.reserve(kfp_feature_count());
+  FeatureBuilder fb(&out);
+  build(trace, fb);
+  return out;
+}
+
+std::vector<std::vector<double>> kfp_features(const Dataset& dataset) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) rows.push_back(kfp_features(dataset.trace(i)));
+  return rows;
+}
+
+}  // namespace stob::wf

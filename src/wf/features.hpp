@@ -1,0 +1,34 @@
+// k-FP feature extraction (Hayes & Danezis, "k-fingerprinting: A Robust
+// Scalable Website Fingerprinting Technique", USENIX Security 2016).
+//
+// The extractor reproduces the k-FP feature families on (time, direction,
+// size) traces: packet counts and fractions, first/last-30 composition,
+// packet ordering statistics, outgoing-packet concentration, burst
+// behaviour, inter-arrival statistics, transmission-time quantiles,
+// packets-per-second statistics, and byte-volume statistics. The exact
+// feature list is fixed and named so that models are interpretable and
+// datasets are comparable across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wf/trace.hpp"
+
+namespace stob::wf {
+
+/// Number of features produced by kfp_features().
+std::size_t kfp_feature_count();
+
+/// Human-readable names, index-aligned with kfp_features() output.
+const std::vector<std::string>& kfp_feature_names();
+
+/// Extract the k-FP feature vector from a trace. Always returns exactly
+/// kfp_feature_count() values; degenerate traces (empty, single packet)
+/// yield zeros for undefined statistics.
+std::vector<double> kfp_features(const Trace& trace);
+
+/// Extract features for every trace of a dataset (row-major).
+std::vector<std::vector<double>> kfp_features(const Dataset& dataset);
+
+}  // namespace stob::wf

@@ -1,0 +1,140 @@
+#include "wf/kfp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace stob::wf {
+
+void KFingerprint::fit(const Dataset& train) {
+  fit(kfp_features(train), train.labels());
+}
+
+void KFingerprint::fit(const std::vector<std::vector<double>>& rows,
+                       const std::vector<int>& labels) {
+  if (rows.size() != labels.size() || rows.empty()) {
+    throw std::invalid_argument("KFingerprint::fit: rows/labels mismatch or empty");
+  }
+  num_classes_ = *std::max_element(labels.begin(), labels.end()) + 1;
+  TrainView view{rows, labels, num_classes_};
+  forest_ = RandomForest(cfg_.forest);
+  forest_.fit(view);
+  train_leaves_.clear();
+  train_labels_.clear();
+  if (cfg_.use_knn) {
+    train_leaves_.reserve(rows.size());
+    for (const auto& r : rows) train_leaves_.push_back(forest_.leaf_vector(r));
+    train_labels_ = labels;
+  }
+}
+
+int KFingerprint::predict(const Trace& trace) const { return predict(kfp_features(trace)); }
+
+int KFingerprint::predict(std::span<const double> features) const {
+  if (!forest_.trained()) throw std::logic_error("KFingerprint::predict before fit");
+  return cfg_.use_knn ? knn_predict(features) : forest_.predict(features);
+}
+
+int KFingerprint::knn_predict(std::span<const double> features) const {
+  const std::vector<std::uint32_t> q = forest_.leaf_vector(features);
+  // Hamming similarity: count of trees agreeing on the leaf.
+  std::vector<std::pair<int, int>> scored;  // (matches, label)
+  scored.reserve(train_leaves_.size());
+  for (std::size_t i = 0; i < train_leaves_.size(); ++i) {
+    int matches = 0;
+    const auto& t = train_leaves_[i];
+    for (std::size_t j = 0; j < q.size(); ++j) matches += (t[j] == q[j]);
+    scored.emplace_back(matches, train_labels_[i]);
+  }
+  const std::size_t k = std::min(cfg_.k_neighbors, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                    scored.end(), [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::map<int, int> votes;
+  for (std::size_t i = 0; i < k; ++i) votes[scored[i].second] += 1;
+  return std::max_element(votes.begin(), votes.end(), [](const auto& a, const auto& b) {
+           return a.second < b.second;
+         })->first;
+}
+
+// --------------------------------------------------------- ConfusionMatrix
+
+double ConfusionMatrix::accuracy() const {
+  std::uint64_t correct = 0, total = 0;
+  for (std::size_t t = 0; t < classes_; ++t) {
+    for (std::size_t p = 0; p < classes_; ++p) {
+      const std::uint64_t c = counts_[t * classes_ + p];
+      total += c;
+      if (t == p) correct += c;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.classes_ != classes_) throw std::invalid_argument("confusion: shape mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+// ----------------------------------------------------------- cross_validate
+
+EvalResult cross_validate(const Dataset& data, const KFingerprint::Config& cfg,
+                          std::size_t folds, std::uint64_t seed) {
+  return cross_validate(kfp_features(data), data.labels(), cfg, folds, seed);
+}
+
+EvalResult cross_validate(const std::vector<std::vector<double>>& rows,
+                          const std::vector<int>& labels, const KFingerprint::Config& cfg,
+                          std::size_t folds, std::uint64_t seed) {
+  if (rows.size() != labels.size() || rows.empty()) {
+    throw std::invalid_argument("cross_validate: rows/labels mismatch or empty");
+  }
+  if (folds < 2) throw std::invalid_argument("cross_validate: need >= 2 folds");
+  const int num_classes = *std::max_element(labels.begin(), labels.end()) + 1;
+
+  // Stratified fold assignment: shuffle within each class, deal round-robin.
+  std::vector<std::size_t> fold_of(rows.size());
+  Rng rng(seed);
+  for (int cls = 0; cls < num_classes; ++cls) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == cls) idx.push_back(i);
+    }
+    std::shuffle(idx.begin(), idx.end(), rng);
+    for (std::size_t j = 0; j < idx.size(); ++j) fold_of[idx[j]] = j % folds;
+  }
+
+  EvalResult result;
+  result.confusion = ConfusionMatrix(static_cast<std::size_t>(num_classes));
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<std::vector<double>> train_rows;
+    std::vector<int> train_labels;
+    std::vector<std::size_t> test_idx;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (fold_of[i] == f) {
+        test_idx.push_back(i);
+      } else {
+        train_rows.push_back(rows[i]);
+        train_labels.push_back(labels[i]);
+      }
+    }
+    if (test_idx.empty() || train_rows.empty()) continue;
+
+    KFingerprint::Config fold_cfg = cfg;
+    fold_cfg.forest.seed = seed ^ (0x9E3779B97F4A7C15ull * (f + 1));
+    KFingerprint clf(fold_cfg);
+    clf.fit(train_rows, train_labels);
+
+    ConfusionMatrix cm(static_cast<std::size_t>(num_classes));
+    for (std::size_t i : test_idx) cm.add(labels[i], clf.predict(rows[i]));
+    result.fold_accuracies.push_back(cm.accuracy());
+    result.confusion.merge(cm);
+  }
+  result.mean_accuracy = stats::mean(result.fold_accuracies);
+  result.std_accuracy = stats::stddev(result.fold_accuracies);
+  return result;
+}
+
+}  // namespace stob::wf

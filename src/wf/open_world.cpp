@@ -1,0 +1,134 @@
+#include "wf/open_world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "wf/features.hpp"
+
+namespace stob::wf {
+
+namespace {
+
+/// Split indices of one class into train/test deterministically.
+void split_indices(std::size_t count, double train_fraction, Rng& rng,
+                   std::vector<std::size_t>& order, std::size_t& train_count) {
+  order.resize(count);
+  for (std::size_t i = 0; i < count; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng);
+  train_count = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                             train_fraction * static_cast<double>(count)));
+}
+
+}  // namespace
+
+OpenWorldResult open_world_evaluate(const Dataset& monitored, const Dataset& background,
+                                    const OpenWorldConfig& cfg) {
+  if (monitored.size() == 0 || background.size() == 0) {
+    throw std::invalid_argument("open_world_evaluate: need monitored and background data");
+  }
+  const int num_monitored_classes =
+      *std::max_element(monitored.labels().begin(), monitored.labels().end()) + 1;
+  const int background_label = num_monitored_classes;  // one extra class
+
+  Rng rng(cfg.seed);
+
+  // Per-class stratified split of the monitored set.
+  std::vector<std::vector<double>> train_rows;
+  std::vector<int> train_labels;
+  std::vector<std::size_t> mon_test;
+  for (int cls = 0; cls < num_monitored_classes; ++cls) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < monitored.size(); ++i) {
+      if (monitored.label(i) == cls) idx.push_back(i);
+    }
+    std::shuffle(idx.begin(), idx.end(), rng);
+    const auto train_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg.train_fraction * static_cast<double>(idx.size())));
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      if (j < train_count) {
+        train_rows.push_back(kfp_features(monitored.trace(idx[j])));
+        train_labels.push_back(cls);
+      } else {
+        mon_test.push_back(idx[j]);
+      }
+    }
+  }
+
+  // Background split (labels collapsed to one class).
+  std::vector<std::size_t> bg_order;
+  std::size_t bg_train = 0;
+  split_indices(background.size(), cfg.train_fraction, rng, bg_order, bg_train);
+  std::vector<std::size_t> bg_test;
+  for (std::size_t j = 0; j < bg_order.size(); ++j) {
+    if (j < bg_train) {
+      train_rows.push_back(kfp_features(background.trace(bg_order[j])));
+      train_labels.push_back(background_label);
+    } else {
+      bg_test.push_back(bg_order[j]);
+    }
+  }
+
+  RandomForest forest(cfg.forest);
+  forest.fit({train_rows, train_labels, num_monitored_classes + 1});
+
+  // Fingerprints of the training set for leaf-vector k-NN.
+  std::vector<std::vector<std::uint32_t>> train_leaves;
+  train_leaves.reserve(train_rows.size());
+  for (const auto& r : train_rows) train_leaves.push_back(forest.leaf_vector(r));
+
+  // k-FP rule: monitored verdict only on unanimous k nearest fingerprints.
+  auto classify = [&](const Trace& trace) -> int {
+    const std::vector<std::uint32_t> q = forest.leaf_vector(kfp_features(trace));
+    std::vector<std::pair<int, int>> scored;  // (matches, label)
+    scored.reserve(train_leaves.size());
+    for (std::size_t i = 0; i < train_leaves.size(); ++i) {
+      int matches = 0;
+      for (std::size_t t = 0; t < q.size(); ++t) matches += (train_leaves[i][t] == q[t]);
+      scored.emplace_back(matches, train_labels[i]);
+    }
+    const std::size_t k = std::min(cfg.k_neighbors, scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                      scored.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+    const int first = scored[0].second;
+    if (first == background_label) return background_label;
+    for (std::size_t i = 1; i < k; ++i) {
+      if (scored[i].second != first) return background_label;  // not unanimous
+    }
+    return first;
+  };
+
+  OpenWorldResult out;
+  out.monitored_tested = mon_test.size();
+  out.background_tested = bg_test.size();
+
+  std::size_t true_pos = 0, correct_site = 0;
+  for (std::size_t i : mon_test) {
+    const int pred = classify(monitored.trace(i));
+    if (pred != background_label) {
+      ++true_pos;
+      if (pred == monitored.label(i)) ++correct_site;
+    }
+  }
+  std::size_t false_pos = 0;
+  for (std::size_t i : bg_test) {
+    if (classify(background.trace(i)) != background_label) ++false_pos;
+  }
+
+  if (!mon_test.empty()) {
+    out.tpr = static_cast<double>(true_pos) / static_cast<double>(mon_test.size());
+  }
+  if (!bg_test.empty()) {
+    out.fpr = static_cast<double>(false_pos) / static_cast<double>(bg_test.size());
+  }
+  if (true_pos + false_pos > 0) {
+    out.precision = static_cast<double>(true_pos) / static_cast<double>(true_pos + false_pos);
+  }
+  if (true_pos > 0) {
+    out.monitored_accuracy = static_cast<double>(correct_site) / static_cast<double>(true_pos);
+  }
+  return out;
+}
+
+}  // namespace stob::wf

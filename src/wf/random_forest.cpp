@@ -1,0 +1,49 @@
+#include "wf/random_forest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stob::wf {
+
+void RandomForest::fit(const TrainView& view) {
+  if (view.rows.empty()) throw std::invalid_argument("RandomForest::fit: empty data");
+  num_classes_ = view.num_classes;
+  trees_.assign(cfg_.num_trees, DecisionTree(cfg_.tree));
+  Rng rng(cfg_.seed);
+  const auto n = view.rows.size();
+  const auto sample_n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg_.bootstrap_fraction * static_cast<double>(n)));
+  std::vector<std::size_t> indices(sample_n);
+  for (DecisionTree& tree : trees_) {
+    Rng tree_rng = rng.fork();
+    for (std::size_t& i : indices) {
+      i = static_cast<std::size_t>(tree_rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    tree.fit(view, indices, tree_rng);
+  }
+}
+
+int RandomForest::predict(std::span<const double> x) const {
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (const DecisionTree& tree : trees_) votes[static_cast<std::size_t>(tree.predict(x))] += 1;
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+std::vector<double> RandomForest::predict_proba(std::span<const double> x) const {
+  std::vector<double> acc(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double> p = tree.predict_proba(x);
+    for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+  }
+  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  return acc;
+}
+
+std::vector<std::uint32_t> RandomForest::leaf_vector(std::span<const double> x) const {
+  std::vector<std::uint32_t> leaves;
+  leaves.reserve(trees_.size());
+  for (const DecisionTree& tree : trees_) leaves.push_back(tree.leaf_id(x));
+  return leaves;
+}
+
+}  // namespace stob::wf

@@ -1,0 +1,46 @@
+// Random forest classifier (bagging + per-split feature subsampling), the
+// learner behind k-FP. Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wf/decision_tree.hpp"
+
+namespace stob::wf {
+
+class RandomForest {
+ public:
+  struct Config {
+    std::size_t num_trees = 100;
+    DecisionTree::Config tree;
+    std::uint64_t seed = 0xF0E57ull;
+    /// Bootstrap sample fraction per tree (with replacement).
+    double bootstrap_fraction = 1.0;
+  };
+
+  RandomForest() : RandomForest(Config{}) {}
+  explicit RandomForest(Config cfg) : cfg_(cfg) {}
+
+  void fit(const TrainView& view);
+
+  /// Majority vote across trees.
+  int predict(std::span<const double> x) const;
+
+  /// Mean per-class probability across trees.
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  /// Leaf-id vector (one entry per tree); k-FP's fingerprint of a sample.
+  std::vector<std::uint32_t> leaf_vector(std::span<const double> x) const;
+
+  std::size_t tree_count() const { return trees_.size(); }
+  int num_classes() const { return num_classes_; }
+  bool trained() const { return !trees_.empty(); }
+
+ private:
+  Config cfg_;
+  int num_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace stob::wf

@@ -1,0 +1,61 @@
+#include "workload/bulk.hpp"
+
+#include "tcp/tcp_connection.hpp"
+
+namespace stob::workload {
+
+BulkTransferResult run_bulk_transfer(const BulkTransferOptions& options) {
+  stack::HostPair::Config hp_cfg;
+  hp_cfg.path = net::DuplexPath::symmetric(options.link_rate, options.one_way_delay,
+                                           options.queue_capacity);
+  hp_cfg.client.cpu = options.sender_cpu;
+  stack::HostPair hp(hp_cfg);
+
+  tcp::TcpConnection::Config conn_cfg = options.conn;
+  // Bulk transfers need a deep socket buffer so the sender is never
+  // app-limited; keep topping up below.
+  conn_cfg.send_buffer = Bytes::mebi(64);
+
+  tcp::TcpListener listener(hp.server(), 5201, options.conn);
+  Bytes received;
+  Bytes received_at_warmup;
+  listener.set_accept_callback([&](tcp::TcpConnection& c) {
+    c.on_data = [&received](Bytes n) { received += n; };
+  });
+
+  tcp::TcpConnection sender(hp.client(), conn_cfg);
+  sender.connect(hp.server().id(), 5201);
+  sender.send(Bytes::mebi(64));
+
+  // Keep the send buffer topped up so the flow is never app-limited.
+  std::function<void()> top_up = [&] {
+    if (sender.unsent() < Bytes::mebi(16)) sender.send(Bytes::mebi(16));
+    hp.sim().schedule_after(Duration::millis(1), top_up);
+  };
+  hp.sim().schedule_after(Duration::millis(1), top_up);
+
+  const TimePoint warmup_end = TimePoint::zero() + options.warmup;
+  const TimePoint measure_end = warmup_end + options.measure;
+
+  std::uint64_t wire_at_warmup = 0;
+  std::uint64_t tso_at_warmup = 0;
+  Duration cpu_at_warmup;
+
+  hp.run(warmup_end);
+  received_at_warmup = received;
+  wire_at_warmup = hp.client().nic().wire_packets_sent();
+  tso_at_warmup = hp.client().nic().tso_segments_split();
+  cpu_at_warmup = hp.client().cpu().busy_time();
+
+  hp.run(measure_end);
+
+  BulkTransferResult result;
+  result.goodput = DataRate::from(received - received_at_warmup, options.measure);
+  result.wire_packets = hp.client().nic().wire_packets_sent() - wire_at_warmup;
+  result.tso_segments = hp.client().nic().tso_segments_split() - tso_at_warmup;
+  result.sender_cpu_utilisation =
+      (hp.client().cpu().busy_time() - cpu_at_warmup) / options.measure;
+  return result;
+}
+
+}  // namespace stob::workload

@@ -1,0 +1,34 @@
+// Bulk-transfer workload (iperf3-like), used by the Figure 3 reproduction:
+// one TCP connection saturates a fast link while the sender's CPU model
+// charges per-segment / per-wire-packet / per-byte costs, so throughput
+// degrades as Stob policies shrink TSO and packet sizes.
+#pragma once
+
+#include "core/policy.hpp"
+#include "stack/host_pair.hpp"
+#include "tcp/tcp_connection.hpp"
+
+namespace stob::workload {
+
+struct BulkTransferOptions {
+  DataRate link_rate = DataRate::gbps(100);
+  Duration one_way_delay = Duration::micros(25);  // same-rack servers
+  Bytes queue_capacity = Bytes::mebi(8);          // bottleneck buffer
+  stack::CpuModel::Costs sender_cpu;              // zero = CPU not modelled
+  tcp::TcpConnection::Config conn;                // cca, policy, TSO settings
+  Duration warmup = Duration::millis(20);
+  Duration measure = Duration::millis(50);
+};
+
+struct BulkTransferResult {
+  DataRate goodput;               ///< receiver payload bytes / measure time
+  std::uint64_t wire_packets = 0; ///< packets on the wire during measurement
+  std::uint64_t tso_segments = 0; ///< TSO splits performed
+  double sender_cpu_utilisation = 0.0;  ///< busy fraction of the measure window
+};
+
+/// Run a single-connection bulk transfer and measure steady-state goodput
+/// over the measurement window (after warmup).
+BulkTransferResult run_bulk_transfer(const BulkTransferOptions& options);
+
+}  // namespace stob::workload

@@ -1,0 +1,200 @@
+#include "workload/website.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stob::workload {
+
+std::int64_t PagePlan::total_response_bytes() const {
+  std::int64_t total = html_bytes;
+  for (std::int64_t b : object_bytes) total += b;
+  return total;
+}
+
+PagePlan sample_page(const SiteProfile& p, Rng& rng) {
+  PagePlan plan;
+  plan.parallel_connections = p.parallel_connections;
+  plan.html_bytes = std::max<std::int64_t>(
+      2000, static_cast<std::int64_t>(rng.lognormal(p.html_mu, p.html_sigma)));
+  plan.html_request_bytes =
+      std::max<std::int64_t>(200, static_cast<std::int64_t>(rng.normal(p.request_bytes_mean, 60)));
+  plan.html_think = Duration::seconds_f(rng.exponential(1000.0 / std::max(p.think_ms_mean, 0.1)));
+  plan.tls_response_bytes = std::max<std::int64_t>(
+      1500, static_cast<std::int64_t>(rng.normal(p.tls_response_mean, p.tls_response_sigma)));
+
+  const auto count = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(rng.lognormal(
+             std::log(p.objects_mean), p.objects_sigma))));
+  for (std::int64_t i = 0; i < count; ++i) {
+    std::int64_t size;
+    if (rng.chance(p.large_object_prob)) {
+      size = static_cast<std::int64_t>(rng.lognormal(p.large_object_mu, 0.4));
+    } else {
+      size = static_cast<std::int64_t>(rng.lognormal(p.object_mu, p.object_sigma));
+    }
+    plan.object_bytes.push_back(std::clamp<std::int64_t>(size, 400, 8'000'000));
+    plan.request_bytes.push_back(std::max<std::int64_t>(
+        150, static_cast<std::int64_t>(rng.normal(p.request_bytes_mean, 60))));
+    plan.think_times.push_back(
+        Duration::seconds_f(rng.exponential(1000.0 / std::max(p.think_ms_mean, 0.1))));
+  }
+  return plan;
+}
+
+const std::vector<SiteProfile>& nine_sites() {
+  // Parameters are hand-tuned to give each site a distinct signature in the
+  // dimensions WF exploits (volume, object count, burstiness, RTT) while
+  // staying within realistic web-page statistics.
+  static const std::vector<SiteProfile> sites = [] {
+    std::vector<SiteProfile> v;
+
+    SiteProfile bing;
+    bing.name = "bing.com";
+    bing.html_mu = std::log(90'000.0);
+    bing.objects_mean = 22;
+    bing.object_mu = std::log(18'000.0);
+    bing.object_sigma = 0.8;
+    bing.large_object_prob = 0.10;  // hero image of the day
+    bing.large_object_mu = std::log(400'000.0);
+    bing.parallel_connections = 4;
+    bing.think_ms_mean = 6;
+    bing.base_one_way_delay = Duration::millis(8);
+    bing.tls_response_mean = 4400;
+    bing.request_bytes_mean = 580;
+    bing.server_initial_cwnd = 24;
+    v.push_back(bing);
+
+    SiteProfile github;
+    github.name = "github.com";
+    github.html_mu = std::log(160'000.0);
+    github.objects_mean = 32;
+    github.object_mu = std::log(9'000.0);
+    github.object_sigma = 1.0;
+    github.large_object_prob = 0.06;  // big JS chunks
+    github.large_object_mu = std::log(250'000.0);
+    github.parallel_connections = 6;
+    github.think_ms_mean = 12;
+    github.base_one_way_delay = Duration::millis(14);
+    github.tls_response_mean = 3800;
+    github.request_bytes_mean = 640;
+    github.server_initial_cwnd = 10;
+    v.push_back(github);
+
+    SiteProfile instagram;
+    instagram.name = "instagram.com";
+    instagram.html_mu = std::log(55'000.0);
+    instagram.objects_mean = 58;
+    instagram.object_mu = std::log(35'000.0);  // image thumbnails
+    instagram.object_sigma = 0.7;
+    instagram.large_object_prob = 0.12;
+    instagram.large_object_mu = std::log(600'000.0);
+    instagram.parallel_connections = 6;
+    instagram.think_ms_mean = 9;
+    instagram.base_one_way_delay = Duration::millis(11);
+    instagram.tls_response_mean = 4900;
+    instagram.request_bytes_mean = 710;
+    instagram.server_initial_cwnd = 32;
+    v.push_back(instagram);
+
+    SiteProfile netflix;
+    netflix.name = "netflix.com";
+    netflix.html_mu = std::log(220'000.0);
+    netflix.objects_mean = 14;
+    netflix.object_mu = std::log(90'000.0);  // few, very large JS bundles
+    netflix.object_sigma = 1.1;
+    netflix.large_object_prob = 0.18;
+    netflix.large_object_mu = std::log(1'200'000.0);
+    netflix.parallel_connections = 3;
+    netflix.think_ms_mean = 5;
+    netflix.base_one_way_delay = Duration::millis(7);
+    netflix.tls_response_mean = 5600;
+    netflix.request_bytes_mean = 560;
+    netflix.server_initial_cwnd = 32;
+    v.push_back(netflix);
+
+    SiteProfile office;
+    office.name = "office.com";
+    office.html_mu = std::log(120'000.0);
+    office.objects_mean = 40;
+    office.object_mu = std::log(14'000.0);
+    office.object_sigma = 0.9;
+    office.large_object_prob = 0.05;
+    office.large_object_mu = std::log(300'000.0);
+    office.parallel_connections = 5;
+    office.think_ms_mean = 16;
+    office.base_one_way_delay = Duration::millis(18);
+    office.tls_response_mean = 5200;
+    office.request_bytes_mean = 690;
+    office.server_initial_cwnd = 10;
+    v.push_back(office);
+
+    SiteProfile spotify;
+    spotify.name = "spotify.com";
+    spotify.html_mu = std::log(75'000.0);
+    spotify.objects_mean = 26;
+    spotify.object_mu = std::log(26'000.0);
+    spotify.object_sigma = 0.85;
+    spotify.large_object_prob = 0.09;
+    spotify.large_object_mu = std::log(500'000.0);
+    spotify.parallel_connections = 4;
+    spotify.think_ms_mean = 10;
+    spotify.base_one_way_delay = Duration::millis(12);
+    spotify.tls_response_mean = 4700;
+    spotify.request_bytes_mean = 620;
+    spotify.server_initial_cwnd = 16;
+    v.push_back(spotify);
+
+    SiteProfile whatsapp;
+    whatsapp.name = "whatsapp.net";
+    whatsapp.html_mu = std::log(35'000.0);
+    whatsapp.objects_mean = 8;  // lean landing page
+    whatsapp.object_mu = std::log(12'000.0);
+    whatsapp.object_sigma = 0.8;
+    whatsapp.large_object_prob = 0.04;
+    whatsapp.large_object_mu = std::log(200'000.0);
+    whatsapp.parallel_connections = 2;
+    whatsapp.think_ms_mean = 7;
+    whatsapp.base_one_way_delay = Duration::millis(9);
+    whatsapp.tls_response_mean = 3500;
+    whatsapp.request_bytes_mean = 420;
+    whatsapp.server_initial_cwnd = 10;
+    v.push_back(whatsapp);
+
+    SiteProfile wikipedia;
+    wikipedia.name = "wikipedia.org";
+    wikipedia.html_mu = std::log(70'000.0);  // text-heavy HTML
+    wikipedia.objects_mean = 12;
+    wikipedia.object_mu = std::log(6'000.0);  // small icons/CSS
+    wikipedia.object_sigma = 0.9;
+    wikipedia.large_object_prob = 0.03;
+    wikipedia.large_object_mu = std::log(150'000.0);
+    wikipedia.parallel_connections = 2;
+    wikipedia.think_ms_mean = 4;  // cached text, fast origin
+    wikipedia.base_one_way_delay = Duration::millis(6);
+    wikipedia.tls_response_mean = 3200;
+    wikipedia.request_bytes_mean = 380;
+    wikipedia.server_initial_cwnd = 16;
+    v.push_back(wikipedia);
+
+    SiteProfile youtube;
+    youtube.name = "youtube.com";
+    youtube.html_mu = std::log(480'000.0);  // huge HTML payload
+    youtube.objects_mean = 44;
+    youtube.object_mu = std::log(30'000.0);
+    youtube.object_sigma = 1.0;
+    youtube.large_object_prob = 0.14;  // thumbnails + player JS
+    youtube.large_object_mu = std::log(900'000.0);
+    youtube.parallel_connections = 6;
+    youtube.think_ms_mean = 8;
+    youtube.base_one_way_delay = Duration::millis(10);
+    youtube.tls_response_mean = 4600;
+    youtube.request_bytes_mean = 750;
+    youtube.server_initial_cwnd = 32;
+    v.push_back(youtube);
+
+    return v;
+  }();
+  return sites;
+}
+
+}  // namespace stob::workload

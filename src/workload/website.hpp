@@ -1,0 +1,76 @@
+// Website workload models.
+//
+// The paper's §3 experiment captures 9 popular websites with tcpdump. Real
+// websites are not reachable from this environment, so each site is modelled
+// by a parameterised profile: page structure (HTML size, object count and
+// size distributions), server behaviour (think time), client behaviour
+// (parallel connections) and path characteristics (CDN proximity). The
+// profiles differ in exactly the dimensions WF attacks exploit — download
+// volume, object count, burst structure, timing — which is what makes the
+// closed-world classification task meaningful; per-sample randomness models
+// load variability between visits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace stob::workload {
+
+struct SiteProfile {
+  std::string name;
+
+  // Page structure.
+  double html_mu = 10.0;        ///< lognormal mu of the main HTML bytes
+  double html_sigma = 0.25;
+  double objects_mean = 20.0;   ///< object count ~ round(lognormal)
+  double objects_sigma = 0.20;
+  double object_mu = 9.5;       ///< lognormal mu of object bytes
+  double object_sigma = 0.9;
+  double large_object_prob = 0.05;  ///< chance an object is a large asset
+  double large_object_mu = 12.5;    ///< lognormal mu of large assets
+
+  // Client/server behaviour.
+  int parallel_connections = 4;
+  double think_ms_mean = 8.0;   ///< server think time per request, exponential-ish
+  double request_bytes_mean = 500.0;  ///< URL/cookie sizes differ per site
+
+  /// TLS handshake response (ServerHello + certificate chain). Nearly
+  /// constant per site — chains only change on redeployment — which is why
+  /// the first packets of a connection are already so identifying.
+  double tls_response_mean = 4300.0;
+  double tls_response_sigma = 380.0;
+
+  /// Server initial congestion window, MSS units (CDN-tuned, 10..32).
+  int server_initial_cwnd = 10;
+
+  // Path characteristics (CDN distance).
+  Duration base_one_way_delay = Duration::millis(10);
+  DataRate access_rate = DataRate::mbps(80);
+};
+
+/// One concrete page-load instance sampled from a profile.
+struct PagePlan {
+  std::int64_t html_bytes = 0;
+  std::vector<std::int64_t> object_bytes;
+  std::vector<Duration> think_times;       ///< per object (index-aligned)
+  std::vector<std::int64_t> request_bytes; ///< per object
+  Duration html_think;
+  std::int64_t html_request_bytes = 0;
+  std::int64_t tls_response_bytes = 0;
+  int parallel_connections = 1;
+
+  std::int64_t total_response_bytes() const;
+};
+
+/// Sample a concrete page load from the profile.
+PagePlan sample_page(const SiteProfile& profile, Rng& rng);
+
+/// The nine sites of the paper's §3 dataset (bing, github, instagram,
+/// netflix, office, spotify, whatsapp, wikipedia, youtube), with distinct,
+/// plausible parameterisations.
+const std::vector<SiteProfile>& nine_sites();
+
+}  // namespace stob::workload

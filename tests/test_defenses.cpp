@@ -1,0 +1,322 @@
+// Tests for trace-level defenses: the §3 emulation primitives (split,
+// delay, combined, prefix scoping) and the Table 1 baselines, including the
+// invariants DESIGN.md commits to (byte preservation, monotone timestamps,
+// bounded inflation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "defenses/baselines.hpp"
+#include "defenses/trace_defense.hpp"
+
+namespace stob::defenses {
+namespace {
+
+wf::Trace web_like_trace(std::uint64_t seed = 7, std::size_t packets = 200) {
+  Rng rng(seed);
+  wf::Trace t;
+  double time = 0.0;
+  for (std::size_t i = 0; i < packets; ++i) {
+    const bool outgoing = rng.chance(0.2);
+    const std::int64_t size =
+        outgoing ? rng.uniform_int(100, 700) : rng.uniform_int(400, 1514);
+    t.add(time, outgoing ? +1 : -1, size);
+    time += rng.uniform(0.0005, 0.01);
+  }
+  t.normalize();
+  return t;
+}
+
+// ----------------------------------------------------------- SplitDefense
+
+TEST(SplitDefense, PreservesTotalBytes) {
+  SplitDefense d;
+  Rng rng(1);
+  const wf::Trace original = web_like_trace();
+  const wf::Trace defended = d.apply(original, rng);
+  EXPECT_EQ(defended.total_bytes(), original.total_bytes());
+}
+
+TEST(SplitDefense, SplitsOnlyLargeIncoming) {
+  SplitDefense d;
+  Rng rng(1);
+  wf::Trace t;
+  t.add(0.0, -1, 1500);  // split
+  t.add(0.1, -1, 1000);  // below threshold: kept
+  t.add(0.2, +1, 1500);  // outgoing: kept (server-side deployment)
+  const wf::Trace out = d.apply(t, rng);
+  EXPECT_EQ(out.size(), 4u);
+  std::size_t large_incoming = 0;
+  for (const auto& p : out.packets()) {
+    if (p.direction < 0 && p.size > 1200) ++large_incoming;
+  }
+  EXPECT_EQ(large_incoming, 0u);
+}
+
+TEST(SplitDefense, HalvesRespectMinimumMss) {
+  SplitDefense d;  // threshold 1200 guarantees halves >= 600 > 536
+  Rng rng(1);
+  // All incoming packets above the threshold, so every one is split and
+  // every resulting fragment must respect the 536 B minimum.
+  Rng gen(42);
+  wf::Trace t;
+  for (int i = 0; i < 50; ++i) t.add(0.01 * i, -1, gen.uniform_int(1201, 1514));
+  const wf::Trace out = d.apply(t, rng);
+  EXPECT_EQ(out.size(), 100u);
+  for (const auto& p : out.packets()) EXPECT_GE(p.size, 536);
+}
+
+TEST(SplitDefense, TimestampsMonotone) {
+  SplitDefense d;
+  Rng rng(1);
+  const wf::Trace out = d.apply(web_like_trace(), rng);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out.packets()[i].time, out.packets()[i - 1].time);
+  }
+}
+
+// ----------------------------------------------------------- DelayDefense
+
+TEST(DelayDefense, PreservesPacketMultiset) {
+  DelayDefense d;
+  Rng rng(2);
+  const wf::Trace original = web_like_trace();
+  const wf::Trace defended = d.apply(original, rng);
+  ASSERT_EQ(defended.size(), original.size());
+  // Same direction/size sequence (order preserved, only times change).
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(defended.packets()[i].direction, original.packets()[i].direction);
+    EXPECT_EQ(defended.packets()[i].size, original.packets()[i].size);
+  }
+}
+
+TEST(DelayDefense, OnlyStretchesTime) {
+  DelayDefense d;
+  Rng rng(3);
+  const wf::Trace original = web_like_trace();
+  const wf::Trace defended = d.apply(original, rng);
+  EXPECT_GT(defended.duration(), original.duration());
+  // Inflation bounded: every incoming gap grew by at most 30% cumulative.
+  EXPECT_LE(defended.duration(), original.duration() * 1.31);
+  for (std::size_t i = 1; i < defended.size(); ++i) {
+    EXPECT_GE(defended.packets()[i].time, defended.packets()[i - 1].time);
+  }
+}
+
+TEST(DelayDefense, ZeroBandwidthOverhead) {
+  DelayDefense d;
+  Rng rng(4);
+  const wf::Trace original = web_like_trace();
+  const Overhead o = measure_overhead(original, d.apply(original, rng));
+  EXPECT_DOUBLE_EQ(o.bandwidth, 0.0);
+  EXPECT_GT(o.latency, 0.0);
+}
+
+// -------------------------------------------------------- CombinedDefense
+
+TEST(CombinedDefense, SplitsAndDelays) {
+  CombinedDefense d;
+  Rng rng(5);
+  const wf::Trace original = web_like_trace();
+  const wf::Trace defended = d.apply(original, rng);
+  EXPECT_GT(defended.size(), original.size());        // splitting happened
+  EXPECT_GT(defended.duration(), original.duration());  // delaying happened
+  EXPECT_EQ(defended.total_bytes(), original.total_bytes());
+}
+
+// ------------------------------------------------------------ prefix scope
+
+TEST(PrefixScope, OnlyPrefixModified) {
+  SplitDefense d;
+  Rng rng(6);
+  const wf::Trace original = web_like_trace(8, 100);
+  const wf::Trace defended = apply_to_prefix(d, original, 30, rng);
+  // Packets after the prefix keep their sizes (split would halve them).
+  const auto& orig = original.packets();
+  const auto& def = defended.packets();
+  ASSERT_GE(def.size(), orig.size());
+  const std::size_t added = def.size() - orig.size();
+  for (std::size_t i = 30; i < orig.size(); ++i) {
+    EXPECT_EQ(def[i + added].size, orig[i].size);
+    EXPECT_EQ(def[i + added].direction, orig[i].direction);
+  }
+}
+
+TEST(PrefixScope, ZeroMeansWholeTrace) {
+  SplitDefense d;
+  Rng rng(7);
+  const wf::Trace original = web_like_trace(9, 50);
+  Rng rng2(7);
+  EXPECT_EQ(apply_to_prefix(d, original, 0, rng).size(), d.apply(original, rng2).size());
+}
+
+TEST(PrefixScope, DelayShiftsTail) {
+  DelayDefense d;
+  Rng rng(8);
+  const wf::Trace original = web_like_trace(10, 100);
+  const wf::Trace defended = apply_to_prefix(d, original, 30, rng);
+  ASSERT_EQ(defended.size(), original.size());
+  // The tail shifted right but gaps within the tail are unchanged.
+  const auto& orig = original.packets();
+  const auto& def = defended.packets();
+  EXPECT_GE(def[50].time, orig[50].time);
+  EXPECT_NEAR(def[60].time - def[50].time, orig[60].time - orig[50].time, 1e-9);
+}
+
+// ---------------------------------------------------------------- baselines
+
+TEST(FrontDefense, AddsDummiesBothDirections) {
+  FrontDefense d;
+  Rng rng(9);
+  const wf::Trace original = web_like_trace();
+  const wf::Trace defended = d.apply(original, rng);
+  EXPECT_GT(defended.size(), original.size());
+  EXPECT_GT(defended.outgoing_count(), original.outgoing_count());
+  EXPECT_GT(defended.incoming_count(), original.incoming_count());
+  EXPECT_GT(defended.total_bytes(), original.total_bytes());
+}
+
+TEST(FrontDefense, SubstantialBandwidthOverhead) {
+  // FRONT is padding-heavy (the paper cites ~80% bandwidth overhead).
+  FrontDefense d;
+  Rng rng(10);
+  wf::Dataset data;
+  for (int i = 0; i < 10; ++i) data.add(web_like_trace(20 + i), 0);
+  const Overhead o = measure_overhead(data, d, rng);
+  EXPECT_GT(o.bandwidth, 0.2);
+}
+
+TEST(BufloDefense, ConstantSizeAndInterval) {
+  BufloDefense d;
+  Rng rng(11);
+  const wf::Trace defended = d.apply(web_like_trace(), rng);
+  std::map<double, int> out_times;
+  for (const auto& p : defended.packets()) {
+    EXPECT_EQ(p.size, 1514);
+  }
+  // Per-direction inter-departure times are multiples of the interval.
+  std::vector<double> in_times;
+  for (const auto& p : defended.packets()) {
+    if (p.direction < 0) in_times.push_back(p.time);
+  }
+  for (std::size_t i = 1; i < in_times.size(); ++i) {
+    const double gap = in_times[i] - in_times[i - 1];
+    EXPECT_NEAR(gap / 0.012, std::round(gap / 0.012), 1e-6);
+  }
+}
+
+TEST(BufloDefense, EnforcesMinimumDuration) {
+  BufloDefense::Config cfg;
+  cfg.min_duration = 5.0;
+  BufloDefense d(cfg);
+  Rng rng(12);
+  wf::Trace tiny;
+  tiny.add(0.0, +1, 100);
+  tiny.add(0.01, -1, 500);
+  const wf::Trace defended = d.apply(tiny, rng);
+  EXPECT_GE(defended.duration(), 5.0 - 0.02);
+}
+
+TEST(TamarawDefense, PadsToMultiple) {
+  TamarawDefense d;
+  Rng rng(13);
+  const wf::Trace defended = d.apply(web_like_trace(), rng);
+  const std::size_t in_count = defended.incoming_count();
+  const std::size_t out_count = defended.outgoing_count();
+  EXPECT_EQ(in_count % 100, 0u);
+  EXPECT_EQ(out_count % 100, 0u);
+}
+
+TEST(WtfPadDefense, FillsLargeGapsOnly) {
+  WtfPadDefense d;
+  Rng rng(14);
+  wf::Trace t;
+  t.add(0.0, -1, 1000);
+  t.add(0.001, -1, 1000);  // small gap: untouched
+  t.add(0.5, -1, 1000);    // 499 ms gap: dummies injected
+  const wf::Trace defended = d.apply(t, rng);
+  EXPECT_GT(defended.size(), t.size());
+  // Injected packets live inside the large gap.
+  std::size_t in_gap = 0;
+  for (const auto& p : defended.packets()) {
+    if (p.time > 0.001 && p.time < 0.5) ++in_gap;
+  }
+  EXPECT_GT(in_gap, 0u);
+}
+
+TEST(WtfPadDefense, NoDelayAddedToRealPackets) {
+  WtfPadDefense d;
+  Rng rng(15);
+  const wf::Trace original = web_like_trace();
+  const wf::Trace defended = d.apply(original, rng);
+  // Every original packet still exists at its original time.
+  std::multiset<double> times;
+  for (const auto& p : defended.packets()) times.insert(p.time);
+  for (const auto& p : original.packets()) {
+    EXPECT_TRUE(times.count(p.time) > 0);
+  }
+}
+
+TEST(RegulatorDefense, ReshapesDownloadCompletely) {
+  RegulatorDefense d;
+  Rng rng(16);
+  const wf::Trace original = web_like_trace();
+  const wf::Trace defended = d.apply(original, rng);
+  // At least as many download packets as the original needed (all data
+  // eventually delivered through the schedule).
+  EXPECT_GE(defended.incoming_count(), original.incoming_count());
+  for (const auto& p : defended.packets()) EXPECT_EQ(p.size, 1514);
+}
+
+TEST(PadToConstant, SizesQuantised) {
+  PadToConstantDefense d;
+  Rng rng(17);
+  const wf::Trace defended = d.apply(web_like_trace(), rng);
+  for (const auto& p : defended.packets()) {
+    if (p.direction < 0) EXPECT_EQ(p.size % 512, 0);
+  }
+}
+
+TEST(PadToConstant, NeverShrinks) {
+  PadToConstantDefense d;
+  Rng rng(18);
+  const wf::Trace original = web_like_trace();
+  const wf::Trace defended = d.apply(original, rng);
+  ASSERT_EQ(defended.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_GE(defended.packets()[i].size, original.packets()[i].size);
+  }
+}
+
+TEST(AllDefenses, ApplyCleanlyAndReportMetadata) {
+  Rng rng(19);
+  const wf::Trace original = web_like_trace();
+  for (const auto& d : all_defenses()) {
+    const wf::Trace defended = d->apply(original, rng);
+    EXPECT_FALSE(defended.empty()) << d->name();
+    EXPECT_FALSE(d->name().empty());
+    EXPECT_FALSE(d->target().empty());
+    EXPECT_TRUE(d->strategy() == "Obfuscation" || d->strategy() == "Regularization")
+        << d->name();
+    EXPECT_NE(d->manipulations().describe(), "none") << d->name();
+    // Timestamps monotone for every defense.
+    for (std::size_t i = 1; i < defended.size(); ++i) {
+      ASSERT_GE(defended.packets()[i].time, defended.packets()[i - 1].time) << d->name();
+    }
+  }
+}
+
+TEST(Overhead, MeasuresRelativeCosts) {
+  wf::Trace a, b;
+  a.add(0.0, -1, 1000);
+  a.add(1.0, -1, 1000);
+  b.add(0.0, -1, 1500);
+  b.add(2.0, -1, 1500);
+  const Overhead o = measure_overhead(a, b);
+  EXPECT_DOUBLE_EQ(o.bandwidth, 0.5);
+  EXPECT_DOUBLE_EQ(o.latency, 1.0);
+}
+
+}  // namespace
+}  // namespace stob::defenses

@@ -1,0 +1,187 @@
+// Tests for the network substrate: packets, pipes, duplex paths, taps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/path.hpp"
+#include "net/pipe.hpp"
+#include "sim/simulator.hpp"
+
+namespace stob::net {
+namespace {
+
+Packet make_packet(std::int64_t payload, FlowKey flow = {1, 2, 1000, 80, Proto::Tcp}) {
+  Packet p;
+  p.id = next_packet_id();
+  p.flow = flow;
+  p.header = Bytes(kEthIpTcpHeader);
+  p.payload = Bytes(payload);
+  return p;
+}
+
+TEST(Packet, FlowKeyReversal) {
+  const FlowKey k{1, 2, 1000, 80, Proto::Tcp};
+  const FlowKey r = k.reversed();
+  EXPECT_EQ(r.src_host, 2u);
+  EXPECT_EQ(r.dst_host, 1u);
+  EXPECT_EQ(r.src_port, 80);
+  EXPECT_EQ(r.dst_port, 1000);
+  EXPECT_EQ(r.reversed(), k);
+}
+
+TEST(Packet, FlowKeyHashDistinguishes) {
+  FlowKeyHash h;
+  const FlowKey a{1, 2, 1000, 80, Proto::Tcp};
+  const FlowKey b{1, 2, 1001, 80, Proto::Tcp};
+  EXPECT_NE(h(a), h(b));
+  EXPECT_EQ(h(a), h(a));
+}
+
+TEST(Packet, WireSize) {
+  const Packet p = make_packet(1000);
+  EXPECT_EQ(p.wire_size().count(), 1000 + kEthIpTcpHeader);
+}
+
+TEST(Packet, UniqueIds) {
+  const auto a = next_packet_id();
+  const auto b = next_packet_id();
+  EXPECT_NE(a, b);
+}
+
+TEST(Pipe, DeliversWithSerialisationAndDelay) {
+  sim::Simulator s;
+  // 8 Mbps, 1 ms delay: 1000B wire packet -> 1 ms serialise + 1 ms delay.
+  Pipe pipe(s, {DataRate::mbps(8), Duration::millis(1), Bytes(0), 0.0});
+  TimePoint delivered_at;
+  pipe.set_sink([&](Packet) { delivered_at = s.now(); });
+  Packet p = make_packet(1000 - kEthIpTcpHeader);
+  pipe.send(std::move(p));
+  s.run();
+  EXPECT_EQ(delivered_at.ns(), 2'000'000);
+  EXPECT_EQ(pipe.delivered_packets(), 1u);
+}
+
+TEST(Pipe, BackToBackSerialisation) {
+  sim::Simulator s;
+  Pipe pipe(s, {DataRate::mbps(8), Duration::millis(0), Bytes(0), 0.0});
+  std::vector<TimePoint> deliveries;
+  pipe.set_sink([&](Packet) { deliveries.push_back(s.now()); });
+  for (int i = 0; i < 3; ++i) pipe.send(make_packet(1000 - kEthIpTcpHeader));
+  s.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0].ns(), 1'000'000);
+  EXPECT_EQ(deliveries[1].ns(), 2'000'000);
+  EXPECT_EQ(deliveries[2].ns(), 3'000'000);
+}
+
+TEST(Pipe, PreservesOrder) {
+  sim::Simulator s;
+  Pipe pipe(s, {DataRate::gbps(1), Duration::micros(10), Bytes(0), 0.0});
+  std::vector<std::uint64_t> ids;
+  pipe.set_sink([&](Packet p) { ids.push_back(p.id); });
+  std::vector<std::uint64_t> sent;
+  for (int i = 0; i < 50; ++i) {
+    Packet p = make_packet(100);
+    sent.push_back(p.id);
+    pipe.send(std::move(p));
+  }
+  s.run();
+  EXPECT_EQ(ids, sent);
+}
+
+TEST(Pipe, DropTailWhenFull) {
+  sim::Simulator s;
+  // Tiny queue: 2 full packets' worth.
+  Pipe pipe(s, {DataRate::kbps(64), Duration::millis(1), Bytes(3000), 0.0});
+  pipe.set_sink([](Packet) {});
+  for (int i = 0; i < 10; ++i) pipe.send(make_packet(1400));
+  EXPECT_GT(pipe.dropped_packets(), 0u);
+  s.run();
+  EXPECT_EQ(pipe.delivered_packets() + pipe.dropped_packets(), 10u);
+}
+
+TEST(Pipe, UnboundedQueueNeverDrops) {
+  sim::Simulator s;
+  Pipe pipe(s, {DataRate::kbps(64), Duration::millis(1), Bytes(0), 0.0});
+  pipe.set_sink([](Packet) {});
+  for (int i = 0; i < 100; ++i) pipe.send(make_packet(1400));
+  s.run();
+  EXPECT_EQ(pipe.dropped_packets(), 0u);
+  EXPECT_EQ(pipe.delivered_packets(), 100u);
+}
+
+TEST(Pipe, LossModelDropsApproximately) {
+  sim::Simulator s;
+  Pipe pipe(s, {DataRate::gbps(1), Duration::micros(1), Bytes(0), 0.25});
+  int received = 0;
+  pipe.set_sink([&](Packet) { ++received; });
+  for (int i = 0; i < 2000; ++i) pipe.send(make_packet(100));
+  s.run();
+  EXPECT_NEAR(static_cast<double>(received) / 2000.0, 0.75, 0.05);
+  EXPECT_EQ(pipe.lost_packets() + pipe.delivered_packets(), 2000u);
+}
+
+TEST(Pipe, TapsObserveTxAndRx) {
+  sim::Simulator s;
+  Pipe pipe(s, {DataRate::mbps(8), Duration::millis(1), Bytes(0), 0.0});
+  TimePoint tx_at, rx_at;
+  pipe.set_tx_tap([&](const Packet&, TimePoint t) { tx_at = t; });
+  pipe.set_rx_tap([&](const Packet&, TimePoint t) { rx_at = t; });
+  pipe.set_sink([](Packet) {});
+  pipe.send(make_packet(1000 - kEthIpTcpHeader));
+  s.run();
+  EXPECT_EQ(tx_at.ns(), 0);           // serialisation starts immediately
+  EXPECT_EQ(rx_at.ns(), 2'000'000);   // after serialise + propagate
+}
+
+TEST(Pipe, TxCompleteFreesAtSerialisationEnd) {
+  sim::Simulator s;
+  Pipe pipe(s, {DataRate::mbps(8), Duration::millis(5), Bytes(0), 0.0});
+  TimePoint complete_at;
+  pipe.set_tx_complete([&](const Packet&) { complete_at = s.now(); });
+  pipe.set_sink([](Packet) {});
+  pipe.send(make_packet(1000 - kEthIpTcpHeader));
+  s.run();
+  EXPECT_EQ(complete_at.ns(), 1'000'000);  // independent of propagation delay
+}
+
+TEST(Pipe, QueueDepthAccounting) {
+  sim::Simulator s;
+  Pipe pipe(s, {DataRate::kbps(64), Duration::millis(1), Bytes(0), 0.0});
+  pipe.set_sink([](Packet) {});
+  for (int i = 0; i < 5; ++i) pipe.send(make_packet(1000 - kEthIpTcpHeader));
+  EXPECT_GT(pipe.max_queued_bytes().count(), 0);
+  s.run();
+  EXPECT_EQ(pipe.queued_bytes().count(), 0);
+}
+
+TEST(DuplexPath, SymmetricRtt) {
+  sim::Simulator s;
+  DuplexPath path(s, DuplexPath::symmetric(DataRate::gbps(1), Duration::millis(5)));
+  EXPECT_EQ(path.base_rtt().ms(), 10.0);
+}
+
+TEST(DuplexPath, DirectionsAreIndependent) {
+  sim::Simulator s;
+  DuplexPath path(s, DuplexPath::symmetric(DataRate::mbps(8), Duration::millis(1)));
+  int fwd = 0, bwd = 0;
+  path.forward().set_sink([&](Packet) { ++fwd; });
+  path.backward().set_sink([&](Packet) { ++bwd; });
+  path.forward().send(make_packet(100));
+  path.backward().send(make_packet(100));
+  path.backward().send(make_packet(100));
+  s.run();
+  EXPECT_EQ(fwd, 1);
+  EXPECT_EQ(bwd, 2);
+}
+
+TEST(DuplexPath, PipeSelectorByDirection) {
+  sim::Simulator s;
+  DuplexPath path(s, DuplexPath::symmetric(DataRate::mbps(8), Duration::millis(1)));
+  EXPECT_EQ(&path.pipe(Direction::ClientToServer), &path.forward());
+  EXPECT_EQ(&path.pipe(Direction::ServerToClient), &path.backward());
+}
+
+}  // namespace
+}  // namespace stob::net

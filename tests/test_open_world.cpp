@@ -1,0 +1,116 @@
+// Open-world k-FP evaluation tests: the unanimity rule, metric accounting,
+// and behaviour on separable vs indistinguishable data.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "wf/open_world.hpp"
+
+namespace stob::wf {
+namespace {
+
+/// Monitored sites with strong structure; background with diffuse random
+/// structure (every background trace unlike the others).
+Dataset monitored_sites(int classes, int samples, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  for (int c = 0; c < classes; ++c) {
+    for (int s = 0; s < samples; ++s) {
+      Trace t;
+      double time = 0;
+      for (int b = 0; b < 3 + 2 * c; ++b) {
+        t.add(time, +1, 580 + 10 * c);
+        time += rng.uniform(0.008, 0.012);
+        for (int k = 0; k < 8 + 6 * c; ++k) {
+          t.add(time, -1, 1100 + 60 * c);
+          time += rng.uniform(0.001, 0.002);
+        }
+      }
+      d.add(std::move(t), c);
+    }
+  }
+  return d;
+}
+
+Dataset random_background(int samples, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  for (int s = 0; s < samples; ++s) {
+    Trace t;
+    double time = 0;
+    const int bursts = static_cast<int>(rng.uniform_int(2, 20));
+    for (int b = 0; b < bursts; ++b) {
+      t.add(time, +1, rng.uniform_int(200, 900));
+      time += rng.uniform(0.002, 0.05);
+      const int pkts = static_cast<int>(rng.uniform_int(2, 40));
+      for (int k = 0; k < pkts; ++k) {
+        t.add(time, -1, rng.uniform_int(400, 1514));
+        time += rng.uniform(0.0005, 0.004);
+      }
+    }
+    d.add(std::move(t), 0);
+  }
+  return d;
+}
+
+OpenWorldConfig small_config() {
+  OpenWorldConfig cfg;
+  cfg.forest.num_trees = 40;
+  cfg.k_neighbors = 3;
+  return cfg;
+}
+
+TEST(OpenWorld, DetectsMonitoredAndRejectsBackground) {
+  const Dataset mon = monitored_sites(4, 20, 31);
+  const Dataset bg = random_background(80, 37);
+  const OpenWorldResult res = open_world_evaluate(mon, bg, small_config());
+  EXPECT_GT(res.tpr, 0.6);
+  EXPECT_LT(res.fpr, 0.2);
+  EXPECT_GT(res.monitored_accuracy, 0.8);  // true positives name the right site
+  EXPECT_GT(res.monitored_tested, 0u);
+  EXPECT_GT(res.background_tested, 0u);
+}
+
+TEST(OpenWorld, DeterministicForSeed) {
+  const Dataset mon = monitored_sites(3, 14, 41);
+  const Dataset bg = random_background(40, 43);
+  const OpenWorldResult a = open_world_evaluate(mon, bg, small_config());
+  const OpenWorldResult b = open_world_evaluate(mon, bg, small_config());
+  EXPECT_EQ(a.tpr, b.tpr);
+  EXPECT_EQ(a.fpr, b.fpr);
+}
+
+TEST(OpenWorld, UnanimityTradesTprForFpr) {
+  // Raising k makes the unanimity requirement stricter: fewer monitored
+  // detections, but never more background false positives.
+  const Dataset mon = monitored_sites(4, 18, 51);
+  const Dataset bg = random_background(60, 53);
+  OpenWorldConfig loose = small_config();
+  loose.k_neighbors = 1;
+  OpenWorldConfig strict = small_config();
+  strict.k_neighbors = 6;
+  const OpenWorldResult l = open_world_evaluate(mon, bg, loose);
+  const OpenWorldResult s = open_world_evaluate(mon, bg, strict);
+  EXPECT_GE(l.tpr, s.tpr);
+  EXPECT_GE(l.fpr, s.fpr);
+}
+
+TEST(OpenWorld, EmptyInputsThrow) {
+  const Dataset mon = monitored_sites(2, 6, 61);
+  EXPECT_THROW(open_world_evaluate(mon, Dataset{}, small_config()), std::invalid_argument);
+  EXPECT_THROW(open_world_evaluate(Dataset{}, mon, small_config()), std::invalid_argument);
+}
+
+TEST(OpenWorld, MetricsWithinBounds) {
+  const Dataset mon = monitored_sites(3, 10, 71);
+  const Dataset bg = random_background(30, 73);
+  const OpenWorldResult res = open_world_evaluate(mon, bg, small_config());
+  EXPECT_GE(res.tpr, 0.0);
+  EXPECT_LE(res.tpr, 1.0);
+  EXPECT_GE(res.fpr, 0.0);
+  EXPECT_LE(res.fpr, 1.0);
+  EXPECT_GE(res.precision, 0.0);
+  EXPECT_LE(res.precision, 1.0);
+}
+
+}  // namespace
+}  // namespace stob::wf

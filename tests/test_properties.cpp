@@ -1,0 +1,214 @@
+// Cross-cutting property sweeps (TEST_P): invariants that must hold for
+// every member of a family, not just hand-picked instances.
+//
+//  * Qdisc conservation: everything enqueued is dequeued exactly once, in
+//    per-flow order, for both disciplines across flow counts.
+//  * Defense invariants: monotone timestamps, no negative sizes, byte
+//    conservation for non-padding defenses, across the whole defense zoo
+//    and multiple seeds.
+//  * Policy safety under the guard: for every built-in policy and seed,
+//    the guarded decision stream never exceeds the CCA schedule.
+//  * Feature totality: every extractor yields finite, fixed-width vectors
+//    for adversarial trace shapes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "core/cca_guard.hpp"
+#include "core/policies.hpp"
+#include "defenses/baselines.hpp"
+#include "stack/qdisc.hpp"
+#include "wf/cumul.hpp"
+#include "wf/features.hpp"
+
+namespace stob {
+namespace {
+
+// ----------------------------------------------------- qdisc conservation
+
+using QdiscParams = std::tuple<std::string, int /*flows*/, int /*packets*/>;
+
+class QdiscConservation : public ::testing::TestWithParam<QdiscParams> {
+ protected:
+  static std::unique_ptr<stack::Qdisc> make(const std::string& kind) {
+    if (kind == "fifo") return std::make_unique<stack::FifoQdisc>();
+    return std::make_unique<stack::FqQdisc>();
+  }
+};
+
+TEST_P(QdiscConservation, ExactlyOnceInPerFlowOrder) {
+  const auto& [kind, flows, packets] = GetParam();
+  auto q = make(kind);
+  Rng rng(static_cast<std::uint64_t>(flows * 1000 + packets));
+  std::map<net::Port, std::vector<std::uint64_t>> sent;
+  for (int i = 0; i < packets; ++i) {
+    net::Packet p;
+    p.id = net::next_packet_id();
+    const auto port = static_cast<net::Port>(1000 + rng.uniform_int(0, flows - 1));
+    p.flow = {1, 2, port, 443, net::Proto::Tcp};
+    p.header = Bytes(net::kEthIpTcpHeader);
+    p.payload = Bytes(rng.uniform_int(0, 1448));
+    sent[port].push_back(p.id);
+    q->enqueue(std::move(p));
+  }
+  std::map<net::Port, std::vector<std::uint64_t>> got;
+  std::size_t total = 0;
+  while (auto p = q->dequeue(TimePoint::zero())) {
+    got[p->flow.src_port].push_back(p->id);
+    ++total;
+  }
+  ASSERT_EQ(total + q->dropped(), static_cast<std::size_t>(packets));
+  EXPECT_EQ(q->dropped(), 0u);  // capacity is generous
+  for (const auto& [port, ids] : sent) EXPECT_EQ(got[port], ids) << kind << " flow " << port;
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q->backlog().count(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QdiscConservation,
+                         ::testing::Combine(::testing::Values("fifo", "fq"),
+                                            ::testing::Values(1, 3, 16),
+                                            ::testing::Values(10, 200)));
+
+// ------------------------------------------------------ defense invariants
+
+using DefenseParams = std::tuple<int /*defense index*/, int /*seed*/>;
+
+class DefenseInvariants : public ::testing::TestWithParam<DefenseParams> {};
+
+TEST_P(DefenseInvariants, WellFormedOutput) {
+  const auto& [index, seed] = GetParam();
+  const auto zoo = defenses::all_defenses();
+  ASSERT_LT(static_cast<std::size_t>(index), zoo.size());
+  const auto& defense = *zoo[static_cast<std::size_t>(index)];
+
+  Rng gen(static_cast<std::uint64_t>(seed));
+  wf::Trace original;
+  double time = 0.0;
+  for (int i = 0; i < 150; ++i) {
+    original.add(time, gen.chance(0.25) ? +1 : -1, gen.uniform_int(66, 1514));
+    time += gen.uniform(0.0002, 0.02);
+  }
+  original.normalize();
+
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919);
+  const wf::Trace defended = defense.apply(original, rng);
+
+  ASSERT_FALSE(defended.empty()) << defense.name();
+  for (std::size_t i = 0; i < defended.size(); ++i) {
+    const auto& p = defended.packets()[i];
+    EXPECT_GT(p.size, 0) << defense.name();
+    EXPECT_TRUE(p.direction == 1 || p.direction == -1) << defense.name();
+    if (i > 0) EXPECT_GE(p.time, defended.packets()[i - 1].time) << defense.name();
+  }
+  // Defenses never destroy payload: total bytes never shrink.
+  EXPECT_GE(defended.total_bytes(), original.total_bytes()) << defense.name();
+  // Non-padding defenses preserve bytes exactly.
+  if (!defense.manipulations().padding) {
+    EXPECT_EQ(defended.total_bytes(), original.total_bytes()) << defense.name();
+  }
+  // Determinism: same seed, same output.
+  Rng rng2(static_cast<std::uint64_t>(seed) * 7919);
+  EXPECT_EQ(defense.apply(original, rng2), defended) << defense.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DefenseInvariants,
+                         ::testing::Combine(::testing::Range(0, 9),
+                                            ::testing::Values(1, 2, 3)));
+
+// ------------------------------------------------- guarded policy safety
+
+using PolicyParams = std::tuple<std::string, int /*seed*/>;
+
+class GuardedPolicySafety : public ::testing::TestWithParam<PolicyParams> {};
+
+TEST_P(GuardedPolicySafety, NeverMoreAggressiveThanCca) {
+  const auto& [name, seed] = GetParam();
+  std::unique_ptr<core::Policy> policy;
+  core::SplitPolicy split;
+  core::DelayPolicy delay;
+  if (name == "split") {
+    policy = std::make_unique<core::SplitPolicy>();
+  } else if (name == "delay") {
+    policy = std::make_unique<core::DelayPolicy>();
+  } else if (name == "combined") {
+    policy = std::make_unique<core::CompositePolicy>(std::vector<core::Policy*>{&split, &delay});
+  } else {
+    core::SweepSizePolicy::Config cfg;
+    cfg.alpha = 60;
+    policy = std::make_unique<core::SweepSizePolicy>(cfg);
+  }
+  core::CcaGuard guard(*policy);
+
+  Rng rng(static_cast<std::uint64_t>(seed));
+  TimePoint now = TimePoint::zero();
+  for (int i = 0; i < 500; ++i) {
+    now += Duration::micros(rng.uniform_int(5, 2000));
+    core::SegmentContext ctx;
+    ctx.flow = {1, 2, 40000, 443, net::Proto::Tcp};
+    ctx.now = now;
+    ctx.stream_offset = static_cast<std::uint64_t>(i) * 65160;
+    ctx.cca_segment = Bytes(rng.uniform_int(1448, 65160));
+    ctx.mss = Bytes(1448);
+    ctx.cca_departure = now + Duration::micros(rng.uniform_int(0, 500));
+    ctx.cca_pacing_rate = DataRate::mbps(rng.uniform_int(10, 10000));
+    const core::SegmentDecision d = guard.on_segment(ctx);
+    ASSERT_LE(d.segment.count(), ctx.cca_segment.count()) << name;
+    ASSERT_GE(d.segment.count(), 1) << name;
+    ASSERT_LE(d.wire_mss.count(), ctx.mss.count()) << name;
+    ASSERT_GE(d.wire_mss.count(), 1) << name;
+    ASSERT_GE(d.departure.ns(), ctx.cca_departure.ns()) << name;
+  }
+  // All built-in policies are CCA-compliant by construction: the guard
+  // should never have had to clamp.
+  EXPECT_EQ(guard.segment_clamps(), 0u) << name;
+  EXPECT_EQ(guard.mss_clamps(), 0u) << name;
+  EXPECT_EQ(guard.departure_clamps(), 0u) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GuardedPolicySafety,
+                         ::testing::Combine(::testing::Values("split", "delay", "combined",
+                                                              "sweep"),
+                                            ::testing::Values(11, 22, 33)));
+
+// ------------------------------------------------------- feature totality
+
+class FeatureTotality : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeatureTotality, FiniteFixedWidthOnAdversarialTraces) {
+  const int kind = GetParam();
+  wf::Trace t;
+  Rng rng(static_cast<std::uint64_t>(kind));
+  switch (kind) {
+    case 0: break;                                   // empty
+    case 1: t.add(0.0, +1, 66); break;               // single packet
+    case 2:                                          // all one direction
+      for (int i = 0; i < 64; ++i) t.add(i * 0.001, -1, 1514);
+      break;
+    case 3:                                          // all simultaneous
+      for (int i = 0; i < 64; ++i) t.add(0.0, i % 2 ? 1 : -1, 100);
+      break;
+    case 4:                                          // huge gaps
+      t.add(0.0, +1, 100);
+      t.add(500.0, -1, 100);
+      t.add(1000.0, +1, 100);
+      break;
+    default:                                         // random soup
+      for (int i = 0; i < 500; ++i) {
+        t.add(rng.uniform(0, 10), rng.chance(0.5) ? 1 : -1, rng.uniform_int(1, 65536));
+      }
+      t.normalize();
+  }
+  const auto kfp = wf::kfp_features(t);
+  ASSERT_EQ(kfp.size(), wf::kfp_feature_count());
+  for (double v : kfp) ASSERT_TRUE(std::isfinite(v)) << kind;
+  const auto cumul = wf::cumul_features(t, 100);
+  ASSERT_EQ(cumul.size(), 104u);
+  for (double v : cumul) ASSERT_TRUE(std::isfinite(v)) << kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FeatureTotality, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace stob

@@ -1,0 +1,264 @@
+// QUIC-lite end-to-end tests: handshake, stream delivery, multiplexing,
+// loss recovery via PN-threshold detection and PTO, pacing, Stob policy
+// hooks at packetisation, and a reliability property sweep.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/cca_guard.hpp"
+#include "core/policies.hpp"
+#include "quic/quic_connection.hpp"
+#include "stack/host_pair.hpp"
+
+namespace stob::quic {
+namespace {
+
+using stack::HostPair;
+
+struct QuicPair {
+  HostPair hp;
+  std::unique_ptr<QuicListener> listener;
+  std::unique_ptr<QuicConnection> client;
+  QuicConnection* server_conn = nullptr;
+  Bytes server_received;
+  bool server_fin = false;
+  bool client_connected = false;
+
+  explicit QuicPair(HostPair::Config cfg = HostPair::Config{},
+                    QuicConnection::Config conn_cfg = QuicConnection::Config{}) : hp(cfg) {
+    listener = std::make_unique<QuicListener>(hp.server(), 443, conn_cfg);
+    listener->set_accept_callback([this](QuicConnection& c) {
+      server_conn = &c;
+      c.on_stream_data = [this](std::uint64_t, Bytes n, bool fin) {
+        server_received += n;
+        if (fin) server_fin = true;
+      };
+    });
+    client = std::make_unique<QuicConnection>(hp.client(), conn_cfg);
+    client->on_connected = [this] { client_connected = true; };
+  }
+};
+
+TEST(QuicHandshake, Establishes) {
+  QuicPair q;
+  q.client->connect(2, 443);
+  q.hp.run();
+  EXPECT_TRUE(q.client_connected);
+  EXPECT_TRUE(q.client->established());
+  ASSERT_NE(q.server_conn, nullptr);
+  EXPECT_TRUE(q.server_conn->established());
+}
+
+TEST(QuicHandshake, InitialIsPaddedTo1200) {
+  QuicPair q;
+  std::int64_t first_payload = 0;
+  q.hp.path().forward().set_tx_tap([&](const net::Packet& p, TimePoint) {
+    if (first_payload == 0) first_payload = p.payload.count();
+  });
+  q.client->connect(2, 443);
+  q.hp.run();
+  EXPECT_GE(first_payload, 1200);
+}
+
+TEST(QuicHandshake, SurvivesInitialLoss) {
+  HostPair::Config cfg;
+  cfg.path = net::DuplexPath::symmetric(DataRate::mbps(100), Duration::millis(5));
+  cfg.path.forward.loss_rate = 0.4;
+  QuicPair q(cfg);
+  q.client->connect(2, 443);
+  q.hp.run(TimePoint(Duration::seconds(30).ns()));
+  EXPECT_TRUE(q.client_connected);
+}
+
+TEST(QuicStream, DeliversSmallMessage) {
+  QuicPair q;
+  q.client->connect(2, 443);
+  q.client->send_stream(0, Bytes(5000));
+  q.hp.run();
+  EXPECT_EQ(q.server_received.count(), 5000);
+}
+
+TEST(QuicStream, SendBeforeEstablishedIsQueued) {
+  QuicPair q;
+  q.client->send_stream(0, Bytes(3000));
+  q.client->connect(2, 443);
+  q.hp.run();
+  EXPECT_EQ(q.server_received.count(), 3000);
+}
+
+TEST(QuicStream, BulkTransfer) {
+  QuicPair q;
+  q.client->connect(2, 443);
+  q.client->send_stream(0, Bytes::mebi(1));
+  q.hp.run(TimePoint(Duration::seconds(60).ns()));
+  EXPECT_EQ(q.server_received.count(), Bytes::mebi(1).count());
+}
+
+TEST(QuicStream, FinSignalled) {
+  QuicPair q;
+  q.client->connect(2, 443);
+  q.client->send_stream(4, Bytes(10'000));
+  q.client->finish_stream(4);
+  q.hp.run(TimePoint(Duration::seconds(10).ns()));
+  EXPECT_EQ(q.server_received.count(), 10'000);
+  EXPECT_TRUE(q.server_fin);
+}
+
+TEST(QuicStream, PureFinOnEmptyStream) {
+  QuicPair q;
+  q.client->connect(2, 443);
+  q.client->finish_stream(8);
+  q.hp.run(TimePoint(Duration::seconds(10).ns()));
+  EXPECT_TRUE(q.server_fin);
+  EXPECT_EQ(q.server_received.count(), 0);
+}
+
+TEST(QuicStream, MultiplexedStreams) {
+  QuicPair q;
+  std::map<std::uint64_t, std::int64_t> per_stream;
+  q.listener->set_accept_callback([&](QuicConnection& c) {
+    q.server_conn = &c;
+    c.on_stream_data = [&](std::uint64_t id, Bytes n, bool) { per_stream[id] += n.count(); };
+  });
+  q.client->connect(2, 443);
+  q.client->send_stream(0, Bytes(40'000));
+  q.client->send_stream(4, Bytes(60'000));
+  q.client->send_stream(8, Bytes(20'000));
+  q.hp.run(TimePoint(Duration::seconds(30).ns()));
+  EXPECT_EQ(per_stream[0], 40'000);
+  EXPECT_EQ(per_stream[4], 60'000);
+  EXPECT_EQ(per_stream[8], 20'000);
+}
+
+TEST(QuicStream, BidirectionalData) {
+  QuicPair q;
+  Bytes client_received;
+  q.client->on_stream_data = [&](std::uint64_t, Bytes n, bool) { client_received += n; };
+  q.listener->set_accept_callback([&q](QuicConnection& c) {
+    q.server_conn = &c;
+    c.on_stream_data = [&q, &c](std::uint64_t id, Bytes n, bool) {
+      q.server_received += n;
+      // Echo-style response on first data.
+      if (q.server_received.count() >= 1000 && c.stats().bytes_sent.count() == 0) {
+        c.send_stream(id + 1, Bytes(50'000));
+      }
+    };
+  });
+  q.client->connect(2, 443);
+  q.client->send_stream(0, Bytes(1000));
+  q.hp.run(TimePoint(Duration::seconds(30).ns()));
+  EXPECT_EQ(q.server_received.count(), 1000);
+  EXPECT_EQ(client_received.count(), 50'000);
+}
+
+TEST(QuicLoss, RecoversViaPacketThreshold) {
+  HostPair::Config cfg;
+  cfg.path = net::DuplexPath::symmetric(DataRate::mbps(50), Duration::millis(10));
+  cfg.path.forward.loss_rate = 0.02;
+  QuicPair q(cfg);
+  q.client->connect(2, 443);
+  q.client->send_stream(0, Bytes(500'000));
+  q.hp.run(TimePoint(Duration::seconds(60).ns()));
+  EXPECT_EQ(q.server_received.count(), 500'000);
+  EXPECT_GT(q.client->stats().packets_lost, 0u);
+}
+
+TEST(QuicLoss, PtoRecoversTailLoss) {
+  // Lose a burst at the very end by cranking loss high mid-transfer is hard
+  // to stage deterministically; instead use heavy loss on a small transfer:
+  // only PTO can recover a lost final packet (no later PNs to trigger the
+  // threshold).
+  HostPair::Config cfg;
+  cfg.path = net::DuplexPath::symmetric(DataRate::mbps(50), Duration::millis(5));
+  cfg.path.forward.loss_rate = 0.3;
+  QuicPair q(cfg);
+  q.client->connect(2, 443);
+  q.client->send_stream(0, Bytes(20'000));
+  q.hp.run(TimePoint(Duration::seconds(120).ns()));
+  EXPECT_EQ(q.server_received.count(), 20'000);
+}
+
+TEST(QuicPacing, WirePacketsRespectMaxPayload) {
+  QuicPair q;
+  std::int64_t max_payload = 0;
+  q.hp.path().forward().set_tx_tap([&](const net::Packet& p, TimePoint) {
+    max_payload = std::max(max_payload, p.payload.count());
+  });
+  q.client->connect(2, 443);
+  q.client->send_stream(0, Bytes(300'000));
+  q.hp.run(TimePoint(Duration::seconds(30).ns()));
+  EXPECT_LE(max_payload, 1350);
+}
+
+TEST(QuicPolicy, SplitPolicyShrinksDatagrams) {
+  core::SplitPolicy split;  // halves anything above 1200
+  QuicConnection::Config cc;
+  cc.policy = &split;
+  QuicPair q(HostPair::Config{}, cc);
+  std::int64_t max_data_payload = 0;
+  q.hp.path().forward().set_tx_tap([&](const net::Packet& p, TimePoint) {
+    // Skip the padded Initial, which is fixed-size by spec.
+    if (p.is_quic() && p.quic().packet_number > 0) {
+      max_data_payload = std::max(max_data_payload, p.payload.count());
+    }
+  });
+  q.client->connect(2, 443);
+  q.client->send_stream(0, Bytes(200'000));
+  q.hp.run(TimePoint(Duration::seconds(30).ns()));
+  EXPECT_EQ(q.server_received.count(), 200'000);
+  EXPECT_LE(max_data_payload, 675);  // half of 1350
+}
+
+TEST(QuicPolicy, GuardedDelayStillDelivers) {
+  core::DelayPolicy delay;
+  core::CcaGuard guard(delay);
+  QuicConnection::Config cc;
+  cc.policy = &guard;
+  QuicPair q(HostPair::Config{}, cc);
+  q.client->connect(2, 443);
+  q.client->send_stream(0, Bytes(100'000));
+  q.hp.run(TimePoint(Duration::seconds(60).ns()));
+  EXPECT_EQ(q.server_received.count(), 100'000);
+  EXPECT_EQ(guard.departure_clamps(), 0u);  // delay is CCA-compliant
+}
+
+TEST(QuicStats, Accounting) {
+  QuicPair q;
+  q.client->connect(2, 443);
+  q.client->send_stream(0, Bytes(100'000));
+  q.hp.run(TimePoint(Duration::seconds(30).ns()));
+  const auto& st = q.client->stats();
+  EXPECT_GT(st.packets_sent, 70u);  // ~1350 B per packet
+  EXPECT_GE(st.bytes_sent.count(), 100'000);
+  ASSERT_NE(q.server_conn, nullptr);
+  EXPECT_EQ(q.server_conn->stats().stream_bytes_delivered.count(), 100'000);
+}
+
+// Property sweep over CCAs and loss rates: exactly-once in-order delivery.
+using QuicParams = std::tuple<std::string, double>;
+
+class QuicReliability : public ::testing::TestWithParam<QuicParams> {};
+
+TEST_P(QuicReliability, DeliversExactlyOnce) {
+  const auto& [cca, loss] = GetParam();
+  HostPair::Config cfg;
+  cfg.path = net::DuplexPath::symmetric(DataRate::mbps(50), Duration::millis(10),
+                                        Bytes::kibi(256));
+  cfg.path.forward.loss_rate = loss;
+  cfg.path.backward.loss_rate = loss / 2;
+  QuicConnection::Config cc;
+  cc.cca = cca;
+  QuicPair q(cfg, cc);
+  q.client->connect(2, 443);
+  q.client->send_stream(0, Bytes(200'000));
+  q.hp.run(TimePoint(Duration::seconds(120).ns()));
+  EXPECT_EQ(q.server_received.count(), 200'000) << cca << " loss=" << loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QuicReliability,
+                         ::testing::Combine(::testing::Values("reno", "cubic", "bbr"),
+                                            ::testing::Values(0.0, 0.02, 0.05)));
+
+}  // namespace
+}  // namespace stob::quic

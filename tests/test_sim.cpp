@@ -1,0 +1,151 @@
+// Tests for the discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace stob::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now().ns(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint(300), [&] { order.push_back(3); });
+  s.schedule_at(TimePoint(100), [&] { order.push_back(1); });
+  s.schedule_at(TimePoint(200), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now().ns(), 300);
+}
+
+TEST(Simulator, FifoTieBreakAtSameTime) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(TimePoint(50), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  TimePoint observed;
+  s.schedule_at(TimePoint(1000), [&] {
+    s.schedule_after(Duration(500), [&] { observed = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(observed.ns(), 1500);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator s;
+  TimePoint observed;
+  s.schedule_at(TimePoint(1000), [&] {
+    s.schedule_at(TimePoint(10), [&] { observed = s.now(); });  // in the past
+  });
+  s.run();
+  EXPECT_EQ(observed.ns(), 1000);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule_at(TimePoint(100), [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, CancelInvalidIdIsNoop) {
+  Simulator s;
+  s.cancel(EventId{});  // must not crash or affect anything
+  bool fired = false;
+  s.schedule_at(TimePoint(5), [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(TimePoint(100), [&] { ++count; });
+  s.schedule_at(TimePoint(200), [&] { ++count; });
+  s.run(TimePoint(150));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now().ns(), 150);  // clock advanced to the horizon
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(TimePoint(1), [&] { ++count; });
+  s.schedule_at(TimePoint(2), [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_after(Duration(10), recurse);
+  };
+  s.schedule_at(TimePoint(0), recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now().ns(), 990);
+}
+
+TEST(Simulator, PendingCountsNonCancelled) {
+  Simulator s;
+  const EventId a = s.schedule_at(TimePoint(10), [] {});
+  s.schedule_at(TimePoint(20), [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, ExecutedCounter) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(TimePoint(i), [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 5u);
+}
+
+TEST(Simulator, ManyEventsStressOrder) {
+  Simulator s;
+  // Insert pseudo-random times; verify monotone execution.
+  std::int64_t prev = -1;
+  bool monotone = true;
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 10000; ++i) {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    const auto t = static_cast<std::int64_t>(x % 1'000'000);
+    s.schedule_at(TimePoint(t), [&, t] {
+      if (t < prev) monotone = false;
+      prev = t;
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(s.executed(), 10000u);
+}
+
+}  // namespace
+}  // namespace stob::sim

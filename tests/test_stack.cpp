@@ -1,0 +1,420 @@
+// Tests for the host stack layer: qdiscs (FIFO, fq with EDT pacing), NIC
+// (TSO split, ring backpressure, completions), CPU model, host demux.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/path.hpp"
+#include "sim/simulator.hpp"
+#include "stack/host.hpp"
+#include "stack/host_pair.hpp"
+#include "stack/nic.hpp"
+#include "stack/qdisc.hpp"
+
+namespace stob::stack {
+namespace {
+
+net::Packet make_packet(std::int64_t payload, net::FlowKey flow = {1, 2, 1000, 80, net::Proto::Tcp},
+                        TimePoint not_before = TimePoint::zero()) {
+  net::Packet p;
+  p.id = net::next_packet_id();
+  p.flow = flow;
+  p.header = Bytes(net::kEthIpTcpHeader);
+  p.payload = Bytes(payload);
+  p.not_before = not_before;
+  return p;
+}
+
+// ------------------------------------------------------------------- FIFO
+
+TEST(FifoQdisc, FifoOrder) {
+  FifoQdisc q;
+  std::vector<std::uint64_t> in;
+  for (int i = 0; i < 5; ++i) {
+    auto p = make_packet(100);
+    in.push_back(p.id);
+    q.enqueue(std::move(p));
+  }
+  for (std::uint64_t id : in) {
+    auto p = q.dequeue(TimePoint::zero());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->id, id);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FifoQdisc, IgnoresEdt) {
+  FifoQdisc q;
+  q.enqueue(make_packet(100, {1, 2, 1000, 80, net::Proto::Tcp}, TimePoint(1'000'000)));
+  // FIFO dequeues immediately even though the packet is paced to t=1ms.
+  EXPECT_TRUE(q.dequeue(TimePoint::zero()).has_value());
+}
+
+TEST(FifoQdisc, CapacityDrops) {
+  FifoQdisc q(Bytes(3000));
+  for (int i = 0; i < 5; ++i) q.enqueue(make_packet(1400));
+  EXPECT_GT(q.dropped(), 0u);
+}
+
+TEST(FifoQdisc, FlowBacklogTracksBytes) {
+  FifoQdisc q;
+  const net::FlowKey a{1, 2, 1000, 80, net::Proto::Tcp};
+  const net::FlowKey b{1, 2, 1001, 80, net::Proto::Tcp};
+  q.enqueue(make_packet(100, a));
+  q.enqueue(make_packet(200, a));
+  q.enqueue(make_packet(300, b));
+  EXPECT_EQ(q.flow_backlog(a).count(), 300 + 2 * net::kEthIpTcpHeader);
+  EXPECT_EQ(q.flow_backlog(b).count(), 300 + net::kEthIpTcpHeader);
+  (void)q.dequeue(TimePoint::zero());
+  EXPECT_EQ(q.flow_backlog(a).count(), 200 + net::kEthIpTcpHeader);
+}
+
+// --------------------------------------------------------------------- fq
+
+TEST(FqQdisc, HonoursEdt) {
+  FqQdisc q;
+  auto p = make_packet(100);
+  p.enqueued_at = TimePoint::zero();
+  p.not_before = TimePoint(5000);
+  q.enqueue(std::move(p));
+  EXPECT_FALSE(q.dequeue(TimePoint(4999)).has_value());
+  EXPECT_EQ(q.next_ready(TimePoint::zero()), TimePoint(5000));
+  EXPECT_TRUE(q.dequeue(TimePoint(5000)).has_value());
+}
+
+TEST(FqQdisc, NeverReordersWithinFlow) {
+  FqQdisc q;
+  const net::FlowKey f{1, 2, 1000, 80, net::Proto::Tcp};
+  std::vector<std::uint64_t> in;
+  for (int i = 0; i < 20; ++i) {
+    auto p = make_packet(500, f);
+    in.push_back(p.id);
+    q.enqueue(std::move(p));
+  }
+  std::vector<std::uint64_t> out;
+  while (auto p = q.dequeue(TimePoint::zero())) out.push_back(p->id);
+  EXPECT_EQ(out, in);
+}
+
+TEST(FqQdisc, PacedHeadDoesNotBlockOtherFlows) {
+  FqQdisc q;
+  const net::FlowKey a{1, 2, 1000, 80, net::Proto::Tcp};
+  const net::FlowKey b{1, 2, 1001, 80, net::Proto::Tcp};
+  auto paced = make_packet(100, a);
+  paced.not_before = TimePoint(1'000'000);
+  q.enqueue(std::move(paced));
+  q.enqueue(make_packet(100, b));
+  auto p = q.dequeue(TimePoint::zero());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->flow, b);  // flow b got through while a is paced
+}
+
+TEST(FqQdisc, RoundRobinFairness) {
+  FqQdisc q;
+  const net::FlowKey a{1, 2, 1000, 80, net::Proto::Tcp};
+  const net::FlowKey b{1, 2, 1001, 80, net::Proto::Tcp};
+  for (int i = 0; i < 10; ++i) {
+    q.enqueue(make_packet(1400, a));
+    q.enqueue(make_packet(1400, b));
+  }
+  // Count how many of the first 10 dequeues belong to each flow: DRR with
+  // equal sizes should interleave roughly evenly.
+  int got_a = 0, got_b = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto p = q.dequeue(TimePoint::zero());
+    ASSERT_TRUE(p.has_value());
+    (p->flow == a ? got_a : got_b) += 1;
+  }
+  EXPECT_NEAR(got_a, got_b, 2);
+}
+
+TEST(FqQdisc, ByteFairnessAcrossUnequalPacketSizes) {
+  FqQdisc q;
+  const net::FlowKey small{1, 2, 1000, 80, net::Proto::Tcp};
+  const net::FlowKey large{1, 2, 1001, 80, net::Proto::Tcp};
+  for (int i = 0; i < 200; ++i) q.enqueue(make_packet(100, small));
+  for (int i = 0; i < 20; ++i) q.enqueue(make_packet(1400, large));
+  std::int64_t bytes_small = 0, bytes_large = 0;
+  // Drain half the total backlog and compare byte shares.
+  for (int i = 0; i < 110; ++i) {
+    auto p = q.dequeue(TimePoint::zero());
+    if (!p) break;
+    (p->flow == small ? bytes_small : bytes_large) += p->wire_size().count();
+  }
+  const double ratio = static_cast<double>(bytes_small) / static_cast<double>(bytes_large);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(FqQdisc, NextReadyReportsEarliestHead) {
+  FqQdisc q;
+  const net::FlowKey a{1, 2, 1000, 80, net::Proto::Tcp};
+  const net::FlowKey b{1, 2, 1001, 80, net::Proto::Tcp};
+  auto pa = make_packet(100, a);
+  pa.not_before = TimePoint(8000);
+  auto pb = make_packet(100, b);
+  pb.not_before = TimePoint(3000);
+  q.enqueue(std::move(pa));
+  q.enqueue(std::move(pb));
+  EXPECT_EQ(q.next_ready(TimePoint::zero()), TimePoint(3000));
+  EXPECT_EQ(q.next_ready(TimePoint(5000)), TimePoint(5000));  // b already eligible
+}
+
+TEST(FqQdisc, EmptyNextReadyIsMax) {
+  FqQdisc q;
+  EXPECT_EQ(q.next_ready(TimePoint::zero()), TimePoint::max());
+}
+
+TEST(FqQdisc, HorizonClampsAbsurdEdt) {
+  FqQdisc q(FqQdisc::Config{Bytes::mebi(4), Bytes(3028), Duration::seconds(1)});
+  auto p = make_packet(100);
+  p.enqueued_at = TimePoint::zero();
+  p.not_before = TimePoint(Duration::seconds(100).ns());
+  q.enqueue(std::move(p));
+  // Clamped to the 1 s horizon instead of 100 s.
+  EXPECT_TRUE(q.dequeue(TimePoint(Duration::seconds(1).ns())).has_value());
+}
+
+TEST(FqQdisc, BacklogAndActiveFlows) {
+  FqQdisc q;
+  const net::FlowKey a{1, 2, 1000, 80, net::Proto::Tcp};
+  const net::FlowKey b{1, 2, 1001, 80, net::Proto::Tcp};
+  q.enqueue(make_packet(100, a));
+  q.enqueue(make_packet(100, b));
+  EXPECT_EQ(q.active_flows(), 2u);
+  EXPECT_EQ(q.backlog().count(), 2 * (100 + net::kEthIpTcpHeader));
+  while (q.dequeue(TimePoint::zero())) {
+  }
+  EXPECT_EQ(q.active_flows(), 0u);
+  EXPECT_EQ(q.backlog().count(), 0);
+}
+
+// -------------------------------------------------------------------- NIC
+
+struct NicFixture {
+  sim::Simulator sim;
+  net::Pipe pipe{sim, {DataRate::gbps(10), Duration::micros(1), Bytes(0), 0.0}};
+  Nic nic{sim, std::make_unique<FqQdisc>()};
+  std::vector<net::Packet> delivered;
+
+  NicFixture() {
+    nic.attach_egress(pipe);
+    pipe.set_sink([this](net::Packet p) { delivered.push_back(std::move(p)); });
+  }
+};
+
+TEST(Nic, PassthroughSmallPacket) {
+  NicFixture f;
+  f.nic.transmit(make_packet(1000));
+  f.sim.run();
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].payload.count(), 1000);
+}
+
+TEST(Nic, TsoSplitsSuperSegment) {
+  NicFixture f;
+  auto p = make_packet(10 * 1448);
+  p.tso_mss = 1448;
+  p.l4 = net::TcpHeader{.seq = 5000, .ack = 0, .flags = net::kTcpAck, .rwnd = 65535};
+  f.nic.transmit(std::move(p));
+  f.sim.run();
+  ASSERT_EQ(f.delivered.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(f.delivered[i].payload.count(), 1448);
+    EXPECT_EQ(f.delivered[i].tcp().seq, 5000 + i * 1448);
+  }
+  EXPECT_EQ(f.nic.tso_segments_split(), 1u);
+  EXPECT_EQ(f.nic.wire_packets_sent(), 10u);
+}
+
+TEST(Nic, TsoLastPacketShort) {
+  NicFixture f;
+  auto p = make_packet(3 * 1448 + 500);
+  p.tso_mss = 1448;
+  f.nic.transmit(std::move(p));
+  f.sim.run();
+  ASSERT_EQ(f.delivered.size(), 4u);
+  EXPECT_EQ(f.delivered.back().payload.count(), 500);
+}
+
+TEST(Nic, TsoFinOnlyOnLastPacket) {
+  NicFixture f;
+  auto p = make_packet(2 * 1000);
+  p.tso_mss = 1000;
+  net::TcpHeader h;
+  h.seq = 0;
+  h.flags = net::kTcpAck | net::kTcpFin;
+  p.l4 = h;
+  f.nic.transmit(std::move(p));
+  f.sim.run();
+  ASSERT_EQ(f.delivered.size(), 2u);
+  EXPECT_FALSE(f.delivered[0].tcp().has(net::kTcpFin));
+  EXPECT_TRUE(f.delivered[1].tcp().has(net::kTcpFin));
+}
+
+TEST(Nic, TsoMicroBurstAtLineRate) {
+  NicFixture f;
+  auto p = make_packet(4 * 1448);
+  p.tso_mss = 1448;
+  std::vector<TimePoint> tx_times;
+  f.pipe.set_tx_tap([&](const net::Packet&, TimePoint t) { tx_times.push_back(t); });
+  f.nic.transmit(std::move(p));
+  f.sim.run();
+  ASSERT_EQ(tx_times.size(), 4u);
+  // Consecutive wire packets separated by exactly one serialisation time.
+  const Duration gap01 = tx_times[1] - tx_times[0];
+  const Duration gap12 = tx_times[2] - tx_times[1];
+  EXPECT_EQ(gap01.ns(), gap12.ns());
+  EXPECT_EQ(gap01.ns(),
+            DataRate::gbps(10).transmit_time(Bytes(1448 + net::kEthIpTcpHeader)).ns());
+}
+
+TEST(Nic, EdtDelaysDequeue) {
+  NicFixture f;
+  auto p = make_packet(100);
+  p.not_before = TimePoint(2'000'000);
+  std::vector<TimePoint> tx_times;
+  f.pipe.set_tx_tap([&](const net::Packet&, TimePoint t) { tx_times.push_back(t); });
+  f.nic.transmit(std::move(p));
+  f.sim.run();
+  ASSERT_EQ(tx_times.size(), 1u);
+  EXPECT_EQ(tx_times[0].ns(), 2'000'000);
+}
+
+TEST(Nic, CompletionHandlerFires) {
+  NicFixture f;
+  const net::FlowKey flow{1, 2, 1000, 80, net::Proto::Tcp};
+  std::int64_t completed = 0;
+  f.nic.set_completion_handler(flow, [&](Bytes b) { completed += b.count(); });
+  f.nic.transmit(make_packet(1000, flow));
+  f.sim.run();
+  EXPECT_EQ(completed, 1000 + net::kEthIpTcpHeader);
+}
+
+TEST(Nic, FlowUnsentAccounting) {
+  NicFixture f;
+  const net::FlowKey flow{1, 2, 1000, 80, net::Proto::Tcp};
+  auto p = make_packet(1000, flow);
+  p.not_before = TimePoint(1'000'000);  // paced into the future: stays in qdisc
+  f.nic.transmit(std::move(p));
+  EXPECT_EQ(f.nic.flow_unsent(flow).count(), 1000 + net::kEthIpTcpHeader);
+  f.sim.run();
+  EXPECT_EQ(f.nic.flow_unsent(flow).count(), 0);
+}
+
+TEST(Nic, RingBackpressureBoundsInflight) {
+  sim::Simulator sim;
+  // Slow pipe so the ring fills.
+  net::Pipe pipe(sim, {DataRate::mbps(1), Duration::micros(1), Bytes(0), 0.0});
+  Nic nic(sim, std::make_unique<FifoQdisc>(), Nic::Config{Bytes(3000)});
+  nic.attach_egress(pipe);
+  pipe.set_sink([](net::Packet) {});
+  for (int i = 0; i < 10; ++i) nic.transmit(make_packet(1400));
+  // With a 3000-byte ring, at most 2 full packets can be posted; the rest
+  // must still be in the qdisc.
+  EXPECT_GT(nic.qdisc().backlog().count(), 0);
+  sim.run();
+  EXPECT_EQ(nic.qdisc().backlog().count(), 0);
+}
+
+// -------------------------------------------------------------------- CPU
+
+TEST(CpuModel, DisabledIsFree) {
+  CpuModel cpu;
+  EXPECT_FALSE(cpu.enabled());
+  EXPECT_EQ(cpu.dispatch(TimePoint(100), Bytes(10000), 10), TimePoint(100));
+}
+
+TEST(CpuModel, SerialisesWork) {
+  CpuModel cpu(CpuModel::Costs{Duration::nanos(500), Duration::nanos(20), 0.0});
+  // Two segments of 4 packets each: 500 + 4*20 = 580 ns apiece.
+  const TimePoint t1 = cpu.dispatch(TimePoint::zero(), Bytes(4000), 4);
+  EXPECT_EQ(t1.ns(), 580);
+  const TimePoint t2 = cpu.dispatch(TimePoint::zero(), Bytes(4000), 4);
+  EXPECT_EQ(t2.ns(), 1160);  // queued behind the first
+  EXPECT_EQ(cpu.busy_time().ns(), 1160);
+}
+
+TEST(CpuModel, PerByteCost) {
+  CpuModel cpu(CpuModel::Costs{Duration(0), Duration(0), 0.5});
+  const TimePoint t = cpu.dispatch(TimePoint::zero(), Bytes(1000), 1);
+  EXPECT_EQ(t.ns(), 500);
+}
+
+TEST(CpuModel, IdleGapsNotAccumulated) {
+  CpuModel cpu(CpuModel::Costs{Duration::nanos(100), Duration(0), 0.0});
+  (void)cpu.dispatch(TimePoint::zero(), Bytes(1), 1);
+  const TimePoint t = cpu.dispatch(TimePoint(10'000), Bytes(1), 1);
+  EXPECT_EQ(t.ns(), 10'100);  // starts at now, not at previous free_at
+  EXPECT_EQ(cpu.busy_time().ns(), 200);
+}
+
+// ------------------------------------------------------------------- Host
+
+TEST(Host, DemuxToRegisteredFlow) {
+  sim::Simulator sim;
+  Host host(sim, 2);
+  const net::FlowKey incoming{1, 2, 1000, 80, net::Proto::Tcp};
+  int got = 0;
+  ASSERT_TRUE(host.register_flow(incoming, [&](net::Packet) { ++got; }));
+  host.receive(make_packet(100, incoming));
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(host.unmatched_packets(), 0u);
+}
+
+TEST(Host, ListenerFallback) {
+  sim::Simulator sim;
+  Host host(sim, 2);
+  int got = 0;
+  host.bind_listener(80, net::Proto::Tcp, [&](net::Packet) { ++got; });
+  host.receive(make_packet(100, {1, 2, 55555, 80, net::Proto::Tcp}));
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Host, ExactFlowBeatsListener) {
+  sim::Simulator sim;
+  Host host(sim, 2);
+  const net::FlowKey incoming{1, 2, 1000, 80, net::Proto::Tcp};
+  int flow_got = 0, listener_got = 0;
+  host.register_flow(incoming, [&](net::Packet) { ++flow_got; });
+  host.bind_listener(80, net::Proto::Tcp, [&](net::Packet) { ++listener_got; });
+  host.receive(make_packet(100, incoming));
+  EXPECT_EQ(flow_got, 1);
+  EXPECT_EQ(listener_got, 0);
+}
+
+TEST(Host, UnmatchedCounted) {
+  sim::Simulator sim;
+  Host host(sim, 2);
+  host.receive(make_packet(100));
+  EXPECT_EQ(host.unmatched_packets(), 1u);
+}
+
+TEST(Host, DuplicateFlowRegistrationRejected) {
+  sim::Simulator sim;
+  Host host(sim, 2);
+  const net::FlowKey k{1, 2, 1000, 80, net::Proto::Tcp};
+  EXPECT_TRUE(host.register_flow(k, [](net::Packet) {}));
+  EXPECT_FALSE(host.register_flow(k, [](net::Packet) {}));
+}
+
+TEST(Host, EphemeralPortsDistinct) {
+  sim::Simulator sim;
+  Host host(sim, 1);
+  EXPECT_NE(host.allocate_port(), host.allocate_port());
+}
+
+TEST(HostPair, WiringDeliversBothWays) {
+  HostPair hp;
+  int at_server = 0, at_client = 0;
+  hp.server().bind_listener(80, net::Proto::Tcp, [&](net::Packet) { ++at_server; });
+  hp.client().bind_listener(80, net::Proto::Tcp, [&](net::Packet) { ++at_client; });
+  hp.client().nic().transmit(make_packet(100, {1, 2, 999, 80, net::Proto::Tcp}));
+  hp.server().nic().transmit(make_packet(100, {2, 1, 999, 80, net::Proto::Tcp}));
+  hp.run();
+  EXPECT_EQ(at_server, 1);
+  EXPECT_EQ(at_client, 1);
+}
+
+}  // namespace
+}  // namespace stob::stack

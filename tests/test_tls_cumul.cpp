@@ -1,0 +1,225 @@
+// Tests for the TLS record layer and the CUMUL attack (plus their
+// integration with the page-load workload).
+#include <gtest/gtest.h>
+
+#include "stack/tls_record.hpp"
+#include "wf/cumul.hpp"
+#include "workload/page_load.hpp"
+
+namespace stob {
+namespace {
+
+// ------------------------------------------------------------- TLS records
+
+TEST(TlsRecord, SingleRecordOverhead) {
+  EXPECT_EQ(stack::tls_sealed_size(1000), 1022);
+  EXPECT_EQ(stack::tls_sealed_size(0), 0);
+}
+
+TEST(TlsRecord, FramingSplitsAtMaxRecord) {
+  // 40 kB -> 16k + 16k + 8k records, each +22.
+  EXPECT_EQ(stack::tls_sealed_size(40'000), 40'000 + 3 * 22);
+}
+
+TEST(TlsRecord, PaddingRoundsUp) {
+  stack::TlsConfig cfg;
+  cfg.pad_to = 512;
+  EXPECT_EQ(stack::tls_sealed_size(1000, cfg), 1024 + 22);
+  EXPECT_EQ(stack::tls_sealed_size(512, cfg), 512 + 22);
+}
+
+TEST(TlsRecord, PaddingNeverExceedsMaxRecord) {
+  stack::TlsConfig cfg;
+  cfg.pad_to = 5000;
+  cfg.max_record = 16384;
+  // 16384 plaintext would pad to 20000, clamped to the record limit.
+  EXPECT_EQ(stack::tls_sealed_size(16'384, cfg), 16'384 + 22);
+}
+
+TEST(TlsSession, SealOpenRoundTrip) {
+  stack::TlsSession tx;
+  const std::int64_t wire = tx.seal(50'000);
+  EXPECT_EQ(wire, stack::tls_sealed_size(50'000));
+  // Deliver the ciphertext in awkward chunks; plaintext totals must match.
+  std::int64_t remaining = wire;
+  std::int64_t plaintext = 0;
+  while (remaining > 0) {
+    const std::int64_t chunk = std::min<std::int64_t>(remaining, 1448);
+    plaintext += tx.open(chunk);
+    remaining -= chunk;
+  }
+  EXPECT_EQ(plaintext, 50'000);
+  EXPECT_EQ(tx.buffered_wire_bytes(), 0);
+}
+
+TEST(TlsSession, PartialRecordWithheld) {
+  stack::TlsSession tx;
+  tx.seal(1000);  // one 1022-byte record
+  EXPECT_EQ(tx.open(1021), 0);  // one byte short: cannot authenticate yet
+  EXPECT_EQ(tx.open(1), 1000);
+}
+
+TEST(TlsSession, PaddingAccounted) {
+  stack::TlsConfig cfg;
+  cfg.pad_to = 4096;
+  stack::TlsSession tx(cfg);
+  tx.seal(1000);
+  EXPECT_EQ(tx.padding_bytes(), 4096 - 1000);
+  EXPECT_EQ(tx.records_sealed(), 1u);
+}
+
+TEST(TlsSession, InterleavedSealsStayOrdered) {
+  stack::TlsSession tx;
+  const std::int64_t w1 = tx.seal(100);
+  const std::int64_t w2 = tx.seal(200);
+  EXPECT_EQ(tx.open(w1), 100);
+  EXPECT_EQ(tx.open(w2), 200);
+}
+
+TEST(PageLoadTls, RecordsInflateTraffic) {
+  workload::PageLoadOptions plain;
+  workload::PageLoadOptions with_tls = plain;
+  with_tls.tls_records = true;
+  const auto& site = workload::nine_sites()[7];
+  Rng r1(5), r2(5);
+  const auto a = workload::run_page_load(site, r1, plain);
+  const auto b = workload::run_page_load(site, r2, with_tls);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_GT(b.trace.incoming_bytes(), a.trace.incoming_bytes());
+}
+
+TEST(PageLoadTls, RecordPaddingHidesSizes) {
+  workload::PageLoadOptions padded;
+  padded.tls_records = true;
+  padded.tls.pad_to = 4096;
+  const auto& site = workload::nine_sites()[6];  // lean site: padding visible
+  Rng r1(6), r2(6);
+  workload::PageLoadOptions plain;
+  const auto a = workload::run_page_load(site, r1, plain);
+  const auto b = workload::run_page_load(site, r2, padded);
+  ASSERT_TRUE(b.completed);
+  // Padding adds volume.
+  EXPECT_GT(b.trace.incoming_bytes(), a.trace.incoming_bytes());
+}
+
+// ------------------------------------------------------------------- CUMUL
+
+wf::Dataset shaped_sites(int classes, int samples, std::uint64_t seed) {
+  Rng rng(seed);
+  wf::Dataset d;
+  for (int c = 0; c < classes; ++c) {
+    for (int s = 0; s < samples; ++s) {
+      wf::Trace t;
+      double time = 0;
+      for (int b = 0; b < 4 + c; ++b) {
+        t.add(time, +1, 600);
+        time += rng.uniform(0.01, 0.02);
+        for (int k = 0; k < 6 + 5 * c; ++k) {
+          t.add(time, -1, 1000 + 100 * c);
+          time += rng.uniform(0.001, 0.002);
+        }
+      }
+      d.add(std::move(t), c);
+    }
+  }
+  return d;
+}
+
+TEST(Cumul, FeatureCountAndShape) {
+  wf::Trace t;
+  t.add(0.0, +1, 500);
+  t.add(0.1, -1, 1500);
+  const auto f = wf::cumul_features(t, 50);
+  ASSERT_EQ(f.size(), 54u);
+  EXPECT_EQ(f[0], 1.0);     // incoming count
+  EXPECT_EQ(f[1], 1.0);     // outgoing count
+  EXPECT_EQ(f[2], 1500.0);  // incoming bytes
+  EXPECT_EQ(f[3], 500.0);   // outgoing bytes
+  EXPECT_DOUBLE_EQ(f[4], 0.0);                 // curve starts at 0
+  EXPECT_DOUBLE_EQ(f.back(), 1500.0 - 500.0);  // and ends at the signed sum
+}
+
+TEST(Cumul, EmptyTraceSafe) {
+  const auto f = wf::cumul_features(wf::Trace{}, 20);
+  ASSERT_EQ(f.size(), 24u);
+  for (double v : f) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Cumul, CurveIsMonotoneForDownloadOnly) {
+  wf::Trace t;
+  for (int i = 0; i < 50; ++i) t.add(i * 0.01, -1, 1000);
+  const auto f = wf::cumul_features(t, 30);
+  for (std::size_t i = 5; i < f.size(); ++i) EXPECT_GE(f[i], f[i - 1]);
+}
+
+TEST(KnnClassifier, SeparatesBlobs) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    rows.push_back({rng.normal(0, 1), rng.normal(0, 1)});
+    labels.push_back(0);
+    rows.push_back({rng.normal(6, 1), rng.normal(6, 1)});
+    labels.push_back(1);
+  }
+  wf::KnnClassifier knn(3);
+  knn.fit(rows, labels);
+  EXPECT_EQ(knn.predict(std::vector<double>{0.2, -0.3}), 0);
+  EXPECT_EQ(knn.predict(std::vector<double>{5.8, 6.1}), 1);
+}
+
+TEST(KnnClassifier, StandardisationMattersForScale) {
+  // One dimension is 1000x the other; without z-scoring it would dominate.
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({rng.normal(0, 1), rng.normal(0, 1000)});
+    labels.push_back(0);
+    rows.push_back({rng.normal(4, 1), rng.normal(0, 1000)});
+    labels.push_back(1);
+  }
+  wf::KnnClassifier knn(5);
+  knn.fit(rows, labels);
+  int correct = 0;
+  for (int i = 0; i < 40; ++i) {
+    correct += knn.predict(std::vector<double>{rng.normal(0, 1), rng.normal(0, 1000)}) == 0;
+    correct += knn.predict(std::vector<double>{rng.normal(4, 1), rng.normal(0, 1000)}) == 1;
+  }
+  EXPECT_GT(correct, 64);  // >80% of 80
+}
+
+TEST(KnnClassifier, ErrorsOnMisuse) {
+  wf::KnnClassifier knn;
+  EXPECT_THROW(knn.predict(std::vector<double>{1.0}), std::logic_error);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  EXPECT_THROW(knn.fit(rows, labels), std::invalid_argument);
+}
+
+TEST(CumulAttack, HighAccuracyOnSeparableSites) {
+  const wf::Dataset data = shaped_sites(5, 16, 21);
+  const wf::EvalResult res = wf::cumul_cross_validate(data, 3, 60, 4);
+  EXPECT_GT(res.mean_accuracy, 0.9);
+}
+
+TEST(CumulAttack, DeterministicForSeed) {
+  const wf::Dataset data = shaped_sites(3, 10, 23);
+  const auto a = wf::cumul_cross_validate(data, 3, 60, 3, 42);
+  const auto b = wf::cumul_cross_validate(data, 3, 60, 3, 42);
+  EXPECT_EQ(a.mean_accuracy, b.mean_accuracy);
+}
+
+TEST(CumulAttack, AgreesWithKfpOnEasyData) {
+  const wf::Dataset data = shaped_sites(4, 14, 25);
+  wf::KFingerprint::Config kfp_cfg;
+  kfp_cfg.forest.num_trees = 40;
+  const double kfp = wf::cross_validate(data, kfp_cfg, 4).mean_accuracy;
+  const double cumul = wf::cumul_cross_validate(data, 3, 80, 4).mean_accuracy;
+  EXPECT_GT(kfp, 0.85);
+  EXPECT_GT(cumul, 0.85);
+}
+
+}  // namespace
+}  // namespace stob

@@ -1,0 +1,269 @@
+// Unit tests for util: units, rng, stats, csv, logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <numeric>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace stob {
+namespace {
+
+// ------------------------------------------------------------------- units
+
+TEST(Units, DurationConversions) {
+  EXPECT_EQ(Duration::micros(3).ns(), 3000);
+  EXPECT_EQ(Duration::millis(2).ns(), 2'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).sec(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::seconds_f(0.25).ms(), 250.0);
+}
+
+TEST(Units, DurationArithmetic) {
+  const Duration a = Duration::millis(10);
+  const Duration b = Duration::millis(4);
+  EXPECT_EQ((a + b).ns(), Duration::millis(14).ns());
+  EXPECT_EQ((a - b).ns(), Duration::millis(6).ns());
+  EXPECT_EQ((a * 3).ns(), Duration::millis(30).ns());
+  EXPECT_EQ((a * 0.5).ns(), Duration::millis(5).ns());
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_LT(b, a);
+}
+
+TEST(Units, TimePointArithmetic) {
+  TimePoint t = TimePoint::zero();
+  t += Duration::seconds(2);
+  EXPECT_EQ(t.ns(), 2'000'000'000);
+  EXPECT_EQ((t - TimePoint::zero()).ns(), 2'000'000'000);
+  EXPECT_EQ((t + Duration::millis(1)).ns(), 2'001'000'000);
+  EXPECT_LT(t, TimePoint::max());
+}
+
+TEST(Units, BytesConversions) {
+  EXPECT_EQ(Bytes::kibi(2).count(), 2048);
+  EXPECT_EQ(Bytes::mebi(1).count(), 1048576);
+  EXPECT_EQ(Bytes(100).bits(), 800);
+  EXPECT_EQ((Bytes(3) + Bytes(4)).count(), 7);
+  EXPECT_EQ((Bytes(10) - Bytes(4)).count(), 6);
+}
+
+TEST(Units, DataRateTransmitTime) {
+  // 1000 bytes at 8 Mbps = 1 ms.
+  EXPECT_EQ(DataRate::mbps(8).transmit_time(Bytes(1000)).ns(), 1'000'000);
+  // Rounds up: 1 byte at 1 Gbps = 8 ns.
+  EXPECT_EQ(DataRate::gbps(1).transmit_time(Bytes(1)).ns(), 8);
+  // Zero rate means effectively never.
+  EXPECT_GE(DataRate(0).transmit_time(Bytes(1)), Duration::seconds(3600));
+}
+
+TEST(Units, DataRateBytesIn) {
+  EXPECT_EQ(DataRate::mbps(8).bytes_in(Duration::millis(1)).count(), 1000);
+  // No overflow at 100 Gbps over one second.
+  EXPECT_EQ(DataRate::gbps(100).bytes_in(Duration::seconds(1)).count(), 12'500'000'000LL);
+}
+
+TEST(Units, DataRateFrom) {
+  const DataRate r = DataRate::from(Bytes(1000), Duration::millis(1));
+  EXPECT_EQ(r.bits_per_sec(), 8'000'000);
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  for (int h : hits) EXPECT_GT(h, 700);  // expected 1000 each
+}
+
+TEST(Rng, UniformDoubleBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  stats::Welford w;
+  for (int i = 0; i < 50000; ++i) w.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(w.mean(), 5.0, 0.05);
+  EXPECT_NEAR(w.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  stats::Welford w;
+  for (int i = 0; i < 50000; ++i) w.add(rng.exponential(4.0));
+  EXPECT_NEAR(w.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, RayleighMean) {
+  Rng rng(17);
+  stats::Welford w;
+  for (int i = 0; i < 50000; ++i) w.add(rng.rayleigh(1.0));
+  EXPECT_NEAR(w.mean(), std::sqrt(3.14159265 / 2.0), 0.02);
+}
+
+TEST(Rng, ParetoBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(23);
+  std::vector<double> w{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) ones += rng.weighted_index(w) == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / 10000.0, 0.75, 0.03);
+}
+
+TEST(Rng, WeightedIndexThrowsOnZeroTotal) {
+  Rng rng(1);
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(w), std::invalid_argument);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // The child stream should not replicate the parent's.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 5);
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stats::stddev(xs), std::sqrt(2.5));
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50), 0.0);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(stats::median(xs), 25.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 25), 17.5);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(stats::median(xs), 25.0);
+}
+
+TEST(Stats, IqrInliers) {
+  std::vector<double> xs{10, 11, 12, 13, 14, 1000};  // one wild outlier
+  const auto keep = stats::iqr_inlier_indices(xs);
+  EXPECT_EQ(keep.size(), 5u);
+  for (std::size_t i : keep) EXPECT_LT(xs[i], 100.0);
+}
+
+TEST(Stats, WelfordMatchesBatch) {
+  Rng rng(5);
+  std::vector<double> xs;
+  stats::Welford w;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0, 10);
+    xs.push_back(v);
+    w.add(v);
+  }
+  EXPECT_NEAR(w.mean(), stats::mean(xs), 1e-9);
+  EXPECT_NEAR(w.variance(), stats::variance(xs), 1e-6);
+}
+
+TEST(Stats, MinMaxSum) {
+  const std::vector<double> xs{3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(stats::min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(stats::max(xs), 7.0);
+  EXPECT_DOUBLE_EQ(stats::sum(xs), 11.0);
+}
+
+// --------------------------------------------------------------------- csv
+
+TEST(Csv, SplitBasic) {
+  const auto cells = csv::split_line("a,b,,c");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "");
+  EXPECT_EQ(cells[3], "c");
+}
+
+TEST(Csv, RoundTripFile) {
+  const auto path = std::filesystem::temp_directory_path() / "stob_csv_test.csv";
+  const std::vector<csv::Row> rows{{"h1", "h2"}, {"1", "2.5"}, {"3", "4.5"}};
+  csv::write_file(path, rows);
+  const auto back = csv::read_file(path);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[1][1], "2.5");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(csv::read_file("/nonexistent/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, JoinInverseOfSplit) {
+  const csv::Row row{"x", "y", "z"};
+  EXPECT_EQ(csv::split_line(csv::join(row)), row);
+}
+
+// --------------------------------------------------------------------- log
+
+TEST(Log, LevelFiltering) {
+  const auto prev = log::level();
+  log::set_level(log::Level::Error);
+  EXPECT_EQ(log::level(), log::Level::Error);
+  // Below-threshold writes are silently discarded (no crash, no output).
+  STOB_DEBUG("test") << "should not appear";
+  log::set_level(prev);
+}
+
+}  // namespace
+}  // namespace stob

@@ -1,0 +1,378 @@
+// Tests for the WF toolkit: traces, recording, datasets, k-FP features,
+// decision trees, random forests, the k-FP classifier and its evaluation
+// protocol.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "util/rng.hpp"
+#include "wf/decision_tree.hpp"
+#include "wf/features.hpp"
+#include "wf/kfp.hpp"
+#include "wf/random_forest.hpp"
+#include "wf/trace.hpp"
+
+namespace stob::wf {
+namespace {
+
+Trace simple_trace() {
+  Trace t;
+  t.add(0.00, +1, 600);
+  t.add(0.05, -1, 1514);
+  t.add(0.06, -1, 1514);
+  t.add(0.07, -1, 900);
+  t.add(0.10, +1, 600);
+  t.add(0.15, -1, 1514);
+  return t;
+}
+
+// ------------------------------------------------------------------- Trace
+
+TEST(Trace, Accounting) {
+  const Trace t = simple_trace();
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.incoming_count(), 4u);
+  EXPECT_EQ(t.outgoing_count(), 2u);
+  EXPECT_EQ(t.incoming_bytes(), 1514 + 1514 + 900 + 1514);
+  EXPECT_EQ(t.outgoing_bytes(), 1200);
+  EXPECT_EQ(t.total_bytes(), t.incoming_bytes() + t.outgoing_bytes());
+  EXPECT_NEAR(t.duration(), 0.15, 1e-12);
+}
+
+TEST(Trace, NormalizeShiftsAndSorts) {
+  Trace t;
+  t.add(5.0, +1, 100);
+  t.add(3.0, -1, 200);
+  t.normalize();
+  EXPECT_DOUBLE_EQ(t.packets()[0].time, 0.0);
+  EXPECT_EQ(t.packets()[0].direction, -1);
+  EXPECT_DOUBLE_EQ(t.packets()[1].time, 2.0);
+}
+
+TEST(Trace, TruncatedPrefix) {
+  const Trace t = simple_trace();
+  const Trace head = t.truncated(3);
+  EXPECT_EQ(head.size(), 3u);
+  EXPECT_EQ(head.packets()[2].size, 1514);
+  EXPECT_EQ(t.truncated(100).size(), 6u);  // longer than trace: unchanged
+}
+
+TEST(Dataset, SanitizeDropsOutliers) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    Trace t;
+    t.add(0.0, -1, 10'000 + i * 100);  // tight cluster
+    d.add(std::move(t), 0);
+  }
+  Trace outlier;
+  outlier.add(0.0, -1, 10'000'000);
+  d.add(std::move(outlier), 0);
+  const Dataset clean = d.sanitized_by_download_size();
+  EXPECT_EQ(clean.size(), 10u);
+}
+
+TEST(Dataset, SanitizePerClass) {
+  Dataset d;
+  // Class 0 around 10 kB, class 1 around 1 MB: neither class's traces must
+  // be judged against the other's distribution.
+  for (int i = 0; i < 8; ++i) {
+    Trace a, b;
+    a.add(0.0, -1, 10'000 + i);
+    b.add(0.0, -1, 1'000'000 + i);
+    d.add(std::move(a), 0);
+    d.add(std::move(b), 1);
+  }
+  const Dataset clean = d.sanitized_by_download_size();
+  EXPECT_EQ(clean.size(), 16u);
+}
+
+TEST(Dataset, BalancedTruncates) {
+  Dataset d;
+  for (int i = 0; i < 5; ++i) {
+    Trace t;
+    t.add(0.0, -1, 100);
+    d.add(std::move(t), i % 2);
+  }
+  const Dataset b = d.balanced(2);
+  EXPECT_EQ(b.size(), 4u);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  Dataset d;
+  d.add(simple_trace(), 3);
+  d.add(simple_trace().truncated(2), 7);
+  const auto path = std::filesystem::temp_directory_path() / "stob_ds_test.csv";
+  d.save_csv(path);
+  const Dataset back = Dataset::load_csv(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.label(0), 3);
+  EXPECT_EQ(back.label(1), 7);
+  EXPECT_EQ(back.trace(0).size(), 6u);
+  EXPECT_EQ(back.trace(1).size(), 2u);
+  EXPECT_EQ(back.trace(0).packets()[1].size, 1514);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------- features
+
+TEST(Features, CountMatchesNames) {
+  EXPECT_EQ(kfp_features(simple_trace()).size(), kfp_feature_count());
+  EXPECT_EQ(kfp_feature_names().size(), kfp_feature_count());
+  EXPECT_GT(kfp_feature_count(), 100u);  // a real k-FP-scale feature set
+}
+
+TEST(Features, EmptyTraceIsFiniteZeros) {
+  const auto f = kfp_features(Trace{});
+  ASSERT_EQ(f.size(), kfp_feature_count());
+  for (double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Features, DeterministicForSameTrace) {
+  EXPECT_EQ(kfp_features(simple_trace()), kfp_features(simple_trace()));
+}
+
+TEST(Features, CountsAreCorrect) {
+  const auto names = kfp_feature_names();
+  const auto f = kfp_features(simple_trace());
+  auto value_of = [&](const std::string& name) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return f[i];
+    }
+    ADD_FAILURE() << "missing feature " << name;
+    return 0.0;
+  };
+  EXPECT_DOUBLE_EQ(value_of("count_total"), 6.0);
+  EXPECT_DOUBLE_EQ(value_of("count_in"), 4.0);
+  EXPECT_DOUBLE_EQ(value_of("count_out"), 2.0);
+  EXPECT_DOUBLE_EQ(value_of("bytes_in"), 5442.0);
+  EXPECT_DOUBLE_EQ(value_of("time_total"), 0.15);
+}
+
+TEST(Features, SensitiveToDirectionPattern) {
+  Trace a = simple_trace();
+  Trace b = simple_trace();
+  for (auto& p : b.packets()) p.direction = -p.direction;
+  EXPECT_NE(kfp_features(a), kfp_features(b));
+}
+
+// ----------------------------------------------------------- decision tree
+
+struct TwoBlobs {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+
+  explicit TwoBlobs(int n = 100, double sep = 4.0, std::uint64_t seed = 9) {
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      rows.push_back({rng.normal(0, 1), rng.normal(0, 1), rng.uniform(0, 1)});
+      labels.push_back(0);
+      rows.push_back({rng.normal(sep, 1), rng.normal(sep, 1), rng.uniform(0, 1)});
+      labels.push_back(1);
+    }
+  }
+  TrainView view() const { return {rows, labels, 2}; }
+};
+
+TEST(DecisionTree, FitsSeparableData) {
+  TwoBlobs blobs;
+  DecisionTree::Config cfg;
+  cfg.max_features = 3;  // use all features
+  DecisionTree tree(cfg);
+  std::vector<std::size_t> idx(blobs.rows.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  Rng rng(1);
+  tree.fit(blobs.view(), idx, rng);
+  int correct = 0;
+  for (std::size_t i = 0; i < blobs.rows.size(); ++i) {
+    correct += tree.predict(blobs.rows[i]) == blobs.labels[i];
+  }
+  EXPECT_EQ(correct, static_cast<int>(blobs.rows.size()));  // training fit
+  EXPECT_TRUE(tree.trained());
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  TwoBlobs blobs(200, 0.5);  // heavily overlapping: deep tree needed
+  DecisionTree::Config cfg;
+  cfg.max_depth = 3;
+  DecisionTree tree(cfg);
+  std::vector<std::size_t> idx(blobs.rows.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  Rng rng(1);
+  tree.fit(blobs.view(), idx, rng);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DecisionTree, ProbaSumsToOne) {
+  TwoBlobs blobs;
+  DecisionTree tree;
+  std::vector<std::size_t> idx(blobs.rows.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  Rng rng(2);
+  tree.fit(blobs.view(), idx, rng);
+  const auto p = tree.predict_proba(blobs.rows[0]);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, EmptyFitThrows) {
+  DecisionTree tree;
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  TrainView view{rows, labels, 2};
+  std::vector<std::size_t> idx;
+  Rng rng(1);
+  EXPECT_THROW(tree.fit(view, idx, rng), std::invalid_argument);
+}
+
+TEST(DecisionTree, SingleClassIsLeaf) {
+  std::vector<std::vector<double>> rows{{1.0}, {2.0}, {3.0}};
+  std::vector<int> labels{1, 1, 1};
+  TrainView view{rows, labels, 2};
+  std::vector<std::size_t> idx{0, 1, 2};
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(view, idx, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(rows[0]), 1);
+}
+
+// ------------------------------------------------------------ random forest
+
+TEST(RandomForest, BeatsChanceOnNoisyBlobs) {
+  TwoBlobs train(150, 2.0, 11), test(50, 2.0, 22);
+  RandomForest::Config cfg;
+  cfg.num_trees = 30;
+  RandomForest forest(cfg);
+  forest.fit(train.view());
+  int correct = 0;
+  for (std::size_t i = 0; i < test.rows.size(); ++i) {
+    correct += forest.predict(test.rows[i]) == test.labels[i];
+  }
+  // Blobs separated by 2 sigma overlap; Bayes-optimal is ~92%.
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.rows.size()), 0.8);
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  TwoBlobs blobs(50, 1.0, 5);
+  RandomForest::Config cfg;
+  cfg.num_trees = 10;
+  RandomForest a(cfg), b(cfg);
+  a.fit(blobs.view());
+  b.fit(blobs.view());
+  for (std::size_t i = 0; i < blobs.rows.size(); ++i) {
+    EXPECT_EQ(a.predict(blobs.rows[i]), b.predict(blobs.rows[i]));
+  }
+}
+
+TEST(RandomForest, LeafVectorHasOneEntryPerTree) {
+  TwoBlobs blobs(30);
+  RandomForest::Config cfg;
+  cfg.num_trees = 7;
+  RandomForest forest(cfg);
+  forest.fit(blobs.view());
+  EXPECT_EQ(forest.leaf_vector(blobs.rows[0]).size(), 7u);
+}
+
+TEST(RandomForest, ProbaAveragesTrees) {
+  TwoBlobs blobs(80);
+  RandomForest forest;
+  forest.fit(blobs.view());
+  const auto p = forest.predict_proba(blobs.rows[0]);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  EXPECT_GT(p[0], 0.5);  // first row belongs to class 0's blob
+}
+
+// -------------------------------------------------------------------- k-FP
+
+/// Synthetic "websites": class-dependent trace shapes with noise.
+Dataset synthetic_sites(int classes, int samples_per_class, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  for (int c = 0; c < classes; ++c) {
+    for (int s = 0; s < samples_per_class; ++s) {
+      Trace t;
+      double time = 0.0;
+      const int bursts = 3 + c;
+      for (int b = 0; b < bursts; ++b) {
+        t.add(time, +1, 600);
+        time += rng.uniform(0.01, 0.02);
+        const int in_pkts = 5 + 4 * c + static_cast<int>(rng.uniform_int(0, 3));
+        for (int k = 0; k < in_pkts; ++k) {
+          t.add(time, -1, 1200 + 40 * c);
+          time += rng.uniform(0.001, 0.003);
+        }
+        time += rng.uniform(0.005, 0.02);
+      }
+      t.normalize();
+      d.add(std::move(t), c);
+    }
+  }
+  return d;
+}
+
+TEST(KFingerprint, HighAccuracyOnSeparableSites) {
+  const Dataset data = synthetic_sites(5, 20, 31);
+  KFingerprint::Config cfg;
+  cfg.forest.num_trees = 40;
+  const EvalResult res = cross_validate(data, cfg, 4);
+  EXPECT_GT(res.mean_accuracy, 0.9);
+  EXPECT_EQ(res.fold_accuracies.size(), 4u);
+}
+
+TEST(KFingerprint, KnnModeAlsoWorks) {
+  const Dataset data = synthetic_sites(4, 16, 37);
+  KFingerprint::Config cfg;
+  cfg.forest.num_trees = 30;
+  cfg.use_knn = true;
+  const EvalResult res = cross_validate(data, cfg, 4);
+  EXPECT_GT(res.mean_accuracy, 0.85);
+}
+
+TEST(KFingerprint, PredictBeforeFitThrows) {
+  KFingerprint clf;
+  EXPECT_THROW(clf.predict(simple_trace()), std::logic_error);
+}
+
+TEST(KFingerprint, DeterministicEvaluation) {
+  const Dataset data = synthetic_sites(3, 12, 41);
+  KFingerprint::Config cfg;
+  cfg.forest.num_trees = 15;
+  const EvalResult a = cross_validate(data, cfg, 3, 77);
+  const EvalResult b = cross_validate(data, cfg, 3, 77);
+  EXPECT_EQ(a.mean_accuracy, b.mean_accuracy);
+  EXPECT_EQ(a.fold_accuracies, b.fold_accuracies);
+}
+
+TEST(KFingerprint, AccuracyGrowsWithPrefixLength) {
+  // The paper's core observation: more packets -> higher attack accuracy.
+  const Dataset data = synthetic_sites(5, 20, 43);
+  KFingerprint::Config cfg;
+  cfg.forest.num_trees = 40;
+  const Dataset head = data.transformed([](const Trace& t) { return t.truncated(5); });
+  const EvalResult short_res = cross_validate(head, cfg, 4);
+  const EvalResult full_res = cross_validate(data, cfg, 4);
+  EXPECT_GE(full_res.mean_accuracy, short_res.mean_accuracy);
+}
+
+TEST(ConfusionMatrix, AccuracyAndMerge) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 0);
+  a.add(1, 0);
+  b.add(1, 1);
+  b.add(1, 1);
+  a.merge(b);
+  EXPECT_EQ(a.at(1, 1), 2u);
+  EXPECT_NEAR(a.accuracy(), 0.75, 1e-9);
+}
+
+TEST(CrossValidate, RejectsBadArguments) {
+  const Dataset data = synthetic_sites(2, 4, 1);
+  KFingerprint::Config cfg;
+  EXPECT_THROW(cross_validate(data, cfg, 1), std::invalid_argument);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  EXPECT_THROW(cross_validate(rows, labels, cfg, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stob::wf
