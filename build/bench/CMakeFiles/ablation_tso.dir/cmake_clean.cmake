@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tso.dir/ablation_tso.cpp.o"
+  "CMakeFiles/ablation_tso.dir/ablation_tso.cpp.o.d"
+  "ablation_tso"
+  "ablation_tso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_tso.
+# This may be replaced when dependencies are built.

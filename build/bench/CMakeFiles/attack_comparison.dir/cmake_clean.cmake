@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_comparison.dir/attack_comparison.cpp.o"
+  "CMakeFiles/attack_comparison.dir/attack_comparison.cpp.o.d"
+  "attack_comparison"
+  "attack_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_interplay.dir/cca_interplay.cpp.o"
+  "CMakeFiles/cca_interplay.dir/cca_interplay.cpp.o.d"
+  "cca_interplay"
+  "cca_interplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_interplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

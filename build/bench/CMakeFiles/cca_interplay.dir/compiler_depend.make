@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cca_interplay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censorship_curve.dir/censorship_curve.cpp.o"
+  "CMakeFiles/censorship_curve.dir/censorship_curve.cpp.o.d"
+  "censorship_curve"
+  "censorship_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censorship_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

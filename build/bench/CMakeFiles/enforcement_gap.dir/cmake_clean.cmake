@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enforcement_gap.dir/enforcement_gap.cpp.o"
+  "CMakeFiles/enforcement_gap.dir/enforcement_gap.cpp.o.d"
+  "enforcement_gap"
+  "enforcement_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enforcement_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for enforcement_gap.
+# This may be replaced when dependencies are built.

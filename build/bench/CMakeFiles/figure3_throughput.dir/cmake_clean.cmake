@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_throughput.dir/figure3_throughput.cpp.o"
+  "CMakeFiles/figure3_throughput.dir/figure3_throughput.cpp.o.d"
+  "figure3_throughput"
+  "figure3_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

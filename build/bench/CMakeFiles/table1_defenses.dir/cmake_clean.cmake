@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_defenses.dir/table1_defenses.cpp.o"
+  "CMakeFiles/table1_defenses.dir/table1_defenses.cpp.o.d"
+  "table1_defenses"
+  "table1_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_kfp.dir/table2_kfp.cpp.o"
+  "CMakeFiles/table2_kfp.dir/table2_kfp.cpp.o.d"
+  "table2_kfp"
+  "table2_kfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censorship_eval.dir/censorship_eval.cpp.o"
+  "CMakeFiles/censorship_eval.dir/censorship_eval.cpp.o.d"
+  "censorship_eval"
+  "censorship_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censorship_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

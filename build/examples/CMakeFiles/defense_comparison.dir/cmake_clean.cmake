@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_comparison.dir/defense_comparison.cpp.o"
+  "CMakeFiles/defense_comparison.dir/defense_comparison.cpp.o.d"
+  "defense_comparison"
+  "defense_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

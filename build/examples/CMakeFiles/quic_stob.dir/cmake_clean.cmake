@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_stob.dir/quic_stob.cpp.o"
+  "CMakeFiles/quic_stob.dir/quic_stob.cpp.o.d"
+  "quic_stob"
+  "quic_stob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_stob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

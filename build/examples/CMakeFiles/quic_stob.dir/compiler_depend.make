@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quic_stob.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for quic_stob.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cca_guard.cpp" "src/CMakeFiles/stob.dir/core/cca_guard.cpp.o" "gcc" "src/CMakeFiles/stob.dir/core/cca_guard.cpp.o.d"
+  "/root/repo/src/core/histogram.cpp" "src/CMakeFiles/stob.dir/core/histogram.cpp.o" "gcc" "src/CMakeFiles/stob.dir/core/histogram.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/CMakeFiles/stob.dir/core/policies.cpp.o" "gcc" "src/CMakeFiles/stob.dir/core/policies.cpp.o.d"
+  "/root/repo/src/core/policy_table.cpp" "src/CMakeFiles/stob.dir/core/policy_table.cpp.o" "gcc" "src/CMakeFiles/stob.dir/core/policy_table.cpp.o.d"
+  "/root/repo/src/defenses/baselines.cpp" "src/CMakeFiles/stob.dir/defenses/baselines.cpp.o" "gcc" "src/CMakeFiles/stob.dir/defenses/baselines.cpp.o.d"
+  "/root/repo/src/defenses/trace_defense.cpp" "src/CMakeFiles/stob.dir/defenses/trace_defense.cpp.o" "gcc" "src/CMakeFiles/stob.dir/defenses/trace_defense.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/stob.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/stob.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/pipe.cpp" "src/CMakeFiles/stob.dir/net/pipe.cpp.o" "gcc" "src/CMakeFiles/stob.dir/net/pipe.cpp.o.d"
+  "/root/repo/src/quic/quic_connection.cpp" "src/CMakeFiles/stob.dir/quic/quic_connection.cpp.o" "gcc" "src/CMakeFiles/stob.dir/quic/quic_connection.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/stob.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/stob.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/stack/host.cpp" "src/CMakeFiles/stob.dir/stack/host.cpp.o" "gcc" "src/CMakeFiles/stob.dir/stack/host.cpp.o.d"
+  "/root/repo/src/stack/nic.cpp" "src/CMakeFiles/stob.dir/stack/nic.cpp.o" "gcc" "src/CMakeFiles/stob.dir/stack/nic.cpp.o.d"
+  "/root/repo/src/stack/qdisc.cpp" "src/CMakeFiles/stob.dir/stack/qdisc.cpp.o" "gcc" "src/CMakeFiles/stob.dir/stack/qdisc.cpp.o.d"
+  "/root/repo/src/stack/tls_record.cpp" "src/CMakeFiles/stob.dir/stack/tls_record.cpp.o" "gcc" "src/CMakeFiles/stob.dir/stack/tls_record.cpp.o.d"
+  "/root/repo/src/tcp/bbr.cpp" "src/CMakeFiles/stob.dir/tcp/bbr.cpp.o" "gcc" "src/CMakeFiles/stob.dir/tcp/bbr.cpp.o.d"
+  "/root/repo/src/tcp/congestion.cpp" "src/CMakeFiles/stob.dir/tcp/congestion.cpp.o" "gcc" "src/CMakeFiles/stob.dir/tcp/congestion.cpp.o.d"
+  "/root/repo/src/tcp/cubic.cpp" "src/CMakeFiles/stob.dir/tcp/cubic.cpp.o" "gcc" "src/CMakeFiles/stob.dir/tcp/cubic.cpp.o.d"
+  "/root/repo/src/tcp/reno.cpp" "src/CMakeFiles/stob.dir/tcp/reno.cpp.o" "gcc" "src/CMakeFiles/stob.dir/tcp/reno.cpp.o.d"
+  "/root/repo/src/tcp/rtt.cpp" "src/CMakeFiles/stob.dir/tcp/rtt.cpp.o" "gcc" "src/CMakeFiles/stob.dir/tcp/rtt.cpp.o.d"
+  "/root/repo/src/tcp/tcp_connection.cpp" "src/CMakeFiles/stob.dir/tcp/tcp_connection.cpp.o" "gcc" "src/CMakeFiles/stob.dir/tcp/tcp_connection.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/stob.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/stob.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/stob.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/stob.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/stob.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/stob.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/stob.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/stob.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/CMakeFiles/stob.dir/util/units.cpp.o" "gcc" "src/CMakeFiles/stob.dir/util/units.cpp.o.d"
+  "/root/repo/src/wf/cumul.cpp" "src/CMakeFiles/stob.dir/wf/cumul.cpp.o" "gcc" "src/CMakeFiles/stob.dir/wf/cumul.cpp.o.d"
+  "/root/repo/src/wf/decision_tree.cpp" "src/CMakeFiles/stob.dir/wf/decision_tree.cpp.o" "gcc" "src/CMakeFiles/stob.dir/wf/decision_tree.cpp.o.d"
+  "/root/repo/src/wf/features.cpp" "src/CMakeFiles/stob.dir/wf/features.cpp.o" "gcc" "src/CMakeFiles/stob.dir/wf/features.cpp.o.d"
+  "/root/repo/src/wf/kfp.cpp" "src/CMakeFiles/stob.dir/wf/kfp.cpp.o" "gcc" "src/CMakeFiles/stob.dir/wf/kfp.cpp.o.d"
+  "/root/repo/src/wf/open_world.cpp" "src/CMakeFiles/stob.dir/wf/open_world.cpp.o" "gcc" "src/CMakeFiles/stob.dir/wf/open_world.cpp.o.d"
+  "/root/repo/src/wf/random_forest.cpp" "src/CMakeFiles/stob.dir/wf/random_forest.cpp.o" "gcc" "src/CMakeFiles/stob.dir/wf/random_forest.cpp.o.d"
+  "/root/repo/src/wf/trace.cpp" "src/CMakeFiles/stob.dir/wf/trace.cpp.o" "gcc" "src/CMakeFiles/stob.dir/wf/trace.cpp.o.d"
+  "/root/repo/src/workload/bulk.cpp" "src/CMakeFiles/stob.dir/workload/bulk.cpp.o" "gcc" "src/CMakeFiles/stob.dir/workload/bulk.cpp.o.d"
+  "/root/repo/src/workload/page_load.cpp" "src/CMakeFiles/stob.dir/workload/page_load.cpp.o" "gcc" "src/CMakeFiles/stob.dir/workload/page_load.cpp.o.d"
+  "/root/repo/src/workload/website.cpp" "src/CMakeFiles/stob.dir/workload/website.cpp.o" "gcc" "src/CMakeFiles/stob.dir/workload/website.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

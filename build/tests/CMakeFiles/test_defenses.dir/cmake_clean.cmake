@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defenses.dir/test_defenses.cpp.o"
+  "CMakeFiles/test_defenses.dir/test_defenses.cpp.o.d"
+  "test_defenses"
+  "test_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

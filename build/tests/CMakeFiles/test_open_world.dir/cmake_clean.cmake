@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_open_world.dir/test_open_world.cpp.o"
+  "CMakeFiles/test_open_world.dir/test_open_world.cpp.o.d"
+  "test_open_world"
+  "test_open_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_open_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic.dir/test_quic.cpp.o"
+  "CMakeFiles/test_quic.dir/test_quic.cpp.o.d"
+  "test_quic"
+  "test_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

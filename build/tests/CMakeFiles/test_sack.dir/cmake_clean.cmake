@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sack.dir/test_sack.cpp.o"
+  "CMakeFiles/test_sack.dir/test_sack.cpp.o.d"
+  "test_sack"
+  "test_sack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp.dir/test_tcp.cpp.o"
+  "CMakeFiles/test_tcp.dir/test_tcp.cpp.o.d"
+  "test_tcp"
+  "test_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

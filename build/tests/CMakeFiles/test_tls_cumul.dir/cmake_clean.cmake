@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tls_cumul.dir/test_tls_cumul.cpp.o"
+  "CMakeFiles/test_tls_cumul.dir/test_tls_cumul.cpp.o.d"
+  "test_tls_cumul"
+  "test_tls_cumul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tls_cumul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wf.dir/test_wf.cpp.o"
+  "CMakeFiles/test_wf.dir/test_wf.cpp.o.d"
+  "test_wf"
+  "test_wf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

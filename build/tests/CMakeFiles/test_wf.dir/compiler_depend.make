@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_wf.
+# This may be replaced when dependencies are built.
