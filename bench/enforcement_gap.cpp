@@ -11,14 +11,21 @@
 //       segment's departure time (EDT) to last + GAP with one MSS per
 //       departure, enforced by the fq qdisc at the bottom of the stack.
 //
-// We report the achieved wire-gap distribution for both. Shape to expect:
-// the app-level gaps are bimodal (near-zero from coalesced bursts, then
-// RTT-scale stalls) while the in-stack gaps sit tightly on the target.
+// Measurement rides on the observability subsystem: a TraceRecorder captures
+// every layer crossing and obs::layer_gaps_us scores the wire schedule —
+// the same code path tests and examples use, so the bench cannot drift from
+// the library. The in-stack run also prints the full per-layer diff report.
+//
+// Shape to expect: the app-level gaps are bimodal (near-zero from coalesced
+// bursts, then RTT-scale stalls) while the in-stack gaps sit tightly on the
+// target.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "core/policy.hpp"
+#include "obs/layer_diff.hpp"
+#include "obs/trace_recorder.hpp"
 #include "stack/host_pair.hpp"
 #include "tcp/tcp_connection.hpp"
 #include "util/stats.hpp"
@@ -56,11 +63,14 @@ struct GapStats {
   std::size_t packets = 0;
 };
 
-GapStats run(bool app_level) {
+GapStats run(bool app_level, obs::LayerDiffReport* report) {
   stack::HostPair::Config cfg;
   cfg.path = net::DuplexPath::symmetric(DataRate::mbps(100), Duration::millis(20),
                                         Bytes::kibi(256));
   stack::HostPair hp(cfg);
+
+  obs::TraceRecorder recorder(1 << 18);
+  obs::ScopedRecorder scoped(recorder);
 
   UniformGapPolicy policy;
   tcp::TcpConnection::Config conn_cfg;
@@ -68,11 +78,6 @@ GapStats run(bool app_level) {
 
   tcp::TcpListener listener(hp.server(), 443, tcp::TcpConnection::Config{});
   tcp::TcpConnection sender(hp.client(), conn_cfg);
-
-  std::vector<double> tx_times;
-  hp.path().forward().set_tx_tap([&](const net::Packet& p, TimePoint t) {
-    if (p.payload.count() > 0) tx_times.push_back(t.sec());
-  });
 
   sender.connect(hp.server().id(), 443);
   // Both locals must outlive hp.run(): the callbacks fire inside it.
@@ -91,12 +96,12 @@ GapStats run(bool app_level) {
   }
   hp.run(TimePoint(Duration::seconds(10).ns()));
 
+  const std::vector<obs::PacketEvent> events = recorder.events();
+  if (report != nullptr) *report = obs::layer_diff(events, sender.key());
+
   GapStats out;
-  out.packets = tx_times.size();
-  std::vector<double> gaps_us;
-  for (std::size_t i = 1; i < tx_times.size(); ++i) {
-    gaps_us.push_back((tx_times[i] - tx_times[i - 1]) * 1e6);
-  }
+  out.packets = obs::tx_events(events, sender.key(), obs::Layer::Wire).size();
+  const std::vector<double> gaps_us = obs::layer_gaps_us(events, sender.key(), obs::Layer::Wire);
   out.mean_us = stats::mean(gaps_us);
   out.std_us = stats::stddev(gaps_us);
   const double target = kGap.us();
@@ -115,8 +120,10 @@ int main() {
   std::printf("intent: one %lld-byte packet every %.0f us; 100 Mb/s, 40 ms RTT path\n\n",
               static_cast<long long>(kChunk), kGap.us());
 
-  const GapStats app = run(/*app_level=*/true);
-  const GapStats stack = run(/*app_level=*/false);
+  obs::LayerDiffReport app_report;
+  obs::LayerDiffReport stack_report;
+  const GapStats app = run(/*app_level=*/true, &app_report);
+  const GapStats stack = run(/*app_level=*/false, &stack_report);
 
   std::printf("%-22s %10s %12s %12s %14s\n", "enforcement", "packets", "gap-mean", "gap-std",
               "within +-20%");
@@ -124,6 +131,11 @@ int main() {
               app.mean_us, app.std_us, app.within_20pct * 100.0);
   std::printf("%-22s %10zu %10.1fus %10.1fus %13.1f%%\n", "in-stack (Stob)", stack.packets,
               stack.mean_us, stack.std_us, stack.within_20pct * 100.0);
+
+  std::printf("\nPer-layer view of the app-level run (where the intent is lost):\n%s",
+              app_report.to_string().c_str());
+  std::printf("\nPer-layer view of the in-stack run (the schedule survives to the wire):\n%s",
+              stack_report.to_string().c_str());
 
   std::printf("\nReading: the stack defers and coalesces the app's writes (window stalls,\n");
   std::printf("TSO batching), so few wire gaps match the intent; the in-stack policy sets\n");

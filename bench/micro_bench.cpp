@@ -11,6 +11,8 @@
 #include "core/histogram.hpp"
 #include "core/policies.hpp"
 #include "net/pipe.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "sim/simulator.hpp"
 #include "stack/nic.hpp"
 #include "stack/qdisc.hpp"
@@ -74,6 +76,47 @@ void BM_NicTsoSplit(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 65160);
 }
 BENCHMARK(BM_NicTsoSplit);
+
+// The observability hook with no recorder installed: must be a pointer load
+// and branch, nothing else (this is the "tracing disabled" tax every packet
+// pays at every layer).
+void BM_ObsHookDisabled(benchmark::State& state) {
+  const net::Packet p = micro_packet(1448);
+  for (auto _ : state) {
+    obs::record_packet(obs::Layer::Nic, obs::Direction::Tx, obs::EventKind::Send, p,
+                       TimePoint(1000));
+    obs::count("nic.wire_packets");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsHookDisabled);
+
+void BM_TraceRecorderRecord(benchmark::State& state) {
+  obs::TraceRecorder rec(1 << 16);
+  obs::ScopedRecorder guard(rec);
+  const net::Packet p = micro_packet(1448);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    obs::record_packet(obs::Layer::Nic, obs::Direction::Tx, obs::EventKind::Send, p,
+                       TimePoint(t += 1000));
+  }
+  benchmark::DoNotOptimize(rec.total_recorded());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceRecorderRecord);
+
+void BM_MetricsObserve(benchmark::State& state) {
+  obs::MetricsRegistry m;
+  obs::ScopedMetrics guard(m);
+  double v = 0.0;
+  for (auto _ : state) {
+    obs::count("tcp.segments_sent");
+    obs::sample("tcp.cwnd_bytes", v += 1.0);
+  }
+  benchmark::DoNotOptimize(m.counter("tcp.segments_sent"));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsObserve);
 
 void BM_PolicyHook(benchmark::State& state) {
   core::SplitPolicy split;

@@ -1,0 +1,78 @@
+// Observability tour: produce a per-layer enforcement-gap report for one
+// defended page load.
+//
+//  1. Install a TraceRecorder (flight recorder of every layer crossing) and
+//     a MetricsRegistry (stack-wide counters/gauges/distributions).
+//  2. Run a page load with a server-side split+delay Stob policy and TLS
+//     record padding — a defended flow.
+//  3. Pick the busiest flow of the capture, align its TLS -> TCP -> qdisc ->
+//     NIC -> wire sequences, and emit the layer-diff report: how much each
+//     layer distorted the sequence above it (the paper's enforcement gap).
+//
+// Build & run:   ./build/examples/observability
+// Artifacts:     observability_events.jsonl (full event trace)
+//                observability_report.csv   (per-layer gap report)
+#include <cstdio>
+
+#include "core/policies.hpp"
+#include "obs/layer_diff.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+#include "workload/page_load.hpp"
+#include "workload/website.hpp"
+
+using namespace stob;
+
+int main() {
+  // --- 1. Observability on ------------------------------------------------
+  obs::TraceRecorder recorder(1 << 18);
+  obs::MetricsRegistry metrics;
+  obs::ScopedRecorder rec_guard(recorder);
+  obs::ScopedMetrics met_guard(metrics);
+
+  // --- 2. One defended page load ------------------------------------------
+  core::SplitPolicy split;  // halve wire packets over 1200 B
+  core::DelayPolicy delay;  // inflate departure gaps by 10-30%
+  core::CompositePolicy combined({&split, &delay});
+
+  workload::PageLoadOptions opt;
+  opt.server_conn.policy = &combined;
+  opt.tls_records = true;
+  opt.tls.pad_to = 512;  // RFC 8446 record padding
+
+  Rng rng(42);
+  const auto& site = workload::nine_sites()[0];
+  const workload::PageLoadResult res = workload::run_page_load(site, rng, opt);
+  std::printf("page load of %s: %s in %.1f ms, %zu objects, %lld response bytes\n\n",
+              site.name.c_str(), res.completed ? "completed" : "INCOMPLETE",
+              res.page_load_time.sec() * 1e3, res.objects_fetched,
+              static_cast<long long>(res.response_bytes));
+
+  // --- 3. Layer-diff report for the dominant (response) flow ---------------
+  const auto events = recorder.events();
+  const auto flows = obs::flows_by_activity(events);
+  if (flows.empty()) {
+    std::printf("no payload events recorded\n");
+    return 1;
+  }
+  std::printf("captured %llu events (%zu flows, %llu overwritten)\n\n",
+              static_cast<unsigned long long>(recorder.total_recorded()), flows.size(),
+              static_cast<unsigned long long>(recorder.overwritten()));
+
+  const obs::LayerDiffReport report = obs::layer_diff(events, flows.front().first);
+  std::printf("%s\n", report.to_string().c_str());
+
+  recorder.write_jsonl("observability_events.jsonl");
+  report.write_csv("observability_report.csv");
+  std::printf("wrote observability_events.jsonl and observability_report.csv\n\n");
+
+  // --- 4. Aggregate metrics ------------------------------------------------
+  std::printf("metrics snapshot:\n%s", metrics.snapshot().c_str());
+
+  std::printf(
+      "\nReading: each transition row is one enforcement gap. tcp>qdisc delay is\n"
+      "the EDT pacing the delay policy injected; qdisc>nic splitting is TSO\n"
+      "re-segmentation after the split policy halved the wire MSS. A defense\n"
+      "evaluated at a layer above the gap never saw these distortions.\n");
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "util/log.hpp"
 
 namespace stob::net {
@@ -31,6 +33,9 @@ void Pipe::start_transmission() {
   queued_bytes_ -= p.wire_size();
   p.sent_at = sim_.now();
   if (tx_tap_) tx_tap_(p, sim_.now());
+  obs::record_packet(obs::Layer::Wire, obs::Direction::Tx, obs::EventKind::Send, p, sim_.now());
+  obs::count("wire.packets");
+  obs::count("wire.bytes", static_cast<std::uint64_t>(p.wire_size().count()));
   const Duration tx = cfg_.rate.transmit_time(p.wire_size());
   sim_.schedule_after(tx, [this, p = std::move(p)]() mutable { on_transmitted(std::move(p)); });
 }
@@ -54,6 +59,8 @@ void Pipe::on_transmitted(Packet p) {
   delivered_bytes_ += p.wire_size();
   sim_.schedule_after(cfg_.delay, [this, p = std::move(p)]() mutable {
     if (rx_tap_) rx_tap_(p, sim_.now());
+    obs::record_packet(obs::Layer::Wire, obs::Direction::Rx, obs::EventKind::Receive, p,
+                       sim_.now());
     if (sink_) sink_(std::move(p));
   });
 }

@@ -1,0 +1,298 @@
+#include "obs/layer_diff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/stats.hpp"
+
+namespace stob::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Canonical top-to-bottom order of TX observation points.
+constexpr Layer kStackOrder[] = {Layer::Tls,   Layer::Tcp, Layer::Quic,
+                                 Layer::Qdisc, Layer::Nic, Layer::Wire};
+
+/// Is `ev` a payload-carrying TX observation at `layer`? Each layer has one
+/// canonical departure kind: the qdisc's is the (post-pacing) dequeue; the
+/// others emit Send/Retransmit. ACK-only packets (bytes == 0) are excluded.
+bool is_tx_unit(const PacketEvent& ev, const net::FlowKey& flow, Layer layer) {
+  if (ev.flow != flow || ev.dir != Direction::Tx || ev.layer != layer || ev.bytes <= 0) {
+    return false;
+  }
+  if (layer == Layer::Qdisc) return ev.kind == EventKind::Dequeue;
+  return ev.kind == EventKind::Send || ev.kind == EventKind::Retransmit;
+}
+
+/// Distinct transmission units of a layer: TX events deduped by stream
+/// offset (retransmissions keep the first emission), sorted by offset. This
+/// is the sequence the layer *intends*, against which the layer below is
+/// compared.
+std::vector<PacketEvent> distinct_units(std::span<const PacketEvent> events,
+                                        const net::FlowKey& flow, Layer layer) {
+  std::vector<PacketEvent> units;
+  for (const PacketEvent& ev : events) {
+    if (is_tx_unit(ev, flow, layer)) units.push_back(ev);
+  }
+  std::stable_sort(units.begin(), units.end(), [](const PacketEvent& a, const PacketEvent& b) {
+    return a.seq != b.seq ? a.seq < b.seq : a.time < b.time;
+  });
+  units.erase(std::unique(units.begin(), units.end(),
+                          [](const PacketEvent& a, const PacketEvent& b) { return a.seq == b.seq; }),
+              units.end());
+  return units;
+}
+
+LayerStats make_layer_stats(Layer layer, std::span<const PacketEvent> txs) {
+  LayerStats s;
+  s.layer = layer;
+  s.events = txs.size();
+  for (const PacketEvent& ev : txs) s.bytes += ev.bytes;
+  s.mean_size = txs.empty() ? 0.0 : static_cast<double>(s.bytes) / static_cast<double>(txs.size());
+  std::vector<double> gaps;
+  gaps.reserve(txs.size());
+  for (std::size_t i = 1; i < txs.size(); ++i) {
+    gaps.push_back((txs[i].time - txs[i - 1].time).us());
+  }
+  s.gap_mean_us = stats::mean(gaps);
+  s.gap_std_us = stats::stddev(gaps);
+  s.gap_p50_us = stats::percentile(gaps, 50.0);
+  s.gap_p90_us = stats::percentile(gaps, 90.0);
+  s.gap_p99_us = stats::percentile(gaps, 99.0);
+  return s;
+}
+
+/// Index of the from-unit covering stream offset `seq`: the last unit whose
+/// offset is <= seq. Units are offset-sorted and start at the stream origin,
+/// so this is the unit whose byte range the offset falls into.
+std::size_t covering_index(const std::vector<PacketEvent>& from, std::uint64_t seq) {
+  auto it = std::upper_bound(from.begin(), from.end(), seq,
+                             [](std::uint64_t s, const PacketEvent& ev) { return s < ev.seq; });
+  if (it == from.begin()) return 0;
+  return static_cast<std::size_t>(std::distance(from.begin(), it)) - 1;
+}
+
+LayerTransition make_transition(Layer from_layer, Layer to_layer,
+                                const std::vector<PacketEvent>& from,
+                                const std::vector<PacketEvent>& to) {
+  LayerTransition t;
+  t.from = from_layer;
+  t.to = to_layer;
+  t.from_units = from.size();
+  t.to_units = to.size();
+  t.count_ratio =
+      from.empty() ? 0.0 : static_cast<double>(to.size()) / static_cast<double>(from.size());
+
+  // Exact re-emissions: a from-unit survives when some to-unit carries the
+  // identical (offset, size). Everything else was resized, split or merged.
+  std::size_t preserved = 0;
+  for (const PacketEvent& f : from) {
+    const bool match = std::any_of(to.begin(), to.end(), [&](const PacketEvent& g) {
+      return g.seq == f.seq && g.bytes == f.bytes;
+    });
+    if (match) ++preserved;
+  }
+  t.size_mismatch_pct =
+      from.empty() ? 0.0
+                   : 100.0 * static_cast<double>(from.size() - preserved) /
+                         static_cast<double>(from.size());
+
+  std::vector<std::uint64_t> covers(from.size(), 0);  // to-units per from-unit
+  std::vector<double> delays;
+  delays.reserve(to.size());
+  for (const PacketEvent& g : to) {
+    const std::size_t i = covering_index(from, g.seq);
+    ++covers[i];
+    // A to-unit merges when its byte range extends into the next from-unit.
+    if (i + 1 < from.size() && g.seq + static_cast<std::uint64_t>(g.bytes) > from[i + 1].seq) {
+      ++t.merged_units;
+    }
+    const double d = (g.time - from[i].time).us();
+    delays.push_back(d > 0.0 ? d : 0.0);
+  }
+  for (std::uint64_t c : covers) {
+    if (c > 1) ++t.split_units;
+  }
+  t.delay_p50_us = stats::percentile(delays, 50.0);
+  t.delay_p90_us = stats::percentile(delays, 90.0);
+  t.delay_p99_us = stats::percentile(delays, 99.0);
+  return t;
+}
+
+}  // namespace
+
+std::vector<PacketEvent> tx_events(std::span<const PacketEvent> events, const net::FlowKey& flow,
+                                   Layer layer) {
+  std::vector<PacketEvent> out;
+  for (const PacketEvent& ev : events) {
+    if (is_tx_unit(ev, flow, layer)) out.push_back(ev);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PacketEvent& a, const PacketEvent& b) { return a.time < b.time; });
+  return out;
+}
+
+std::vector<double> layer_gaps_us(std::span<const PacketEvent> events, const net::FlowKey& flow,
+                                  Layer layer) {
+  const std::vector<PacketEvent> txs = tx_events(events, flow, layer);
+  std::vector<double> gaps;
+  gaps.reserve(txs.size());
+  for (std::size_t i = 1; i < txs.size(); ++i) {
+    gaps.push_back((txs[i].time - txs[i - 1].time).us());
+  }
+  return gaps;
+}
+
+const LayerStats* LayerDiffReport::layer(Layer l) const {
+  for (const LayerStats& s : layers) {
+    if (s.layer == l) return &s;
+  }
+  return nullptr;
+}
+
+const LayerTransition* LayerDiffReport::transition(Layer from, Layer to) const {
+  for (const LayerTransition& t : transitions) {
+    if (t.from == from && t.to == to) return &t;
+  }
+  return nullptr;
+}
+
+LayerDiffReport layer_diff(std::span<const PacketEvent> events, const net::FlowKey& flow) {
+  LayerDiffReport report;
+  report.flow = flow;
+
+  std::vector<Layer> present;
+  std::vector<std::vector<PacketEvent>> units;
+  for (Layer layer : kStackOrder) {
+    const std::vector<PacketEvent> txs = tx_events(events, flow, layer);
+    if (txs.empty()) continue;
+    report.layers.push_back(make_layer_stats(layer, txs));
+    present.push_back(layer);
+    units.push_back(distinct_units(events, flow, layer));
+  }
+  for (std::size_t i = 1; i < present.size(); ++i) {
+    report.transitions.push_back(
+        make_transition(present[i - 1], present[i], units[i - 1], units[i]));
+  }
+  return report;
+}
+
+LayerDiffReport layer_diff(const TraceRecorder& recorder, const net::FlowKey& flow) {
+  const std::vector<PacketEvent> events = recorder.events();
+  return layer_diff(events, flow);
+}
+
+std::vector<std::pair<net::FlowKey, std::size_t>> flows_by_activity(
+    std::span<const PacketEvent> events) {
+  std::unordered_map<net::FlowKey, std::size_t, net::FlowKeyHash> counts;
+  for (const PacketEvent& ev : events) {
+    if (ev.dir == Direction::Tx && ev.bytes > 0) ++counts[ev.flow];
+  }
+  std::vector<std::pair<net::FlowKey, std::size_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    const net::FlowKey& x = a.first;
+    const net::FlowKey& y = b.first;
+    return std::tie(x.src_host, x.dst_host, x.src_port, x.dst_port) <
+           std::tie(y.src_host, y.dst_host, y.src_port, y.dst_port);
+  });
+  return out;
+}
+
+std::string LayerDiffReport::to_string() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "layer-diff flow %u:%u>%u:%u/%s\n", flow.src_host,
+                flow.src_port, flow.dst_host, flow.dst_port,
+                flow.proto == net::Proto::Tcp ? "tcp" : "udp");
+  out += line;
+  out += "  layer   events      bytes  mean_sz   gap_p50us   gap_p90us   gap_p99us\n";
+  for (const LayerStats& s : layers) {
+    std::snprintf(line, sizeof(line), "  %-6s %7zu %10lld %8.1f %11.1f %11.1f %11.1f\n",
+                  std::string(obs::to_string(s.layer)).c_str(), s.events,
+                  static_cast<long long>(s.bytes), s.mean_size, s.gap_p50_us, s.gap_p90_us,
+                  s.gap_p99_us);
+    out += line;
+  }
+  out += "  transition     units    ratio  mismatch%  split  merged   dly_p50us   dly_p99us\n";
+  for (const LayerTransition& t : transitions) {
+    std::snprintf(line, sizeof(line),
+                  "  %-5s>%-6s %4zu>%-4zu %7.2f %9.1f %6llu %7llu %11.1f %11.1f\n",
+                  std::string(obs::to_string(t.from)).c_str(),
+                  std::string(obs::to_string(t.to)).c_str(), t.from_units, t.to_units,
+                  t.count_ratio, t.size_mismatch_pct,
+                  static_cast<unsigned long long>(t.split_units),
+                  static_cast<unsigned long long>(t.merged_units), t.delay_p50_us, t.delay_p99_us);
+    out += line;
+  }
+  return out;
+}
+
+std::vector<csv::Row> LayerDiffReport::to_csv_rows() const {
+  std::vector<csv::Row> rows;
+  rows.push_back({"kind", "layer_from", "layer_to", "events", "bytes", "mean_size", "gap_mean_us",
+                  "gap_std_us", "p50_us", "p90_us", "p99_us", "from_units", "to_units",
+                  "count_ratio", "size_mismatch_pct", "split_units", "merged_units"});
+  for (const LayerStats& s : layers) {
+    rows.push_back({"layer", std::string(obs::to_string(s.layer)), "", std::to_string(s.events),
+                    std::to_string(s.bytes), format_double(s.mean_size),
+                    format_double(s.gap_mean_us), format_double(s.gap_std_us),
+                    format_double(s.gap_p50_us), format_double(s.gap_p90_us),
+                    format_double(s.gap_p99_us), "", "", "", "", "", ""});
+  }
+  for (const LayerTransition& t : transitions) {
+    rows.push_back({"transition", std::string(obs::to_string(t.from)),
+                    std::string(obs::to_string(t.to)), "", "", "", "", "",
+                    format_double(t.delay_p50_us), format_double(t.delay_p90_us),
+                    format_double(t.delay_p99_us), std::to_string(t.from_units),
+                    std::to_string(t.to_units), format_double(t.count_ratio),
+                    format_double(t.size_mismatch_pct), std::to_string(t.split_units),
+                    std::to_string(t.merged_units)});
+  }
+  return rows;
+}
+
+void LayerDiffReport::write_csv(const std::filesystem::path& path) const {
+  csv::write_file(path, to_csv_rows());
+}
+
+void LayerDiffReport::write_jsonl(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path.string());
+  const std::string flow_str = std::to_string(flow.src_host) + ":" + std::to_string(flow.src_port) +
+                               ">" + std::to_string(flow.dst_host) + ":" +
+                               std::to_string(flow.dst_port) +
+                               (flow.proto == net::Proto::Tcp ? "/tcp" : "/udp");
+  for (const LayerStats& s : layers) {
+    out << "{\"kind\":\"layer\",\"flow\":\"" << flow_str << "\",\"layer\":\""
+        << obs::to_string(s.layer) << "\",\"events\":" << s.events << ",\"bytes\":" << s.bytes
+        << ",\"mean_size\":" << format_double(s.mean_size)
+        << ",\"gap_mean_us\":" << format_double(s.gap_mean_us)
+        << ",\"gap_std_us\":" << format_double(s.gap_std_us)
+        << ",\"gap_p50_us\":" << format_double(s.gap_p50_us)
+        << ",\"gap_p90_us\":" << format_double(s.gap_p90_us)
+        << ",\"gap_p99_us\":" << format_double(s.gap_p99_us) << "}\n";
+  }
+  for (const LayerTransition& t : transitions) {
+    out << "{\"kind\":\"transition\",\"flow\":\"" << flow_str << "\",\"from\":\""
+        << obs::to_string(t.from) << "\",\"to\":\"" << obs::to_string(t.to)
+        << "\",\"from_units\":" << t.from_units << ",\"to_units\":" << t.to_units
+        << ",\"count_ratio\":" << format_double(t.count_ratio)
+        << ",\"size_mismatch_pct\":" << format_double(t.size_mismatch_pct)
+        << ",\"split_units\":" << t.split_units << ",\"merged_units\":" << t.merged_units
+        << ",\"delay_p50_us\":" << format_double(t.delay_p50_us)
+        << ",\"delay_p90_us\":" << format_double(t.delay_p90_us)
+        << ",\"delay_p99_us\":" << format_double(t.delay_p99_us) << "}\n";
+  }
+}
+
+}  // namespace stob::obs

@@ -1,0 +1,99 @@
+// Per-layer enforcement-gap analysis.
+//
+// Given the flight-recorder events of one flow, this module aligns the
+// per-layer TX sequences (TLS records -> TCP/QUIC segments -> qdisc
+// releases -> NIC wire packets -> wire serialisation) by stream offset and
+// reports how much each layer distorted the sequence the layer above
+// emitted: unit-count ratios (segments merged/split), size mismatches, and
+// added-delay percentiles. This is the paper's app-vs-wire "enforcement
+// gap" as a library call, usable from tests, examples and every bench —
+// bench/enforcement_gap consumes it instead of ad-hoc bookkeeping, so the
+// bench and the library can never disagree.
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "obs/trace_recorder.hpp"
+#include "util/csv.hpp"
+
+namespace stob::obs {
+
+/// Descriptive statistics of one layer's TX sequence for a flow.
+struct LayerStats {
+  Layer layer = Layer::App;
+  std::size_t events = 0;
+  std::int64_t bytes = 0;       ///< total payload bytes observed
+  double mean_size = 0.0;       ///< bytes per unit
+  // Inter-departure gaps between consecutive units, microseconds.
+  double gap_mean_us = 0.0;
+  double gap_std_us = 0.0;
+  double gap_p50_us = 0.0;
+  double gap_p90_us = 0.0;
+  double gap_p99_us = 0.0;
+};
+
+/// Distortion introduced between two adjacent layers.
+struct LayerTransition {
+  Layer from = Layer::App;
+  Layer to = Layer::App;
+  std::size_t from_units = 0;   ///< distinct units (deduped by offset) above
+  std::size_t to_units = 0;     ///< distinct units below
+  double count_ratio = 0.0;     ///< to_units / from_units (>1 = splitting)
+  double size_mismatch_pct = 0.0;  ///< % of from-units not re-emitted at identical (offset,size)
+  std::uint64_t split_units = 0;   ///< from-units emitted as more than one to-unit
+  std::uint64_t merged_units = 0;  ///< to-units spanning more than one from-unit
+  // Added delay: to-unit time minus covering from-unit time, microseconds.
+  double delay_p50_us = 0.0;
+  double delay_p90_us = 0.0;
+  double delay_p99_us = 0.0;
+
+  /// True when this boundary changed the sequence at all (resizing,
+  /// splitting, merging, or delaying it).
+  bool distorted() const {
+    return size_mismatch_pct > 0.0 || split_units > 0 || merged_units > 0 || delay_p50_us > 0.0;
+  }
+};
+
+struct LayerDiffReport {
+  net::FlowKey flow;
+  std::vector<LayerStats> layers;            ///< stack order, present layers only
+  std::vector<LayerTransition> transitions;  ///< between adjacent present layers
+
+  const LayerStats* layer(Layer l) const;
+  const LayerTransition* transition(Layer from, Layer to) const;
+
+  /// Human-readable table.
+  std::string to_string() const;
+
+  /// CSV: one "layer" row per layer, one "transition" row per boundary.
+  std::vector<csv::Row> to_csv_rows() const;
+  void write_csv(const std::filesystem::path& path) const;
+  /// JSONL: one object per layer and per transition.
+  void write_jsonl(const std::filesystem::path& path) const;
+};
+
+/// TX-path events of `flow` at `layer` (payload-carrying only), time-ordered.
+std::vector<PacketEvent> tx_events(std::span<const PacketEvent> events,
+                                   const net::FlowKey& flow, Layer layer);
+
+/// Inter-departure gaps (microseconds) between consecutive TX units of
+/// `flow` observed at `layer`. The wire-layer version of this vector is what
+/// bench/enforcement_gap scores against its target schedule.
+std::vector<double> layer_gaps_us(std::span<const PacketEvent> events,
+                                  const net::FlowKey& flow, Layer layer);
+
+/// Build the per-layer report for one flow.
+LayerDiffReport layer_diff(std::span<const PacketEvent> events, const net::FlowKey& flow);
+LayerDiffReport layer_diff(const TraceRecorder& recorder, const net::FlowKey& flow);
+
+/// Flows present in the events with their TX payload-event counts, busiest
+/// first — convenient for picking the dominant data flow of a capture.
+std::vector<std::pair<net::FlowKey, std::size_t>> flows_by_activity(
+    std::span<const PacketEvent> events);
+
+}  // namespace stob::obs

@@ -1,0 +1,119 @@
+// Named metrics registry: counters, gauges and streaming distributions.
+//
+// Complements the flight recorder (trace_recorder.hpp) with aggregate
+// signals — retransmits, cwnd samples, qdisc depth/drops, TSO split counts,
+// pacing-release delays, simulator internals — that are cheap enough to keep
+// for a whole run. Distributions reuse stats::Welford for O(1) streaming
+// moments plus a bounded sample reservoir from which a core::Histogram can
+// be fitted when a full shape is wanted.
+//
+// Like tracing, metrics are opt-in via a process-global slot: with no
+// registry installed every hook is one pointer load and branch. Snapshots
+// are emitted in sorted name order, so two identical deterministic sim runs
+// produce byte-identical snapshots.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/histogram.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace stob::sim {
+class Simulator;
+}
+
+namespace stob::obs {
+
+class MetricsRegistry {
+ public:
+  /// Streaming view of an observed value series.
+  struct Distribution {
+    stats::Welford welford;
+    double min = 0.0;
+    double max = 0.0;
+    /// First kReservoirCap samples, kept so a shape (core::Histogram) can be
+    /// reconstructed without unbounded memory.
+    std::vector<double> reservoir;
+
+    std::size_t count() const { return welford.count(); }
+    double mean() const { return welford.mean(); }
+    double stddev() const { return welford.stddev(); }
+
+    /// Fit a core::Histogram over the retained samples ([min, max] range).
+    core::Histogram to_histogram(std::size_t bins = 32) const;
+  };
+
+  static constexpr std::size_t kReservoirCap = 4096;
+
+  /// Increment the named counter.
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Set the named gauge to `value` (last write wins).
+  void set(std::string_view name, double value);
+
+  /// Feed one sample into the named distribution.
+  void observe(std::string_view name, double value);
+
+  std::uint64_t counter(std::string_view name) const;  ///< 0 when absent
+  double gauge(std::string_view name) const;           ///< 0 when absent
+  const Distribution* distribution(std::string_view name) const;  ///< nullptr when absent
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && dists_.empty(); }
+  void clear();
+
+  /// Deterministic text rendering, one metric per line, sorted by name.
+  std::string snapshot() const;
+
+  /// CSV rows (kind,name,count,value,mean,stddev,min,max), sorted by name.
+  std::vector<csv::Row> to_csv_rows() const;
+  void write_csv(const std::filesystem::path& path) const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Distribution, std::less<>> dists_;
+};
+
+/// Copy a simulator's internals (events executed / pending / cancelled) into
+/// gauges — call at the end of a run, or periodically from a scheduled probe.
+void scrape_simulator(const sim::Simulator& sim, MetricsRegistry& m);
+
+// ---------------------------------------------------------------- install
+
+namespace detail {
+extern MetricsRegistry* g_metrics;  // nullptr = metrics disabled
+}  // namespace detail
+
+inline MetricsRegistry* metrics() noexcept { return detail::g_metrics; }
+
+void install_metrics(MetricsRegistry* m) noexcept;
+
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry& m) : prev_(metrics()) { install_metrics(&m); }
+  ~ScopedMetrics() { install_metrics(prev_); }
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
+
+// One-line hook helpers: no-ops (one load + branch) when disabled.
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (MetricsRegistry* m = detail::g_metrics) m->add(name, delta);
+}
+inline void sample(std::string_view name, double value) {
+  if (MetricsRegistry* m = detail::g_metrics) m->observe(name, value);
+}
+inline void set_gauge(std::string_view name, double value) {
+  if (MetricsRegistry* m = detail::g_metrics) m->set(name, value);
+}
+
+}  // namespace stob::obs

@@ -1,0 +1,141 @@
+// Stack-wide flight recorder.
+//
+// The paper's core claim is that app-layer packet-sequence intent is
+// destroyed *between* layers: socket buffering defers writes, the CCA and
+// fq qdisc reschedule departures, and TSO splits super-segments into
+// line-rate micro-bursts. This module records one PacketEvent at every
+// layer boundary a packet crosses (TLS record -> TCP/QUIC segment -> qdisc
+// -> NIC/TSO -> wire), so the distortion each layer introduces becomes a
+// queryable signal rather than a one-off bench observation.
+//
+// Recording is opt-in via a process-global slot: with no recorder installed
+// every hook is a single pointer load and branch — no allocation, no
+// formatting — so Tier-1 bench numbers are unaffected. The simulator is
+// single-threaded, so the slot needs no synchronisation.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+namespace stob::obs {
+
+/// Stack layer a packet event was observed at, in top-to-bottom order.
+enum class Layer : std::uint8_t { App, Tls, Tcp, Quic, Qdisc, Nic, Wire };
+
+enum class Direction : std::uint8_t { Tx, Rx };
+
+enum class EventKind : std::uint8_t {
+  Send,        ///< unit emitted by the layer (record sealed, segment built, ...)
+  Receive,     ///< unit delivered upward by the layer
+  Retransmit,  ///< transport re-emission of already-sent bytes
+  Enqueue,     ///< accepted into a queue (qdisc)
+  Dequeue,     ///< released from a queue (post-pacing)
+  Drop,        ///< discarded at a queue limit
+};
+
+std::string_view to_string(Layer layer);
+std::string_view to_string(Direction dir);
+std::string_view to_string(EventKind kind);
+
+/// One observation of a packet (or record/segment) at a layer boundary.
+struct PacketEvent {
+  TimePoint time;
+  net::FlowKey flow;
+  Layer layer = Layer::App;
+  Direction dir = Direction::Tx;
+  EventKind kind = EventKind::Send;
+  std::int64_t bytes = 0;       ///< transport payload bytes of the unit
+  std::uint64_t seq = 0;        ///< stream offset (TLS/TCP) or packet number (QUIC)
+  std::uint64_t packet_id = 0;  ///< net::Packet::id where one exists
+
+  friend bool operator==(const PacketEvent&, const PacketEvent&) = default;
+};
+
+/// Bounded ring buffer of PacketEvents. When full, the oldest events are
+/// overwritten (flight-recorder semantics): the tail of a run is always
+/// retained, and capacity bounds memory for arbitrarily long simulations.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  void record(const PacketEvent& ev);
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const;                     ///< events currently held
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t overwritten() const;            ///< events lost to wraparound
+  void clear();
+
+  /// Snapshot of the held events, oldest first.
+  std::vector<PacketEvent> events() const;
+
+  // ---- exporters ----
+  void write_csv(const std::filesystem::path& path) const;
+  void write_jsonl(const std::filesystem::path& path) const;
+
+  static csv::Row csv_header();
+  static csv::Row to_csv_row(const PacketEvent& ev);
+  /// Inverse of to_csv_row; nullopt on malformed rows (used by round-trip
+  /// tests and offline analysis of exported traces).
+  static std::optional<PacketEvent> from_csv_row(const csv::Row& row);
+  static std::string to_json(const PacketEvent& ev);
+
+ private:
+  std::vector<PacketEvent> buf_;
+  std::size_t head_ = 0;     // next write position
+  std::uint64_t total_ = 0;  // lifetime record() count
+};
+
+// ---------------------------------------------------------------- install
+
+namespace detail {
+extern TraceRecorder* g_recorder;  // nullptr = tracing disabled
+}  // namespace detail
+
+/// Currently installed recorder, or nullptr. The disabled fast path at every
+/// hook site is exactly this load plus a branch.
+inline TraceRecorder* recorder() noexcept { return detail::g_recorder; }
+
+/// Install (or, with nullptr, remove) the process-global recorder.
+void install_recorder(TraceRecorder* r) noexcept;
+
+/// RAII installation for a scope (a test, one page load, one bench run).
+/// Restores the previously installed recorder on destruction.
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(TraceRecorder& r) : prev_(recorder()) { install_recorder(&r); }
+  ~ScopedRecorder() { install_recorder(prev_); }
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  TraceRecorder* prev_;
+};
+
+/// Record an observation of `p` if a recorder is installed. seq is taken
+/// from the transport header (TCP stream offset / QUIC packet number).
+inline void record_packet(Layer layer, Direction dir, EventKind kind, const net::Packet& p,
+                          TimePoint now) {
+  TraceRecorder* r = detail::g_recorder;
+  if (r == nullptr) return;
+  PacketEvent ev;
+  ev.time = now;
+  ev.flow = p.flow;
+  ev.layer = layer;
+  ev.dir = dir;
+  ev.kind = kind;
+  ev.bytes = p.payload.count();
+  ev.seq = p.is_tcp() ? p.tcp().seq : p.quic().packet_number;
+  ev.packet_id = p.id;
+  r->record(ev);
+}
+
+}  // namespace stob::obs

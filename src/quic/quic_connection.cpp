@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "util/log.hpp"
 
 namespace stob::quic {
@@ -96,6 +98,8 @@ void QuicConnection::handle_datagram(net::Packet p) {
   } else if (h.packet_number == recv_contiguous_ + 1) {
     recv_contiguous_ = h.packet_number;
   }
+
+  obs::record_packet(obs::Layer::Quic, obs::Direction::Rx, obs::EventKind::Receive, p, sim_.now());
 
   bool eliciting = false;
   for (const net::QuicFrame& frame : h.frames) {
@@ -248,6 +252,7 @@ void QuicConnection::detect_losses(std::uint64_t largest_acked, TimePoint now) {
                          largest_acked;
     if (pn_lost) {
       ++stats_.packets_lost;
+      obs::count("quic.packets_lost");
       if (it->second.ack_eliciting) inflight_ -= it->second.size.count();
       requeue_lost(it->second);
       it = sent_.erase(it);
@@ -420,6 +425,9 @@ std::int64_t QuicConnection::emit_packet(bool force_padding_to_initial) {
 
   ++stats_.packets_sent;
   stats_.bytes_sent += Bytes(payload);
+  obs::record_packet(obs::Layer::Quic, obs::Direction::Tx, obs::EventKind::Send, pkt, now);
+  obs::count("quic.packets_sent");
+  obs::sample("quic.cwnd_bytes", static_cast<double>(cca_->cwnd().count()));
   host_.nic().transmit(std::move(pkt));
   if (eliciting && !pto_armed_) arm_pto();
   return stream_payload;
@@ -447,6 +455,7 @@ void QuicConnection::arm_pto() {
 void QuicConnection::on_pto_fire() {
   if (sent_.empty()) return;
   ++stats_.pto_fires;
+  obs::count("quic.pto_fires");
   ++pto_backoff_;
   // Probe: retransmit the oldest unacked packet's frames.
   const SentPacket oldest = sent_.begin()->second;

@@ -17,7 +17,10 @@ void Simulator::cancel(EventId id) {
   if (!id.valid()) return;
   // The entry stays in the heap but is skipped when popped; the set keeps
   // pending() accurate and prevents double counting.
-  if (cancelled_.insert(id.seq_).second) ++cancelled_in_queue_;
+  if (cancelled_.insert(id.seq_).second) {
+    ++cancelled_in_queue_;
+    ++cancelled_total_;
+  }
 }
 
 bool Simulator::step(TimePoint until) {

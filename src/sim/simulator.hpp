@@ -67,6 +67,10 @@ class Simulator {
   /// Total events executed since construction.
   std::uint64_t executed() const { return executed_; }
 
+  /// Total events cancelled since construction (cancellation churn — mostly
+  /// transport timers rearmed before firing).
+  std::uint64_t cancelled() const { return cancelled_total_; }
+
  private:
   struct Entry {
     TimePoint when;
@@ -83,6 +87,7 @@ class Simulator {
   TimePoint now_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_total_ = 0;
   std::size_t cancelled_in_queue_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   std::unordered_set<std::uint64_t> cancelled_;

@@ -1,7 +1,10 @@
 #include "stack/nic.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "util/log.hpp"
 
 namespace stob::stack {
@@ -63,6 +66,9 @@ void Nic::push_to_wire(net::Packet p) {
     // Hardware segmentation: equal-size packets at line rate, the last one
     // possibly short. Only TCP super-segments use this path.
     ++tso_segments_split_;
+    obs::count("nic.tso_splits");
+    obs::sample("nic.split_factor",
+                static_cast<double>((payload + p.tso_mss - 1) / p.tso_mss));
     const std::int64_t mss = p.tso_mss;
     std::int64_t offset = 0;
     while (offset < payload) {
@@ -80,6 +86,9 @@ void Nic::push_to_wire(net::Packet p) {
       ring_bytes_ += wire.wire_size();
       ring_per_flow_[wire.flow] += wire.wire_size().count();
       ++wire_packets_sent_;
+      obs::count("nic.wire_packets");
+      obs::record_packet(obs::Layer::Nic, obs::Direction::Tx, obs::EventKind::Send, wire,
+                         sim_.now());
       egress_->send(std::move(wire));
     }
     return;
@@ -87,6 +96,8 @@ void Nic::push_to_wire(net::Packet p) {
   ring_bytes_ += p.wire_size();
   ring_per_flow_[p.flow] += p.wire_size().count();
   ++wire_packets_sent_;
+  obs::count("nic.wire_packets");
+  obs::record_packet(obs::Layer::Nic, obs::Direction::Tx, obs::EventKind::Send, p, sim_.now());
   egress_->send(std::move(p));
 }
 

@@ -3,9 +3,41 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "util/log.hpp"
 
 namespace stob::stack {
+
+namespace {
+
+// Observability taps shared by both qdiscs. All of these are single
+// load-and-branch no-ops when no recorder/registry is installed.
+
+void note_enqueue(const net::Packet& p, Bytes backlog) {
+  obs::record_packet(obs::Layer::Qdisc, obs::Direction::Tx, obs::EventKind::Enqueue, p,
+                     p.enqueued_at);
+  obs::count("qdisc.enqueued");
+  obs::sample("qdisc.backlog_bytes", static_cast<double>(backlog.count()));
+}
+
+void note_drop(const net::Packet& p) {
+  obs::record_packet(obs::Layer::Qdisc, obs::Direction::Tx, obs::EventKind::Drop, p,
+                     p.enqueued_at);
+  obs::count("qdisc.drops");
+}
+
+void note_dequeue(const net::Packet& p, TimePoint now) {
+  obs::record_packet(obs::Layer::Qdisc, obs::Direction::Tx, obs::EventKind::Dequeue, p, now);
+  obs::count("qdisc.dequeued");
+  obs::sample("qdisc.sojourn_us", (now - p.enqueued_at).us());
+  if (p.not_before != TimePoint::zero()) {
+    const double late = (now - p.not_before).us();
+    obs::sample("qdisc.pacing_release_delay_us", late > 0.0 ? late : 0.0);
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- FifoQdisc
 
@@ -13,14 +45,16 @@ void FifoQdisc::enqueue(net::Packet p) {
   const Bytes size = p.wire_size();
   if (capacity_.count() > 0 && backlog_ + size > capacity_ && !queue_.empty()) {
     ++dropped_;
+    note_drop(p);
     return;
   }
   backlog_ += size;
   per_flow_bytes_[p.flow] += size.count();
+  note_enqueue(p, backlog_);
   queue_.push_back(std::move(p));
 }
 
-std::optional<net::Packet> FifoQdisc::dequeue(TimePoint /*now*/) {
+std::optional<net::Packet> FifoQdisc::dequeue(TimePoint now) {
   if (queue_.empty()) return std::nullopt;
   net::Packet p = std::move(queue_.front());
   queue_.pop_front();
@@ -31,6 +65,7 @@ std::optional<net::Packet> FifoQdisc::dequeue(TimePoint /*now*/) {
     it->second -= size.count();
     if (it->second <= 0) per_flow_bytes_.erase(it);
   }
+  note_dequeue(p, now);
   return p;
 }
 
@@ -51,6 +86,7 @@ void FqQdisc::enqueue(net::Packet p) {
   const Bytes size = p.wire_size();
   if (cfg_.capacity.count() > 0 && backlog_ + size > cfg_.capacity && backlog_.count() > 0) {
     ++dropped_;
+    note_drop(p);
     return;
   }
   // Clamp absurd EDT values (fq's horizon), so a buggy policy cannot wedge
@@ -64,6 +100,7 @@ void FqQdisc::enqueue(net::Packet p) {
     fq.in_round = true;
     round_.push_back(p.flow);
   }
+  note_enqueue(p, backlog_);
   fq.packets.push_back(std::move(p));
 }
 
@@ -106,6 +143,7 @@ std::optional<net::Packet> FqQdisc::dequeue(TimePoint now) {
       round_.pop_front();
       flows_.erase(it);
     }
+    note_dequeue(p, now);
     return p;
   }
   return std::nullopt;

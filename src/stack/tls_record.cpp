@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+
 namespace stob::stack {
 
 namespace {
@@ -23,7 +26,7 @@ std::int64_t tls_sealed_size(std::int64_t plaintext, const TlsConfig& cfg) {
   return wire;
 }
 
-std::int64_t TlsSession::seal(std::int64_t plaintext) {
+std::int64_t TlsSession::seal(std::int64_t plaintext, TimePoint now) {
   std::int64_t wire_total = 0;
   while (plaintext > 0) {
     const std::int64_t chunk = std::min(plaintext, cfg_.max_record);
@@ -32,19 +35,48 @@ std::int64_t TlsSession::seal(std::int64_t plaintext) {
     padding_bytes_ += body - chunk;
     in_flight_.push_back({wire, chunk});
     ++records_sealed_;
+    obs::count("tls.records_sealed");
+    if (body > chunk) {
+      obs::count("tls.padding_bytes", static_cast<std::uint64_t>(body - chunk));
+    }
+    if (obs::TraceRecorder* r = obs::recorder()) {
+      obs::PacketEvent ev;
+      ev.time = now;
+      ev.flow = flow_;
+      ev.layer = obs::Layer::Tls;
+      ev.dir = obs::Direction::Tx;
+      ev.kind = obs::EventKind::Send;
+      ev.bytes = wire;
+      ev.seq = static_cast<std::uint64_t>(send_offset_);
+      r->record(ev);
+    }
+    send_offset_ += wire;
     wire_total += wire;
     plaintext -= chunk;
   }
   return wire_total;
 }
 
-std::int64_t TlsSession::open(std::int64_t wire) {
+std::int64_t TlsSession::open(std::int64_t wire, TimePoint now) {
   std::int64_t plaintext = 0;
   buffered_ += wire;
   while (!in_flight_.empty() && buffered_ >= in_flight_.front().wire) {
-    buffered_ -= in_flight_.front().wire;
-    plaintext += in_flight_.front().plaintext;
+    const Record rec = in_flight_.front();
+    buffered_ -= rec.wire;
+    plaintext += rec.plaintext;
     in_flight_.pop_front();
+    if (obs::TraceRecorder* r = obs::recorder()) {
+      obs::PacketEvent ev;
+      ev.time = now;
+      ev.flow = flow_;
+      ev.layer = obs::Layer::Tls;
+      ev.dir = obs::Direction::Rx;
+      ev.kind = obs::EventKind::Receive;
+      ev.bytes = rec.wire;
+      ev.seq = static_cast<std::uint64_t>(recv_offset_);
+      r->record(ev);
+    }
+    recv_offset_ += rec.wire;
   }
   return plaintext;
 }

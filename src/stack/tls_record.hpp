@@ -21,6 +21,9 @@
 #include <cstdint>
 #include <deque>
 
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
 namespace stob::stack {
 
 struct TlsConfig {
@@ -41,14 +44,23 @@ class TlsSession {
   TlsSession() : TlsSession(TlsConfig{}) {}
   explicit TlsSession(TlsConfig cfg) : cfg_(cfg) {}
 
+  /// Attach the flow this session rides on, so sealed/opened records are
+  /// attributed to it in the observability trace.
+  void set_flow(const net::FlowKey& flow) { flow_ = flow; }
+
   /// Seal `plaintext` bytes; returns the ciphertext bytes to hand to TCP.
-  std::int64_t seal(std::int64_t plaintext);
+  /// The timestamped overload additionally records one obs::PacketEvent per
+  /// record sealed (layer = Tls), with seq = the record's cumulative wire
+  /// offset — the same coordinate space as the TCP stream offsets below it.
+  std::int64_t seal(std::int64_t plaintext) { return seal(plaintext, TimePoint::zero()); }
+  std::int64_t seal(std::int64_t plaintext, TimePoint now);
 
   /// Feed `wire` ciphertext bytes (in stream order, any chunking); returns
   /// the plaintext bytes that became available (completed records only;
   /// partially received records stay buffered, like a real TLS receiver
   /// that cannot authenticate a partial record).
-  std::int64_t open(std::int64_t wire);
+  std::int64_t open(std::int64_t wire) { return open(wire, TimePoint::zero()); }
+  std::int64_t open(std::int64_t wire, TimePoint now);
 
   std::uint64_t records_sealed() const { return records_sealed_; }
   std::int64_t padding_bytes() const { return padding_bytes_; }
@@ -61,10 +73,13 @@ class TlsSession {
   };
 
   TlsConfig cfg_;
+  net::FlowKey flow_;
   std::deque<Record> in_flight_;  // sealed, not yet fully received
   std::int64_t buffered_ = 0;     // received bytes of the head record
   std::uint64_t records_sealed_ = 0;
   std::int64_t padding_bytes_ = 0;
+  std::int64_t send_offset_ = 0;  // cumulative ciphertext offset sealed
+  std::int64_t recv_offset_ = 0;  // cumulative ciphertext offset opened
 };
 
 }  // namespace stob::stack

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "util/log.hpp"
 
 namespace stob::tcp {
@@ -266,6 +268,7 @@ void TcpConnection::process_ack(const net::TcpHeader& h, bool has_payload) {
 // -------------------------------------------------------------- data path
 
 void TcpConnection::process_data(const net::Packet& p) {
+  obs::record_packet(obs::Layer::Tcp, obs::Direction::Rx, obs::EventKind::Receive, p, sim_.now());
   const net::TcpHeader& h = p.tcp();
   const std::uint64_t start = h.seq;
   const std::uint64_t end = start + static_cast<std::uint64_t>(p.payload.count());
@@ -483,6 +486,12 @@ std::int64_t TcpConnection::emit_segment(std::uint64_t seq, std::int64_t len, bo
   ++stats_.segments_sent;
   stats_.bytes_sent += Bytes(seg_len);
   if (is_retx) ++stats_.retransmissions;
+
+  obs::record_packet(obs::Layer::Tcp, obs::Direction::Tx,
+                     is_retx ? obs::EventKind::Retransmit : obs::EventKind::Send, pkt, now);
+  obs::count(is_retx ? "tcp.retransmissions" : "tcp.segments_sent");
+  obs::sample("tcp.cwnd_bytes", static_cast<double>(cca_->cwnd().count()));
+  if (pkt.not_before > now) obs::sample("tcp.pacing_delay_us", (pkt.not_before - now).us());
 
   // Sending data carries an ACK: any pending delayed ACK is satisfied.
   if (delack_armed_) {
@@ -725,6 +734,7 @@ void TcpConnection::on_rto_fire() {
   }
   if (rtx_queue_.empty()) return;
   ++stats_.rto_fires;
+  obs::count("tcp.rto_fires");
   rtt_.backoff();
   cca_->on_rto(sim_.now());
   in_recovery_ = false;

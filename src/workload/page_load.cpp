@@ -15,6 +15,9 @@ constexpr net::Port kHttpsPort = 443;
 struct Fetch {
   std::int64_t request = 0;
   std::int64_t response = 0;
+  /// Pre-TLS-framing sizes; the response is sealed server-side at actual
+  /// send time so TLS record events carry honest timestamps.
+  std::int64_t raw_response = 0;
   Duration think;
   bool is_object = false;
 };
@@ -42,7 +45,12 @@ class Driver {
     listener_->set_accept_callback([this](tcp::TcpConnection& c) {
       ServerScript& script = scripts_[c.key().reversed()];
       script.conn = &c;
+      if (options_.tls_records) {
+        script.tls = std::make_unique<stack::TlsSession>(options_.tls);
+        script.tls->set_flow(c.key());
+      }
       c.on_data = [this, &script](Bytes n) {
+        open_client_records(script, n);
         script.buffered += n.count();
         pump_server(script);
       };
@@ -71,6 +79,9 @@ class Driver {
  private:
   struct ClientSlot {
     std::unique_ptr<tcp::TcpConnection> conn;
+    /// Client-to-server record layer (present when options.tls_records):
+    /// the client seals requests, the server opens them.
+    std::unique_ptr<stack::TlsSession> tls;
     std::int64_t awaiting = 0;
     Fetch current;
     bool ready = false;  // TLS exchange finished, can carry requests
@@ -78,6 +89,9 @@ class Driver {
 
   struct ServerScript {
     tcp::TcpConnection* conn = nullptr;
+    /// Server-to-client record layer: the server seals responses at send
+    /// time, the client opens them on arrival.
+    std::unique_ptr<stack::TlsSession> tls;
     std::deque<Fetch> queue;
     std::int64_t buffered = 0;
     bool busy = false;  // a think/response is in progress
@@ -91,6 +105,24 @@ class Driver {
     conn.on_connected = [this, i] { on_client_connected(i); };
     conn.on_data = [this, i](Bytes n) { on_client_data(i, n); };
     conn.connect(hp_->server().id(), kHttpsPort);
+    if (options_.tls_records) {
+      slot.tls = std::make_unique<stack::TlsSession>(options_.tls);
+      slot.tls->set_flow(conn.key());
+    }
+  }
+
+  /// Feed request ciphertext arriving at the server into the client's
+  /// sealing session, completing its records (observability only; sizes are
+  /// handled by the out-of-band script).
+  void open_client_records(ServerScript& script, Bytes n) {
+    if (!options_.tls_records || script.conn == nullptr) return;
+    const net::FlowKey client_key = script.conn->key().reversed();
+    for (ClientSlot& slot : slots_) {
+      if (slot.tls && slot.conn && slot.conn->key() == client_key) {
+        slot.tls->open(n.count(), hp_->sim().now());
+        return;
+      }
+    }
   }
 
   void on_client_connected(std::size_t i) {
@@ -105,6 +137,12 @@ class Driver {
 
   void on_client_data(std::size_t i, Bytes n) {
     ClientSlot& slot = slots_[i];
+    if (options_.tls_records) {
+      auto it = scripts_.find(slot.conn->key());
+      if (it != scripts_.end() && it->second.tls) {
+        it->second.tls->open(n.count(), hp_->sim().now());
+      }
+    }
     slot.awaiting -= n.count();
     if (slot.awaiting > 0) return;
 
@@ -151,13 +189,17 @@ class Driver {
   }
 
   void send_fetch(std::size_t i, Fetch fetch) {
+    ClientSlot& slot = slots_[i];
     if (options_.tls_records) {
       // Both directions travel as TLS records: sizes grow by the framing
-      // overhead and any record-padding policy.
-      fetch.request = stack::tls_sealed_size(fetch.request, options_.tls);
+      // overhead and any record-padding policy. The request is sealed now
+      // (it goes out now); the response is sealed by the server session at
+      // response time, on the same size schedule.
+      fetch.raw_response = fetch.response;
+      fetch.request = slot.tls ? slot.tls->seal(fetch.request, hp_->sim().now())
+                               : stack::tls_sealed_size(fetch.request, options_.tls);
       fetch.response = stack::tls_sealed_size(fetch.response, options_.tls);
     }
-    ClientSlot& slot = slots_[i];
     slot.current = fetch;
     slot.awaiting = fetch.response;
     scripts_[slot.conn->key()].queue.push_back(fetch);
@@ -176,7 +218,14 @@ class Driver {
     script.busy = true;
     hp_->sim().schedule_after(fetch.think, [this, &script, fetch] {
       script.busy = false;
-      if (script.conn != nullptr) script.conn->send(Bytes(fetch.response));
+      if (script.conn != nullptr) {
+        std::int64_t wire = fetch.response;
+        if (script.tls) {
+          // Seal at actual send time; sizes match the pre-computed schedule.
+          wire = script.tls->seal(fetch.raw_response, hp_->sim().now());
+        }
+        script.conn->send(Bytes(wire));
+      }
       pump_server(script);
     });
   }

@@ -1,0 +1,357 @@
+// Tests for the observability subsystem: flight-recorder ring buffer,
+// exporter round-trips, metrics determinism across identical runs, and the
+// per-layer enforcement-gap (layer-diff) report on a defended page load.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/policies.hpp"
+#include "obs/layer_diff.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+#include "stack/host_pair.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "util/csv.hpp"
+#include "workload/page_load.hpp"
+#include "workload/website.hpp"
+
+namespace stob::obs {
+namespace {
+
+PacketEvent make_event(std::int64_t t_ns, std::uint64_t seq, std::int64_t bytes,
+                       Layer layer = Layer::Tcp) {
+  PacketEvent ev;
+  ev.time = TimePoint(t_ns);
+  ev.flow = {1, 2, 40000, 443, net::Proto::Tcp};
+  ev.layer = layer;
+  ev.dir = Direction::Tx;
+  ev.kind = EventKind::Send;
+  ev.bytes = bytes;
+  ev.seq = seq;
+  ev.packet_id = seq + 100;
+  return ev;
+}
+
+std::filesystem::path temp_path(const std::string& name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+// ------------------------------------------------------------- ring buffer
+
+TEST(TraceRecorder, RecordsUpToCapacity) {
+  TraceRecorder rec(8);
+  EXPECT_EQ(rec.capacity(), 8u);
+  EXPECT_EQ(rec.size(), 0u);
+  for (int i = 0; i < 5; ++i) rec.record(make_event(i, static_cast<std::uint64_t>(i), 100));
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.total_recorded(), 5u);
+  EXPECT_EQ(rec.overwritten(), 0u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(events[static_cast<std::size_t>(i)].time.ns(), i);
+}
+
+TEST(TraceRecorder, WraparoundKeepsNewestOldestFirst) {
+  TraceRecorder rec(8);
+  for (int i = 0; i < 20; ++i) rec.record(make_event(i, static_cast<std::uint64_t>(i), 100));
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.total_recorded(), 20u);
+  EXPECT_EQ(rec.overwritten(), 12u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Flight-recorder semantics: the 8 newest (12..19), oldest first.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[i].time.ns(), static_cast<std::int64_t>(12 + i));
+  }
+}
+
+TEST(TraceRecorder, ClearResets) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 10; ++i) rec.record(make_event(i, 0, 1));
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(TraceRecorder, ScopedInstallRestoresPrevious) {
+  EXPECT_EQ(recorder(), nullptr);
+  TraceRecorder outer(4);
+  {
+    ScopedRecorder a(outer);
+    EXPECT_EQ(recorder(), &outer);
+    TraceRecorder inner(4);
+    {
+      ScopedRecorder b(inner);
+      EXPECT_EQ(recorder(), &inner);
+    }
+    EXPECT_EQ(recorder(), &outer);
+  }
+  EXPECT_EQ(recorder(), nullptr);
+}
+
+// --------------------------------------------------------------- exporters
+
+TEST(TraceRecorder, CsvRowRoundTrip) {
+  const PacketEvent ev = make_event(123456789, 4242, 1448, Layer::Qdisc);
+  const auto parsed = TraceRecorder::from_csv_row(TraceRecorder::to_csv_row(ev));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ev);
+}
+
+TEST(TraceRecorder, CsvFileRoundTrip) {
+  TraceRecorder rec(64);
+  rec.record(make_event(10, 0, 100, Layer::Tls));
+  rec.record(make_event(20, 100, 1448, Layer::Tcp));
+  rec.record(make_event(30, 100, 1448, Layer::Wire));
+  const auto path = temp_path("obs_trace_roundtrip.csv");
+  rec.write_csv(path);
+
+  const auto rows = csv::read_file(path);
+  ASSERT_EQ(rows.size(), 4u);  // header + 3 events
+  EXPECT_EQ(rows[0], TraceRecorder::csv_header());
+  const auto original = rec.events();
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto parsed = TraceRecorder::from_csv_row(rows[i + 1]);
+    ASSERT_TRUE(parsed.has_value()) << "row " << i;
+    EXPECT_EQ(*parsed, original[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceRecorder, FromCsvRowRejectsMalformed) {
+  EXPECT_FALSE(TraceRecorder::from_csv_row({}).has_value());
+  EXPECT_FALSE(TraceRecorder::from_csv_row({"1", "2", "3"}).has_value());
+  csv::Row row = TraceRecorder::to_csv_row(make_event(1, 2, 3));
+  row[1] = "warp";  // not a layer
+  EXPECT_FALSE(TraceRecorder::from_csv_row(row).has_value());
+  row = TraceRecorder::to_csv_row(make_event(1, 2, 3));
+  row[0] = "soon";  // not a time
+  EXPECT_FALSE(TraceRecorder::from_csv_row(row).has_value());
+}
+
+TEST(TraceRecorder, JsonlExport) {
+  TraceRecorder rec(16);
+  rec.record(make_event(1000, 0, 517, Layer::Tls));
+  rec.record(make_event(2000, 0, 517, Layer::Tcp));
+  const auto path = temp_path("obs_trace.jsonl");
+  rec.write_jsonl(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"flow\":\"1:40000>2:443/tcp\""), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  std::filesystem::remove(path);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(Metrics, CountersGaugesDistributions) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.add("tcp.segments_sent");
+  m.add("tcp.segments_sent", 4);
+  m.set("sim.events_pending", 17.0);
+  m.observe("qdisc.sojourn_us", 10.0);
+  m.observe("qdisc.sojourn_us", 30.0);
+
+  EXPECT_EQ(m.counter("tcp.segments_sent"), 5u);
+  EXPECT_EQ(m.counter("absent"), 0u);
+  EXPECT_DOUBLE_EQ(m.gauge("sim.events_pending"), 17.0);
+  const auto* d = m.distribution("qdisc.sojourn_us");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 2u);
+  EXPECT_DOUBLE_EQ(d->mean(), 20.0);
+  EXPECT_DOUBLE_EQ(d->min, 10.0);
+  EXPECT_DOUBLE_EQ(d->max, 30.0);
+
+  const auto hist = d->to_histogram(4);
+  EXPECT_EQ(hist.total_tokens(), 2u);
+}
+
+TEST(Metrics, SnapshotIsSortedAndCsvParses) {
+  MetricsRegistry m;
+  m.add("zzz.last");
+  m.add("aaa.first");
+  m.observe("mid.dist", 1.0);
+  const std::string snap = m.snapshot();
+  EXPECT_LT(snap.find("aaa.first"), snap.find("zzz.last"));
+
+  const auto path = temp_path("obs_metrics.csv");
+  m.write_csv(path);
+  const auto rows = csv::read_file(path);
+  ASSERT_EQ(rows.size(), 4u);  // header + 2 counters + 1 dist
+  EXPECT_EQ(rows[0][0], "kind");
+  std::filesystem::remove(path);
+}
+
+/// One deterministic bulk transfer with tracing + metrics installed.
+std::string run_traced_transfer(TraceRecorder* rec) {
+  MetricsRegistry m;
+  ScopedMetrics sm(m);
+  TraceRecorder unused(1);
+  ScopedRecorder sr(rec != nullptr ? *rec : unused);
+  stack::HostPair hp;
+  tcp::TcpListener listener(hp.server(), 443, tcp::TcpConnection::Config{});
+  tcp::TcpConnection sender(hp.client(), tcp::TcpConnection::Config{});
+  sender.on_connected = [&] { sender.send(Bytes::kibi(512)); };
+  sender.connect(hp.server().id(), 443);
+  hp.run(TimePoint(Duration::seconds(30).ns()));
+  scrape_simulator(hp.sim(), m);
+  return m.snapshot();
+}
+
+TEST(Metrics, DeterministicAcrossIdenticalRuns) {
+  const std::string a = run_traced_transfer(nullptr);
+  const std::string b = run_traced_transfer(nullptr);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The scrape and the transport/qdisc/nic/wire hooks all contributed.
+  EXPECT_NE(a.find("counter tcp.segments_sent"), std::string::npos);
+  EXPECT_NE(a.find("counter qdisc.dequeued"), std::string::npos);
+  EXPECT_NE(a.find("counter nic.wire_packets"), std::string::npos);
+  EXPECT_NE(a.find("counter wire.packets"), std::string::npos);
+  EXPECT_NE(a.find("gauge sim.events_executed"), std::string::npos);
+  EXPECT_NE(a.find("dist tcp.cwnd_bytes"), std::string::npos);
+}
+
+TEST(Metrics, DisabledHooksRecordNothing) {
+  EXPECT_EQ(metrics(), nullptr);
+  EXPECT_EQ(recorder(), nullptr);
+  stack::HostPair hp;
+  tcp::TcpListener listener(hp.server(), 443, tcp::TcpConnection::Config{});
+  tcp::TcpConnection sender(hp.client(), tcp::TcpConnection::Config{});
+  sender.on_connected = [&] { sender.send(Bytes::kibi(64)); };
+  sender.connect(hp.server().id(), 443);
+  hp.run(TimePoint(Duration::seconds(30).ns()));
+  // Nothing to assert beyond "no crash, no install": the hooks were inert.
+  EXPECT_EQ(metrics(), nullptr);
+  EXPECT_EQ(recorder(), nullptr);
+}
+
+// -------------------------------------------------------------- layer diff
+
+TEST(LayerDiff, TraceEventsCoverAllLayersOfATransfer) {
+  TraceRecorder rec(1 << 16);
+  run_traced_transfer(&rec);
+  const auto events = rec.events();
+  ASSERT_FALSE(events.empty());
+  const auto flows = flows_by_activity(events);
+  ASSERT_FALSE(flows.empty());
+  const net::FlowKey flow = flows.front().first;  // the sender's data flow
+
+  const LayerDiffReport report = layer_diff(events, flow);
+  // TCP, qdisc, NIC and wire must all have seen the data.
+  EXPECT_NE(report.layer(Layer::Tcp), nullptr);
+  EXPECT_NE(report.layer(Layer::Qdisc), nullptr);
+  EXPECT_NE(report.layer(Layer::Nic), nullptr);
+  EXPECT_NE(report.layer(Layer::Wire), nullptr);
+  EXPECT_GE(report.layers.size(), 4u);
+  EXPECT_EQ(report.transitions.size(), report.layers.size() - 1);
+  // Wire payload bytes can't exceed what TCP emitted... but both carry the
+  // same stream, so totals match up to retransmissions.
+  EXPECT_GE(report.layer(Layer::Wire)->bytes, report.layer(Layer::Tcp)->bytes);
+}
+
+TEST(LayerDiff, DefendedPageLoadShowsDistortionAtQdiscAndNic) {
+  core::SplitPolicy split;          // halve wire packets > 1200 B
+  core::DelayPolicy delay;          // inflate departure gaps 10-30%
+  core::CompositePolicy combined({&split, &delay});
+
+  workload::PageLoadOptions opt;
+  opt.server_conn.policy = &combined;
+  opt.tls_records = true;
+  opt.tls.pad_to = 512;             // RFC 8446 record padding
+
+  TraceRecorder rec(1 << 18);
+  ScopedRecorder guard(rec);
+  Rng rng(7);
+  const auto& site = workload::nine_sites()[0];
+  const workload::PageLoadResult res = workload::run_page_load(site, rng, opt);
+  ASSERT_TRUE(res.completed);
+
+  const auto events = rec.events();
+  const auto flows = flows_by_activity(events);
+  ASSERT_FALSE(flows.empty());
+  // Busiest flow = the server's response flow (it carries the page).
+  const net::FlowKey flow = flows.front().first;
+  EXPECT_EQ(flow.src_port, 443);
+
+  const LayerDiffReport report = layer_diff(events, flow);
+
+  // ISSUE acceptance: events at >= 4 distinct layers for one defended flow.
+  EXPECT_GE(report.layers.size(), 4u);
+  EXPECT_NE(report.layer(Layer::Tls), nullptr);
+  EXPECT_NE(report.layer(Layer::Tcp), nullptr);
+  EXPECT_NE(report.layer(Layer::Qdisc), nullptr);
+  EXPECT_NE(report.layer(Layer::Nic), nullptr);
+  EXPECT_NE(report.layer(Layer::Wire), nullptr);
+
+  // The delay policy pushes departures into the future: the qdisc (EDT
+  // enforcement point) must report added delay over TCP's emission times.
+  const LayerTransition* tcp_qdisc = report.transition(Layer::Tcp, Layer::Qdisc);
+  ASSERT_NE(tcp_qdisc, nullptr);
+  EXPECT_GT(tcp_qdisc->delay_p90_us, 0.0);
+  EXPECT_TRUE(tcp_qdisc->distorted());
+
+  // The split policy halves the wire MSS below the segment size, so the NIC
+  // (TSO) layer must report segments split into multiple wire packets.
+  const LayerTransition* qdisc_nic = report.transition(Layer::Qdisc, Layer::Nic);
+  ASSERT_NE(qdisc_nic, nullptr);
+  EXPECT_GT(qdisc_nic->split_units, 0u);
+  EXPECT_GT(qdisc_nic->count_ratio, 1.0);
+  EXPECT_GT(qdisc_nic->size_mismatch_pct, 0.0);
+  EXPECT_TRUE(qdisc_nic->distorted());
+
+  // Report exporters produce the enforcement-gap artifacts.
+  const auto csv_path = temp_path("obs_layer_diff.csv");
+  const auto jsonl_path = temp_path("obs_layer_diff.jsonl");
+  report.write_csv(csv_path);
+  report.write_jsonl(jsonl_path);
+  const auto rows = csv::read_file(csv_path);
+  EXPECT_EQ(rows.size(), 1 + report.layers.size() + report.transitions.size());
+  EXPECT_FALSE(report.to_string().empty());
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(jsonl_path);
+}
+
+TEST(LayerDiff, UndefendedBulkFlowPreservesSizesAtQdisc) {
+  TraceRecorder rec(1 << 16);
+  run_traced_transfer(&rec);
+  const auto events = rec.events();
+  const auto flows = flows_by_activity(events);
+  ASSERT_FALSE(flows.empty());
+  const LayerDiffReport report = layer_diff(events, flows.front().first);
+  // The qdisc releases exactly the segments TCP handed it: same units, no
+  // splits or merges (only delay can differ).
+  const LayerTransition* t = report.transition(Layer::Tcp, Layer::Qdisc);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->from_units, t->to_units);
+  EXPECT_EQ(t->split_units, 0u);
+  EXPECT_EQ(t->merged_units, 0u);
+  EXPECT_DOUBLE_EQ(t->size_mismatch_pct, 0.0);
+}
+
+TEST(LayerDiff, GapsMatchEventTimes) {
+  std::vector<PacketEvent> events;
+  events.push_back(make_event(1000, 0, 100, Layer::Wire));
+  events.push_back(make_event(4000, 100, 100, Layer::Wire));
+  events.push_back(make_event(9000, 200, 100, Layer::Wire));
+  const auto gaps = layer_gaps_us(events, events[0].flow, Layer::Wire);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 3.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 5.0);
+}
+
+}  // namespace
+}  // namespace stob::obs
