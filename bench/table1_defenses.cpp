@@ -11,12 +11,21 @@
 // defenses lean on padding because stacks offer no robust timing/sizing
 // control, and padding is the expensive primitive.
 //
+// Runs on the parallel experiment engine (src/exp/): trace collection is a
+// (site x sample) job grid and each defense's overhead + k-FP evaluation is
+// one job, so output is byte-identical for any --jobs value.
+//
+// Flags: --jobs N (default hardware concurrency), --check-determinism.
 // Environment knobs: STOB_SAMPLES (default 24), STOB_TREES (default 60),
-// STOB_FOLDS (default 3), STOB_SEED.
+// STOB_FOLDS (default 3), STOB_SEED, STOB_JOBS.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "defenses/baselines.hpp"
+#include "exp/experiment.hpp"
+#include "exp/worker_pool.hpp"
 #include "wf/kfp.hpp"
 #include "workload/page_load.hpp"
 
@@ -29,44 +38,77 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   return v != nullptr ? std::atoll(v) : fallback;
 }
 
+struct DefenseRow {
+  std::string name, target, strategy, manipulation;
+  defenses::Overhead overhead;
+  wf::EvalResult eval;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto samples = static_cast<std::size_t>(env_int("STOB_SAMPLES", 24));
   const auto trees = static_cast<std::size_t>(env_int("STOB_TREES", 60));
   const auto folds = static_cast<std::size_t>(env_int("STOB_FOLDS", 3));
   const auto seed = static_cast<std::uint64_t>(env_int("STOB_SEED", 20251117));
+  const exp::Cli cli = exp::parse_cli(argc, argv);
+  const std::size_t jobs = cli.jobs == 0 ? exp::default_jobs() : cli.jobs;
 
   std::printf("=== Table 1: WF defense summary with measured overheads ===\n");
+  // Worker count goes to stderr: stdout must be byte-identical for any
+  // --jobs value (the determinism contract the engine provides).
+  std::fprintf(stderr, "table1_defenses: running with %zu jobs\n", jobs);
   std::printf("dataset: 9 simulated sites x %zu samples; k-FP %zu trees, %zu folds\n\n",
               samples, trees, folds);
 
-  workload::PageLoadOptions options;
+  exp::ExperimentGrid grid;
+  grid.sites = workload::nine_sites();
+  grid.samples = samples;
+  grid.base_seed = seed;
+  exp::RunOptions run;
+  run.jobs = jobs;
+  run.check_determinism = cli.check_determinism;
   const wf::Dataset data =
-      workload::collect_dataset(workload::nine_sites(), samples, seed, options)
-          .sanitized_by_download_size(0.75);
+      exp::to_dataset(exp::run_grid(grid, run)).sanitized_by_download_size(0.75);
 
   wf::KFingerprint::Config kfp_cfg;
   kfp_cfg.forest.num_trees = trees;
-  const wf::EvalResult undefended = wf::cross_validate(data, kfp_cfg, folds, seed);
+
+  // One evaluation job per defense (index 0 = undefended baseline); each is
+  // seeded exactly as the serial loop was, so the numbers match any --jobs.
+  const std::vector<std::unique_ptr<defenses::TraceDefense>> all = defenses::all_defenses();
+  const std::vector<DefenseRow> rows = exp::run_ordered<DefenseRow>(
+      all.size() + 1, jobs, [&](std::size_t i) {
+        DefenseRow row;
+        if (i == 0) {
+          row.name = "(none)";
+          row.eval = wf::cross_validate(data, kfp_cfg, folds, seed);
+          return row;
+        }
+        const defenses::TraceDefense& defense = *all[i - 1];
+        row.name = defense.name();
+        row.target = defense.target();
+        row.strategy = defense.strategy();
+        row.manipulation = defense.manipulations().describe();
+        Rng rng(seed ^ 0xD3F3ull);
+        row.overhead = defenses::measure_overhead(data, defense, rng);
+        Rng rng2(seed ^ 0xD3F3ull);
+        const wf::Dataset defended =
+            data.transformed([&](const wf::Trace& t) { return defense.apply(t, rng2); });
+        row.eval = wf::cross_validate(defended, kfp_cfg, folds, seed);
+        return row;
+      });
 
   std::printf("%-12s %-6s %-15s %-24s %9s %9s %10s\n", "Defense", "Target", "Strategy",
               "Manipulation", "BW-ovh", "Lat-ovh", "kFP-acc");
   std::printf("%-12s %-6s %-15s %-24s %9s %9s %9.3f\n", "(none)", "-", "-", "-", "-", "-",
-              undefended.mean_accuracy);
-
-  for (const auto& defense : defenses::all_defenses()) {
-    Rng rng(seed ^ 0xD3F3ull);
-    const defenses::Overhead ovh = defenses::measure_overhead(data, *defense, rng);
-    Rng rng2(seed ^ 0xD3F3ull);
-    const wf::Dataset defended =
-        data.transformed([&](const wf::Trace& t) { return defense->apply(t, rng2); });
-    const wf::EvalResult res = wf::cross_validate(defended, kfp_cfg, folds, seed);
-    std::printf("%-12s %-6s %-15s %-24s %8.1f%% %8.1f%% %9.3f\n", defense->name().c_str(),
-                defense->target().c_str(), defense->strategy().c_str(),
-                defense->manipulations().describe().c_str(), ovh.bandwidth * 100.0,
-                ovh.latency * 100.0, res.mean_accuracy);
-    std::fflush(stdout);
+              rows[0].eval.mean_accuracy);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const DefenseRow& row = rows[i];
+    std::printf("%-12s %-6s %-15s %-24s %8.1f%% %8.1f%% %9.3f\n", row.name.c_str(),
+                row.target.c_str(), row.strategy.c_str(), row.manipulation.c_str(),
+                row.overhead.bandwidth * 100.0, row.overhead.latency * 100.0,
+                row.eval.mean_accuracy);
   }
 
   std::printf("\nReference points from the literature: FRONT ~80%% bandwidth overhead,\n");

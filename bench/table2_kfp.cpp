@@ -5,20 +5,25 @@
 //
 // Pipeline (mirrors §3):
 //  1. collect `samples` page loads for each of the 9 site profiles through
-//     the simulated stack (tcpdump-at-client vantage),
+//     the simulated stack (tcpdump-at-client vantage) — parallel (site x
+//     sample) jobs on the experiment engine,
 //  2. sanitise: per class, drop traces outside the IQR fence on total
 //     download size, then balance classes,
 //  3. build the 16 datasets (4 countermeasures x 4 scopes),
-//  4. evaluate k-FP with stratified cross-validation; report mean +- std.
+//  4. evaluate k-FP with stratified cross-validation — one parallel job per
+//     (scope, countermeasure) cell; report mean +- std.
 //
+// Flags: --jobs N (default hardware concurrency), --check-determinism.
 // Environment knobs: STOB_SAMPLES (default 100), STOB_FOLDS (default 5),
-// STOB_TREES (default 100), STOB_SEED.
+// STOB_TREES (default 100), STOB_SEED, STOB_JOBS.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "defenses/trace_defense.hpp"
+#include "exp/experiment.hpp"
+#include "exp/worker_pool.hpp"
 #include "wf/features.hpp"
 #include "wf/kfp.hpp"
 #include "workload/page_load.hpp"
@@ -40,20 +45,31 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto samples = static_cast<std::size_t>(env_int("STOB_SAMPLES", 100));
   const auto folds = static_cast<std::size_t>(env_int("STOB_FOLDS", 5));
   const auto trees = static_cast<std::size_t>(env_int("STOB_TREES", 100));
   const auto seed = static_cast<std::uint64_t>(env_int("STOB_SEED", 20251117));
+  const exp::Cli cli = exp::parse_cli(argc, argv);
+  const std::size_t jobs = cli.jobs == 0 ? exp::default_jobs() : cli.jobs;
 
   std::printf("=== Table 2: k-FP Random Forest accuracy (closed world, 9 sites) ===\n");
+  // Worker count goes to stderr: stdout must be byte-identical for any
+  // --jobs value (the determinism contract the engine provides).
+  std::fprintf(stderr, "table2_kfp: running with %zu jobs\n", jobs);
   std::printf("samples/site=%zu folds=%zu trees=%zu seed=%llu\n\n", samples, folds, trees,
               static_cast<unsigned long long>(seed));
 
-  // 1. Collect traces through the simulated stack.
-  workload::PageLoadOptions options;
+  // 1. Collect traces through the simulated stack (parallel page loads).
+  exp::ExperimentGrid grid;
+  grid.sites = workload::nine_sites();
+  grid.samples = samples;
+  grid.base_seed = seed;
+  exp::RunOptions run;
+  run.jobs = jobs;
+  run.check_determinism = cli.check_determinism;
   std::fflush(stdout);
-  const wf::Dataset raw = workload::collect_dataset(workload::nine_sites(), samples, seed, options);
+  const wf::Dataset raw = exp::to_dataset(exp::run_grid(grid, run));
   std::printf("collected %zu traces\n", raw.size());
 
   // 2. Sanitise (IQR fence on download size) and balance, as in the paper
@@ -81,24 +97,31 @@ int main() {
   wf::KFingerprint::Config kfp_cfg;
   kfp_cfg.forest.num_trees = trees;
 
+  // 4. One parallel job per (scope, variant) cell; each cell re-derives its
+  //    rng exactly as the serial loop did, so the table is --jobs-invariant.
+  const std::vector<wf::EvalResult> cells = exp::run_ordered<wf::EvalResult>(
+      scopes.size() * variants.size(), jobs, [&](std::size_t cell) {
+        const std::size_t scope = scopes[cell / variants.size()];
+        const Variant& v = variants[cell % variants.size()];
+        // Defense applied to the first `scope` packets (whole trace when 0),
+        // then the attack sees the same prefix.
+        Rng rng(seed ^ 0xDEFull);
+        wf::Dataset defended = data.transformed([&](const wf::Trace& t) {
+          wf::Trace out =
+              v.defense != nullptr ? defenses::apply_to_prefix(*v.defense, t, scope, rng) : t;
+          return scope == 0 ? out : out.truncated(scope);
+        });
+        return wf::cross_validate(defended, kfp_cfg, folds, seed);
+      });
+
   std::printf("%-5s", "N");
   for (const Variant& v : variants) std::printf("  %-17s", v.name.c_str());
   std::printf("\n");
-
-  for (std::size_t scope : scopes) {
-    std::printf("%-5s", scope == 0 ? "All" : std::to_string(scope).c_str());
-    for (const Variant& v : variants) {
-      // Defense applied to the first `scope` packets (whole trace when 0),
-      // then the attack sees the same prefix.
-      Rng rng(seed ^ 0xDEFull);
-      wf::Dataset defended = data.transformed([&](const wf::Trace& t) {
-        wf::Trace out =
-            v.defense != nullptr ? defenses::apply_to_prefix(*v.defense, t, scope, rng) : t;
-        return scope == 0 ? out : out.truncated(scope);
-      });
-      const wf::EvalResult res = wf::cross_validate(defended, kfp_cfg, folds, seed);
+  for (std::size_t s = 0; s < scopes.size(); ++s) {
+    std::printf("%-5s", scopes[s] == 0 ? "All" : std::to_string(scopes[s]).c_str());
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const wf::EvalResult& res = cells[s * variants.size() + v];
       std::printf("  %.3f +- %.3f   ", res.mean_accuracy, res.std_accuracy);
-      std::fflush(stdout);
     }
     std::printf("\n");
   }

@@ -1,0 +1,140 @@
+#include "exp/experiment.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+
+#include "exp/worker_pool.hpp"
+#include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace stob::exp {
+
+std::uint64_t job_seed(std::uint64_t base_seed, std::uint64_t job_index) {
+  // Two rounds of splitmix64 over (base_seed, index): round one decorrelates
+  // the base, round two folds the index in, so neighbouring jobs get
+  // unrelated streams and job 0 of seed s != job 1 of seed s-1.
+  auto mix = [](std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  };
+  return mix(mix(base_seed) ^ job_index);
+}
+
+JobSpec ExperimentGrid::job(std::size_t index) const {
+  JobSpec spec;
+  spec.index = index;
+  const std::size_t c = cca_axis();
+  const std::size_t d = defense_axis();
+  spec.cca = index % c;
+  index /= c;
+  spec.defense = index % d;
+  index /= d;
+  spec.sample = index % samples;
+  spec.site = index / samples;
+  spec.seed = job_seed(base_seed, spec.index);
+  return spec;
+}
+
+std::vector<JobSpec> ExperimentGrid::jobs() const {
+  std::vector<JobSpec> out;
+  out.reserve(job_count());
+  for (std::size_t i = 0; i < job_count(); ++i) out.push_back(job(i));
+  return out;
+}
+
+JobResult run_job(const ExperimentGrid& grid, const JobSpec& spec, const RunOptions& opts) {
+  // Fresh per-job world: packet ids restart at 1, obs sinks are installed
+  // on this thread only, and all randomness flows from the job seed.
+  net::PacketIdScope id_scope;
+  Rng rng(spec.seed);
+
+  workload::PageLoadOptions page = opts.page;
+  if (!grid.ccas.empty()) {
+    page.client_conn.cca = grid.ccas[spec.cca];
+    page.server_conn.cca = grid.ccas[spec.cca];
+  }
+
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder(opts.trace_capacity > 0 ? opts.trace_capacity : 1);
+  std::optional<obs::ScopedMetrics> scoped_metrics;
+  std::optional<obs::ScopedRecorder> scoped_recorder;
+  if (opts.collect_metrics) scoped_metrics.emplace(registry);
+  if (opts.trace_capacity > 0) scoped_recorder.emplace(recorder);
+
+  workload::PageLoadResult loaded = workload::run_page_load(grid.sites[spec.site], rng, page);
+
+  JobResult result;
+  result.spec = spec;
+  result.trace = std::move(loaded.trace);
+  result.page_load_time = loaded.page_load_time;
+  result.response_bytes = loaded.response_bytes;
+  result.objects_fetched = loaded.objects_fetched;
+  result.completed = loaded.completed;
+  if (!grid.defenses.empty()) {
+    const DefenseAxis& axis = grid.defenses[spec.defense];
+    if (axis.defense != nullptr) result.trace = axis.defense->apply(result.trace, rng);
+  }
+  if (opts.collect_metrics) result.metrics = registry.snapshot();
+  if (opts.trace_capacity > 0) result.events = recorder.events();
+  return result;
+}
+
+std::vector<JobResult> run_grid(const ExperimentGrid& grid, const RunOptions& opts) {
+  auto run_with = [&](std::size_t threads) {
+    return run_ordered<JobResult>(grid.job_count(), threads,
+                                  [&](std::size_t i) { return run_job(grid, grid.job(i), opts); });
+  };
+  std::vector<JobResult> results = run_with(opts.jobs);
+  if (opts.check_determinism) {
+    const std::vector<JobResult> serial = run_with(1);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results_identical(results[i], serial[i])) {
+        throw std::runtime_error("experiment engine determinism violation at job " +
+                                 std::to_string(i));
+      }
+    }
+  }
+  return results;
+}
+
+bool results_identical(const JobResult& a, const JobResult& b) {
+  return a.spec.index == b.spec.index && a.spec.seed == b.spec.seed && a.trace == b.trace &&
+         a.page_load_time == b.page_load_time && a.response_bytes == b.response_bytes &&
+         a.objects_fetched == b.objects_fetched && a.completed == b.completed &&
+         a.metrics == b.metrics && a.events == b.events;
+}
+
+wf::Dataset to_dataset(const std::vector<JobResult>& results) {
+  wf::Dataset data;
+  for (const JobResult& r : results) {
+    data.add(r.trace, static_cast<int>(r.spec.site));
+  }
+  return data;
+}
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  if (const char* env = std::getenv("STOB_JOBS")) {
+    cli.jobs = static_cast<std::size_t>(std::atoll(env));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      cli.jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      cli.jobs = static_cast<std::size_t>(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--check-determinism") == 0) {
+      cli.check_determinism = true;
+    } else {
+      STOB_WARN("exp") << "ignoring unknown flag " << arg;
+    }
+  }
+  return cli;
+}
+
+}  // namespace stob::exp

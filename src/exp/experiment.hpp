@@ -1,0 +1,133 @@
+// Parallel batch experiment engine.
+//
+// Every paper artifact in this repo is a loop over a (website, seed,
+// defense, CCA) grid of independent simulations; evaluation wall-clock, not
+// the simulator, bounds how far the evaluation can scale. This module turns
+// that loop into data-parallel jobs with three hard guarantees:
+//
+//  1. *Job-keyed determinism.* Each job's Rng is seeded from (base_seed,
+//     job index) — never from worker id or scheduling order — so job i
+//     produces the same bytes whether it runs on thread 0 of 1 or thread 7
+//     of 8.
+//  2. *Isolated state.* Each job builds its own sim::Simulator (inside
+//     run_page_load), runs inside a net::PacketIdScope, and installs its
+//     own thread-local obs sinks (TraceRecorder / MetricsRegistry), so jobs
+//     share no mutable state.
+//  3. *Ordered reduction.* Results are merged in job order, so the
+//     collected dataset / metrics / trace exports are byte-identical
+//     regardless of thread count (assertable via RunOptions::
+//     check_determinism).
+//
+// This is the same shape as a data-parallel training/eval harness: sharded
+// jobs, per-worker state, deterministic seeding, ordered reduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "defenses/trace_defense.hpp"
+#include "obs/trace_recorder.hpp"
+#include "util/units.hpp"
+#include "wf/trace.hpp"
+#include "workload/page_load.hpp"
+#include "workload/website.hpp"
+
+namespace stob::exp {
+
+/// Seed for job `job_index` of a grid rooted at `base_seed`. Pure function
+/// of its arguments (splitmix64 mixing) so any job can be re-run in
+/// isolation, and statistically independent across indices.
+std::uint64_t job_seed(std::uint64_t base_seed, std::uint64_t job_index);
+
+/// One point on the defense axis. A null defense means "undefended".
+struct DefenseAxis {
+  std::string name = "none";
+  const defenses::TraceDefense* defense = nullptr;
+};
+
+/// Fully resolved coordinates of one job.
+struct JobSpec {
+  std::size_t index = 0;
+  std::size_t site = 0;     ///< index into ExperimentGrid::sites
+  std::size_t sample = 0;   ///< repetition number within the site
+  std::size_t defense = 0;  ///< index into defenses (0 when axis empty)
+  std::size_t cca = 0;      ///< index into ccas (0 when axis empty)
+  std::uint64_t seed = 0;   ///< job_seed(base_seed, index)
+};
+
+/// The experiment grid: the cartesian product sites x samples x defenses x
+/// ccas, enumerated in that axis order (cca fastest). Empty defense / cca
+/// axes contribute one implicit point: undefended / the PageLoadOptions'
+/// configured CCA.
+class ExperimentGrid {
+ public:
+  std::vector<workload::SiteProfile> sites;
+  std::size_t samples = 1;
+  std::vector<DefenseAxis> defenses;
+  std::vector<std::string> ccas;
+  std::uint64_t base_seed = 0;
+
+  std::size_t defense_axis() const { return defenses.empty() ? 1 : defenses.size(); }
+  std::size_t cca_axis() const { return ccas.empty() ? 1 : ccas.size(); }
+  std::size_t job_count() const { return sites.size() * samples * defense_axis() * cca_axis(); }
+
+  /// Decompose a dense index into grid coordinates (with its seed).
+  JobSpec job(std::size_t index) const;
+  std::vector<JobSpec> jobs() const;
+};
+
+/// Everything one job produced. `metrics` / `events` are filled only when
+/// the corresponding RunOptions sink is enabled.
+struct JobResult {
+  JobSpec spec;
+  wf::Trace trace;
+  Duration page_load_time;
+  std::int64_t response_bytes = 0;
+  std::size_t objects_fetched = 0;
+  bool completed = false;
+  std::string metrics;                    ///< MetricsRegistry::snapshot()
+  std::vector<obs::PacketEvent> events;   ///< flight-recorder capture
+};
+
+struct RunOptions {
+  workload::PageLoadOptions page;
+  /// Worker count; 0 = default_jobs() (hardware concurrency).
+  std::size_t jobs = 0;
+  /// Install a per-job MetricsRegistry and keep its snapshot.
+  bool collect_metrics = false;
+  /// When > 0, install a per-job TraceRecorder with this capacity and keep
+  /// the captured events.
+  std::size_t trace_capacity = 0;
+  /// Determinism mode: after the parallel run, re-run the whole grid on one
+  /// thread and throw std::runtime_error unless every job's output is
+  /// byte-identical.
+  bool check_determinism = false;
+};
+
+/// Run a single job (always safe to call from any thread).
+JobResult run_job(const ExperimentGrid& grid, const JobSpec& spec, const RunOptions& opts);
+
+/// Run the whole grid on a worker pool; results are in job order.
+std::vector<JobResult> run_grid(const ExperimentGrid& grid, const RunOptions& opts = {});
+
+/// True when two results (typically the same job from different runs) are
+/// byte-equivalent: trace, counters, metrics snapshot and captured events.
+bool results_identical(const JobResult& a, const JobResult& b);
+
+/// Labeled dataset from ordered results (label = site index), the engine's
+/// standard reduction for WF evaluation.
+wf::Dataset to_dataset(const std::vector<JobResult>& results);
+
+// ------------------------------------------------------------------- CLI
+
+/// Flags shared by the bench harnesses: --jobs N (or STOB_JOBS; default
+/// hardware concurrency) and --check-determinism.
+struct Cli {
+  std::size_t jobs = 0;
+  bool check_determinism = false;
+};
+
+Cli parse_cli(int argc, char** argv);
+
+}  // namespace stob::exp

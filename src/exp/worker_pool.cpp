@@ -1,0 +1,10 @@
+#include "exp/worker_pool.hpp"
+
+namespace stob::exp {
+
+std::size_t default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace stob::exp

@@ -1,0 +1,70 @@
+// Fixed-size worker pool primitive for the experiment engine: an ordered
+// parallel map over a dense job index space.
+//
+// Workers pull indices from a shared atomic counter (dynamic load balancing
+// — page loads for heavy sites take longer than light ones), but every
+// result is written to results[i], so the merged output is in job order and
+// byte-identical regardless of thread count or scheduling. Determinism must
+// therefore live entirely in the job function: anything keyed by *worker*
+// identity or completion order would leak nondeterminism.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stob::exp {
+
+/// Number of workers to use when the caller doesn't say: hardware
+/// concurrency, clamped to at least 1 (hw_concurrency may report 0).
+std::size_t default_jobs();
+
+/// Run fn(0) .. fn(count-1) on `threads` workers (0 = default_jobs()) and
+/// return the results in index order. R must be default-constructible and
+/// movable. If any job throws, the remaining indices are abandoned, all
+/// workers are joined, and the first exception is rethrown.
+template <typename R, typename Fn>
+std::vector<R> run_ordered(std::size_t count, std::size_t threads, Fn&& fn) {
+  std::vector<R> results(count);
+  if (count == 0) return results;
+  if (threads == 0) threads = default_jobs();
+  threads = std::min(threads, count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!error) error = std::current_exception();
+          }
+          // Park the counter past the end so siblings wind down promptly.
+          next.store(count, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+}  // namespace stob::exp

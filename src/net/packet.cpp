@@ -1,13 +1,15 @@
 #include "net/packet.hpp"
 
-#include <atomic>
-
 namespace stob::net {
 
-std::uint64_t next_packet_id() {
-  static std::atomic<std::uint64_t> counter{1};
-  return counter.fetch_add(1, std::memory_order_relaxed);
-}
+namespace {
+thread_local std::uint64_t t_packet_id_counter = 1;
+}  // namespace
+
+std::uint64_t next_packet_id() { return t_packet_id_counter++; }
+
+PacketIdScope::PacketIdScope() : saved_(t_packet_id_counter) { t_packet_id_counter = 1; }
+PacketIdScope::~PacketIdScope() { t_packet_id_counter = saved_; }
 
 std::ostream& operator<<(std::ostream& os, const FlowKey& k) {
   return os << (k.proto == Proto::Tcp ? "tcp" : "udp") << " " << k.src_host << ":" << k.src_port

@@ -145,8 +145,26 @@ struct Packet {
 std::ostream& operator<<(std::ostream& os, const Packet& p);
 std::ostream& operator<<(std::ostream& os, const FlowKey& k);
 
-/// Process-wide packet id source (monotonic; determinism does not depend on
-/// ids, they exist purely for debugging).
+/// Per-thread packet id source (monotonic within a thread). Ids exist for
+/// debugging and for correlating obs::PacketEvent rows within one
+/// simulation; they are never compared across simulations. The counter is
+/// thread-local so concurrent experiment workers neither contend on it nor
+/// observe each other's allocations.
 std::uint64_t next_packet_id();
+
+/// RAII scope that resets the calling thread's packet id counter to 1 and
+/// restores the previous value on exit. The experiment engine wraps each
+/// job in one of these so a job's exported trace (which embeds packet ids)
+/// is byte-identical no matter which worker ran it or what ran before.
+class PacketIdScope {
+ public:
+  PacketIdScope();
+  ~PacketIdScope();
+  PacketIdScope(const PacketIdScope&) = delete;
+  PacketIdScope& operator=(const PacketIdScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
 
 }  // namespace stob::net

@@ -8,7 +8,7 @@
 namespace stob::obs {
 
 namespace detail {
-MetricsRegistry* g_metrics = nullptr;
+thread_local MetricsRegistry* g_metrics = nullptr;
 }  // namespace detail
 
 void install_metrics(MetricsRegistry* m) noexcept { detail::g_metrics = m; }

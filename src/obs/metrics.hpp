@@ -7,10 +7,13 @@
 // moments plus a bounded sample reservoir from which a core::Histogram can
 // be fitted when a full shape is wanted.
 //
-// Like tracing, metrics are opt-in via a process-global slot: with no
-// registry installed every hook is one pointer load and branch. Snapshots
-// are emitted in sorted name order, so two identical deterministic sim runs
-// produce byte-identical snapshots.
+// Like tracing, metrics are opt-in via a thread-local slot: with no
+// registry installed every hook is one (TLS) pointer load and branch — the
+// single-threaded fast path is identical to the former process-global slot.
+// Thread-locality means each worker thread of the parallel experiment
+// engine (src/exp/) installs its own registry with no hook-site locking.
+// Snapshots are emitted in sorted name order, so two identical
+// deterministic sim runs produce byte-identical snapshots.
 #pragma once
 
 #include <cstdint>
@@ -87,11 +90,13 @@ void scrape_simulator(const sim::Simulator& sim, MetricsRegistry& m);
 // ---------------------------------------------------------------- install
 
 namespace detail {
-extern MetricsRegistry* g_metrics;  // nullptr = metrics disabled
+extern thread_local MetricsRegistry* g_metrics;  // nullptr = metrics disabled
 }  // namespace detail
 
+/// Registry installed on the calling thread, or nullptr.
 inline MetricsRegistry* metrics() noexcept { return detail::g_metrics; }
 
+/// Install (or, with nullptr, remove) the calling thread's registry.
 void install_metrics(MetricsRegistry* m) noexcept;
 
 class ScopedMetrics {

@@ -7,7 +7,7 @@
 namespace stob::obs {
 
 namespace detail {
-TraceRecorder* g_recorder = nullptr;
+thread_local TraceRecorder* g_recorder = nullptr;
 }  // namespace detail
 
 void install_recorder(TraceRecorder* r) noexcept { detail::g_recorder = r; }

@@ -8,10 +8,13 @@
 // -> NIC/TSO -> wire), so the distortion each layer introduces becomes a
 // queryable signal rather than a one-off bench observation.
 //
-// Recording is opt-in via a process-global slot: with no recorder installed
-// every hook is a single pointer load and branch — no allocation, no
-// formatting — so Tier-1 bench numbers are unaffected. The simulator is
-// single-threaded, so the slot needs no synchronisation.
+// Recording is opt-in via a thread-local slot: with no recorder installed
+// every hook is a single (TLS) pointer load and branch — no allocation, no
+// formatting — so Tier-1 bench numbers are unaffected. Each simulator runs
+// on one thread, so the slot needs no atomics; making it thread-local (vs
+// the former process-global) lets the parallel experiment engine (src/exp/)
+// give every worker its own recorder without any hook-site locking. The
+// single-threaded fast path is unchanged: one load plus one branch.
 #pragma once
 
 #include <cstdint>
@@ -97,18 +100,20 @@ class TraceRecorder {
 // ---------------------------------------------------------------- install
 
 namespace detail {
-extern TraceRecorder* g_recorder;  // nullptr = tracing disabled
+extern thread_local TraceRecorder* g_recorder;  // nullptr = tracing disabled
 }  // namespace detail
 
-/// Currently installed recorder, or nullptr. The disabled fast path at every
-/// hook site is exactly this load plus a branch.
+/// Recorder installed on the calling thread, or nullptr. The disabled fast
+/// path at every hook site is exactly this load plus a branch.
 inline TraceRecorder* recorder() noexcept { return detail::g_recorder; }
 
-/// Install (or, with nullptr, remove) the process-global recorder.
+/// Install (or, with nullptr, remove) the calling thread's recorder.
 void install_recorder(TraceRecorder* r) noexcept;
 
-/// RAII installation for a scope (a test, one page load, one bench run).
-/// Restores the previously installed recorder on destruction.
+/// RAII installation for a scope (a test, one page load, one experiment job)
+/// on the calling thread. Restores the previously installed recorder on
+/// destruction. Worker threads in the experiment engine use this to give
+/// each job an isolated sink.
 class ScopedRecorder {
  public:
   explicit ScopedRecorder(TraceRecorder& r) : prev_(recorder()) { install_recorder(&r); }

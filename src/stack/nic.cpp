@@ -48,7 +48,17 @@ void Nic::pump() {
     if (!p) break;
     push_to_wire(std::move(*p));
   }
-  // Arm (or rearm) a wakeup for the next paced packet.
+  // Arm (or rearm) a wakeup for the next paced packet. The ring-space guard
+  // is load-bearing in both directions:
+  //  * without it, a full ring + an already-eligible head (next_ready ==
+  //    now) would self-schedule at the current timestamp forever;
+  //  * with it, skipping the rearm (after cancelling above) is safe only
+  //    because a full ring implies ring_bytes_ > 0, i.e. packets are in
+  //    flight in the egress pipe, and every serialisation completion calls
+  //    on_wire_complete -> pump(), which re-evaluates the qdisc and rearms
+  //    once space exists. Paced packets parked in the qdisc behind a full
+  //    ring therefore always have a live drain path (regression-tested by
+  //    Nic.PacedPacketSurvivesFullRing).
   sim_.cancel(wakeup_);
   wakeup_ = sim::EventId();
   const TimePoint next = qdisc_->next_ready(now);

@@ -37,13 +37,22 @@ void note_dequeue(const net::Packet& p, TimePoint now) {
   }
 }
 
+// Shared capacity-drop semantics: a packet that would push the backlog past
+// `capacity` is dropped, EXCEPT into an empty queue (admit-one), so a
+// single packet larger than the whole capacity still passes instead of
+// wedging its flow forever. Keyed on backlogged bytes in both qdiscs so an
+// over-capacity packet is handled identically by FIFO and fq.
+bool capacity_drop(Bytes capacity, Bytes backlog, Bytes size) {
+  return capacity.count() > 0 && backlog + size > capacity && backlog.count() > 0;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- FifoQdisc
 
 void FifoQdisc::enqueue(net::Packet p) {
   const Bytes size = p.wire_size();
-  if (capacity_.count() > 0 && backlog_ + size > capacity_ && !queue_.empty()) {
+  if (capacity_drop(capacity_, backlog_, size)) {
     ++dropped_;
     note_drop(p);
     return;
@@ -84,7 +93,7 @@ FqQdisc::FqQdisc() : FqQdisc(Config{}) {}
 
 void FqQdisc::enqueue(net::Packet p) {
   const Bytes size = p.wire_size();
-  if (cfg_.capacity.count() > 0 && backlog_ + size > cfg_.capacity && backlog_.count() > 0) {
+  if (capacity_drop(cfg_.capacity, backlog_, size)) {
     ++dropped_;
     note_drop(p);
     return;

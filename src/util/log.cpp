@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace stob::log {
 
@@ -28,6 +29,10 @@ void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 
 void write(Level lvl, std::string_view component, std::string_view message) {
   if (lvl < level()) return;
+  // Serialise whole lines: experiment-engine workers log concurrently, and
+  // without this their fragments interleave mid-line.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
   std::cerr << "[" << level_name(lvl) << "] " << component << ": " << message << '\n';
 }
 

@@ -1,7 +1,11 @@
 #include "util/rng.hpp"
 
 #include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace stob {
 
@@ -41,7 +45,11 @@ std::uint64_t Rng::next() {
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   assert(lo <= hi);
-  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Subtract as uint64_t: `hi - lo` in int64_t overflows (UB) for wide
+  // bounds like (INT64_MIN, INT64_MAX); unsigned wraparound is defined and
+  // yields the correct range width.
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
   // Rejection sampling to remove modulo bias.
   const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
@@ -50,7 +58,10 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   do {
     v = next();
   } while (v >= limit);
-  return lo + static_cast<std::int64_t>(v % range);
+  // Add in uint64_t as well: `lo + int64_t(v % range)` overflows for ranges
+  // wider than INT64_MAX. Unsigned wraparound plus the (C++20 modular)
+  // cast back lands exactly in [lo, hi].
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + v % range);
 }
 
 double Rng::uniform(double lo, double hi) {

@@ -189,6 +189,35 @@ TEST(FqQdisc, BacklogAndActiveFlows) {
   EXPECT_EQ(q.backlog().count(), 0);
 }
 
+// ------------------------------------------------- capacity guard parity
+
+// Both qdiscs share admit-one-into-empty-queue capacity semantics: a packet
+// larger than the whole capacity is admitted into an empty queue (else the
+// flow wedges forever), and over-capacity packets are dropped — and counted
+// — identically once anything is backlogged.
+TEST(QdiscCapacity, OverCapacityPacketHandledIdenticallyByFifoAndFq) {
+  FifoQdisc fifo(Bytes(1000));
+  FqQdisc fq(FqQdisc::Config{.capacity = Bytes(1000)});
+  for (Qdisc* q : {static_cast<Qdisc*>(&fifo), static_cast<Qdisc*>(&fq)}) {
+    // 1400-payload wire size (~1458) exceeds the whole 1000-byte capacity:
+    // admitted because the queue is empty.
+    q->enqueue(make_packet(1400));
+    EXPECT_EQ(q->dropped(), 0u);
+    EXPECT_FALSE(q->empty());
+    // Anything more while backlogged is over capacity: dropped and counted.
+    q->enqueue(make_packet(1400));
+    EXPECT_EQ(q->dropped(), 1u);
+    q->enqueue(make_packet(100));
+    EXPECT_EQ(q->dropped(), 2u);
+    // The admitted packet still drains, and the queue re-admits afterwards.
+    EXPECT_TRUE(q->dequeue(TimePoint::zero()).has_value());
+    EXPECT_TRUE(q->empty());
+    q->enqueue(make_packet(1400));
+    EXPECT_EQ(q->dropped(), 2u);
+    EXPECT_FALSE(q->empty());
+  }
+}
+
 // -------------------------------------------------------------------- NIC
 
 struct NicFixture {
@@ -315,6 +344,52 @@ TEST(Nic, RingBackpressureBoundsInflight) {
   EXPECT_GT(nic.qdisc().backlog().count(), 0);
   sim.run();
   EXPECT_EQ(nic.qdisc().backlog().count(), 0);
+}
+
+// Regression for the pump wakeup audit: when the tx ring is full, pump()
+// cancels the pacing wakeup and does not rearm it. A paced packet parked in
+// the qdisc behind a full ring must still drain via the
+// on_wire_complete -> pump path once serialisations finish.
+TEST(Nic, PacedPacketSurvivesFullRing) {
+  sim::Simulator sim;
+  // 1 Mb/s: each ~1458B wire packet takes ~11.7ms to serialise, so the ring
+  // stays full long past the pacing deadline.
+  net::Pipe pipe(sim, {DataRate::mbps(1), Duration::micros(1), Bytes(0), 0.0});
+  Nic nic(sim, std::make_unique<FqQdisc>(), Nic::Config{Bytes(3000)});
+  nic.attach_egress(pipe);
+  std::vector<net::Packet> delivered;
+  pipe.set_sink([&](net::Packet p) { delivered.push_back(std::move(p)); });
+
+  for (int i = 0; i < 3; ++i) nic.transmit(make_packet(1400));  // fill the ring + qdisc
+  auto paced = make_packet(1400);
+  paced.not_before = TimePoint(5'000'000);  // 5ms: before the first completion
+  nic.transmit(std::move(paced));
+  // The paced packet is stuck behind a full ring with no wakeup armed...
+  EXPECT_GT(nic.qdisc().backlog().count(), 0);
+  sim.run();
+  // ...but completions re-pump, so the flow must not stall.
+  EXPECT_EQ(delivered.size(), 4u);
+  EXPECT_EQ(nic.qdisc().backlog().count(), 0);
+}
+
+TEST(Nic, PacedFarFutureRearmsAfterRingDrains) {
+  sim::Simulator sim;
+  net::Pipe pipe(sim, {DataRate::mbps(1), Duration::micros(1), Bytes(0), 0.0});
+  Nic nic(sim, std::make_unique<FqQdisc>(), Nic::Config{Bytes(3000)});
+  nic.attach_egress(pipe);
+  std::vector<TimePoint> tx_times;
+  pipe.set_tx_tap([&](const net::Packet&, TimePoint t) { tx_times.push_back(t); });
+  pipe.set_sink([](net::Packet) {});
+
+  for (int i = 0; i < 2; ++i) nic.transmit(make_packet(1400));
+  auto paced = make_packet(1400);
+  // 80ms: long after the ring drains (~23ms), so the drain path must rearm
+  // a wakeup for the pacing deadline rather than send early or never.
+  paced.not_before = TimePoint(80'000'000);
+  nic.transmit(std::move(paced));
+  sim.run();
+  ASSERT_EQ(tx_times.size(), 3u);
+  EXPECT_EQ(tx_times.back().ns(), 80'000'000);
 }
 
 // -------------------------------------------------------------------- CPU

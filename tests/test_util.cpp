@@ -160,6 +160,47 @@ TEST(Rng, WeightedIndexThrowsOnZeroTotal) {
   EXPECT_THROW(rng.weighted_index(w), std::invalid_argument);
 }
 
+TEST(Rng, UniformIntFullRange) {
+  // Regression: `hi - lo` used to be computed in int64_t, which is signed
+  // overflow (UB) for the full 64-bit range. The full range maps to
+  // range == 0 (wraparound) and must return raw 64-bit draws.
+  Rng rng(33);
+  constexpr std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(lo, hi);
+    saw_negative |= v < 0;
+    saw_positive |= v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(Rng, UniformIntExtremeBounds) {
+  Rng rng(35);
+  constexpr std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  // Degenerate one-value ranges at both extremes.
+  EXPECT_EQ(rng.uniform_int(lo, lo), lo);
+  EXPECT_EQ(rng.uniform_int(hi, hi), hi);
+  // Two-value range spanning the most negative values.
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = rng.uniform_int(lo, lo + 1);
+    EXPECT_TRUE(v == lo || v == lo + 1);
+  }
+  // Ranges wider than INT64_MAX (range itself would overflow int64_t): the
+  // result must still land inside the bounds.
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t a = rng.uniform_int(lo, 0);
+    EXPECT_LE(a, 0);
+    const std::int64_t b = rng.uniform_int(-1, hi);
+    EXPECT_GE(b, -1);
+    const std::int64_t c = rng.uniform_int(lo, hi - 1);
+    EXPECT_LE(c, hi - 1);
+  }
+}
+
 TEST(Rng, ForkIndependence) {
   Rng parent(31);
   Rng child = parent.fork();
