@@ -1,0 +1,159 @@
+// Chaos sweep: every fault scenario x {Reno, CUBIC, BBR} x the full defense
+// zoo, with the runtime stack-invariant checker armed on every job.
+//
+// This is the robustness backbone for the paper's claim: in-stack defenses
+// must stay safe ("never more aggressive than the CCA") not just on clean
+// paths but exactly where transports misbehave — bursty loss, reordering,
+// duplication, corruption, jitter, capacity swings, link flaps. The sweep
+// reports, per scenario:
+//
+//   * completion rate and mean page-load time / goodput (how badly the
+//     adverse path degrades the workload),
+//   * mean defense bandwidth-overhead drift vs the clean scenario (does an
+//     impaired path change what a defense costs?),
+//   * invariant checks performed and violations found (must be zero).
+//
+// Runs on the parallel experiment engine: stdout is byte-identical for any
+// --jobs value, and --check-determinism re-runs the grid serially to prove
+// it. Exit status is 1 if any stack invariant was violated.
+//
+// Flags: --jobs N (or STOB_JOBS), --check-determinism.
+// Environment knobs: STOB_SITES (default 2), STOB_SAMPLES (default 2),
+// STOB_SEED.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defenses/baselines.hpp"
+#include "exp/experiment.hpp"
+#include "exp/worker_pool.hpp"
+#include "fault/fault.hpp"
+#include "workload/page_load.hpp"
+
+namespace {
+
+using namespace stob;
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : fallback;
+}
+
+struct ScenarioRow {
+  std::string name;
+  std::size_t jobs = 0, completed = 0;
+  double plt_sum = 0.0;         // seconds, completed jobs only
+  double goodput_sum = 0.0;     // Mbit/s, completed jobs only
+  double overhead_sum = 0.0;    // defended bytes / undefended bytes - 1
+  std::size_t overhead_n = 0;
+  std::uint64_t checks = 0, violations = 0;
+  std::string first_violation;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto sites = static_cast<std::size_t>(env_int("STOB_SITES", 2));
+  const auto samples = static_cast<std::size_t>(env_int("STOB_SAMPLES", 2));
+  const auto seed = static_cast<std::uint64_t>(env_int("STOB_SEED", 20251117));
+  const exp::Cli cli = exp::parse_cli(argc, argv);
+  const std::size_t jobs = cli.jobs == 0 ? exp::default_jobs() : cli.jobs;
+
+  exp::ExperimentGrid grid;
+  const std::vector<workload::SiteProfile>& nine = workload::nine_sites();
+  grid.sites.assign(nine.begin(), nine.begin() + std::min(sites, nine.size()));
+  grid.samples = samples;
+  grid.ccas = {"reno", "cubic", "bbr"};
+  grid.faults = fault::all_scenarios();
+  grid.base_seed = seed;
+
+  const std::vector<std::unique_ptr<defenses::TraceDefense>> zoo = defenses::all_defenses();
+  grid.defenses.push_back({"none", nullptr});
+  for (const auto& d : zoo) grid.defenses.push_back({d->name(), d.get()});
+
+  std::printf("=== Chaos sweep: fault scenarios x CCAs x defenses, invariants armed ===\n");
+  std::printf("grid: %zu scenarios x %zu sites x %zu samples x %zu defenses x %zu ccas = %zu jobs\n\n",
+              grid.faults.size(), grid.sites.size(), grid.samples, grid.defenses.size(),
+              grid.ccas.size(), grid.job_count());
+  // Worker count goes to stderr: stdout must be byte-identical for any
+  // --jobs value (the engine's determinism contract).
+  std::fprintf(stderr, "chaos_sweep: running %zu jobs with %zu workers\n", grid.job_count(), jobs);
+
+  exp::RunOptions run;
+  run.jobs = jobs;
+  run.check_invariants = true;
+  run.check_determinism = cli.check_determinism;
+  const std::vector<exp::JobResult> results = exp::run_grid(grid, run);
+
+  // Reduce in job order. The undefended (defense 0) twin of every defended
+  // job precedes it within the same (fault, site, sample) block, so the
+  // overhead baseline is a straight lookback.
+  const std::size_t ccas = grid.ccas.size();
+  std::vector<ScenarioRow> rows(grid.faults.size());
+  for (const exp::JobResult& r : results) {
+    ScenarioRow& row = rows[r.spec.fault];
+    row.name = grid.faults[r.spec.fault].name;
+    ++row.jobs;
+    if (r.completed) {
+      ++row.completed;
+      const double secs = r.page_load_time.sec();
+      row.plt_sum += secs;
+      if (secs > 0.0) {
+        row.goodput_sum += static_cast<double>(r.response_bytes) * 8.0 / secs / 1e6;
+      }
+    }
+    if (r.spec.defense > 0) {
+      const exp::JobResult& base = results[r.spec.index - r.spec.defense * ccas];
+      const std::int64_t undef = base.trace.total_bytes();
+      if (undef > 0) {
+        row.overhead_sum +=
+            static_cast<double>(r.trace.total_bytes()) / static_cast<double>(undef) - 1.0;
+        ++row.overhead_n;
+      }
+    }
+    row.checks += r.invariant_checks;
+    row.violations += r.invariant_violations;
+    if (row.first_violation.empty() && !r.first_violation.empty()) {
+      row.first_violation = r.first_violation;
+    }
+  }
+
+  const double clean_overhead =
+      rows[0].overhead_n > 0 ? rows[0].overhead_sum / static_cast<double>(rows[0].overhead_n)
+                             : 0.0;
+  std::printf("%-16s %6s %9s %9s %9s %12s %12s %10s\n", "scenario", "done", "plt(s)",
+              "goodput", "bw-ovh", "ovh-drift", "checks", "violations");
+  std::uint64_t total_violations = 0;
+  for (const ScenarioRow& row : rows) {
+    const double done = row.jobs > 0 ? static_cast<double>(row.completed) /
+                                           static_cast<double>(row.jobs)
+                                     : 0.0;
+    const double plt =
+        row.completed > 0 ? row.plt_sum / static_cast<double>(row.completed) : 0.0;
+    const double goodput =
+        row.completed > 0 ? row.goodput_sum / static_cast<double>(row.completed) : 0.0;
+    const double ovh =
+        row.overhead_n > 0 ? row.overhead_sum / static_cast<double>(row.overhead_n) : 0.0;
+    std::printf("%-16s %5.0f%% %9.3f %7.2fMb %8.1f%% %11.1f%% %12llu %10llu\n",
+                row.name.c_str(), done * 100.0, plt, goodput, ovh * 100.0,
+                (ovh - clean_overhead) * 100.0,
+                static_cast<unsigned long long>(row.checks),
+                static_cast<unsigned long long>(row.violations));
+    total_violations += row.violations;
+  }
+
+  if (total_violations > 0) {
+    std::printf("\nSTACK INVARIANT VIOLATIONS: %llu\n",
+                static_cast<unsigned long long>(total_violations));
+    for (const ScenarioRow& row : rows) {
+      if (!row.first_violation.empty()) {
+        std::printf("[%s] %s\n", row.name.c_str(), row.first_violation.c_str());
+      }
+    }
+    return 1;
+  }
+  std::printf("\nAll stack invariants held across every scenario.\n");
+  return 0;
+}

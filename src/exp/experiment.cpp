@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "exp/worker_pool.hpp"
+#include "fault/invariants.hpp"
 #include "net/packet.hpp"
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
@@ -35,7 +36,9 @@ JobSpec ExperimentGrid::job(std::size_t index) const {
   spec.defense = index % d;
   index /= d;
   spec.sample = index % samples;
-  spec.site = index / samples;
+  index /= samples;
+  spec.site = index % sites.size();
+  spec.fault = index / sites.size();
   spec.seed = job_seed(base_seed, spec.index);
   return spec;
 }
@@ -58,13 +61,17 @@ JobResult run_job(const ExperimentGrid& grid, const JobSpec& spec, const RunOpti
     page.client_conn.cca = grid.ccas[spec.cca];
     page.server_conn.cca = grid.ccas[spec.cca];
   }
+  if (!grid.faults.empty()) page.path_faults = grid.faults[spec.fault];
 
   obs::MetricsRegistry registry;
   obs::TraceRecorder recorder(opts.trace_capacity > 0 ? opts.trace_capacity : 1);
+  fault::StackInvariantChecker checker;
   std::optional<obs::ScopedMetrics> scoped_metrics;
   std::optional<obs::ScopedRecorder> scoped_recorder;
+  std::optional<obs::ScopedListener> scoped_listener;
   if (opts.collect_metrics) scoped_metrics.emplace(registry);
   if (opts.trace_capacity > 0) scoped_recorder.emplace(recorder);
+  if (opts.check_invariants) scoped_listener.emplace(checker);
 
   workload::PageLoadResult loaded = workload::run_page_load(grid.sites[spec.site], rng, page);
 
@@ -81,6 +88,11 @@ JobResult run_job(const ExperimentGrid& grid, const JobSpec& spec, const RunOpti
   }
   if (opts.collect_metrics) result.metrics = registry.snapshot();
   if (opts.trace_capacity > 0) result.events = recorder.events();
+  if (opts.check_invariants) {
+    result.invariant_checks = checker.checks();
+    result.invariant_violations = checker.violations();
+    result.first_violation = checker.first_report();
+  }
   return result;
 }
 
@@ -106,7 +118,10 @@ bool results_identical(const JobResult& a, const JobResult& b) {
   return a.spec.index == b.spec.index && a.spec.seed == b.spec.seed && a.trace == b.trace &&
          a.page_load_time == b.page_load_time && a.response_bytes == b.response_bytes &&
          a.objects_fetched == b.objects_fetched && a.completed == b.completed &&
-         a.metrics == b.metrics && a.events == b.events;
+         a.metrics == b.metrics && a.events == b.events &&
+         a.invariant_checks == b.invariant_checks &&
+         a.invariant_violations == b.invariant_violations &&
+         a.first_violation == b.first_violation;
 }
 
 wf::Dataset to_dataset(const std::vector<JobResult>& results) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "defenses/trace_defense.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace_recorder.hpp"
 #include "util/units.hpp"
 #include "wf/trace.hpp"
@@ -53,24 +54,30 @@ struct JobSpec {
   std::size_t sample = 0;   ///< repetition number within the site
   std::size_t defense = 0;  ///< index into defenses (0 when axis empty)
   std::size_t cca = 0;      ///< index into ccas (0 when axis empty)
+  std::size_t fault = 0;    ///< index into faults (0 when axis empty)
   std::uint64_t seed = 0;   ///< job_seed(base_seed, index)
 };
 
-/// The experiment grid: the cartesian product sites x samples x defenses x
-/// ccas, enumerated in that axis order (cca fastest). Empty defense / cca
-/// axes contribute one implicit point: undefended / the PageLoadOptions'
-/// configured CCA.
+/// The experiment grid: the cartesian product faults x sites x samples x
+/// defenses x ccas, enumerated in that axis order (cca fastest, fault
+/// slowest). Empty defense / cca / fault axes contribute one implicit
+/// point: undefended / the PageLoadOptions' configured CCA / the
+/// PageLoadOptions' configured path_faults.
 class ExperimentGrid {
  public:
   std::vector<workload::SiteProfile> sites;
   std::size_t samples = 1;
   std::vector<DefenseAxis> defenses;
   std::vector<std::string> ccas;
+  std::vector<fault::PathProfile> faults;
   std::uint64_t base_seed = 0;
 
   std::size_t defense_axis() const { return defenses.empty() ? 1 : defenses.size(); }
   std::size_t cca_axis() const { return ccas.empty() ? 1 : ccas.size(); }
-  std::size_t job_count() const { return sites.size() * samples * defense_axis() * cca_axis(); }
+  std::size_t fault_axis() const { return faults.empty() ? 1 : faults.size(); }
+  std::size_t job_count() const {
+    return sites.size() * samples * defense_axis() * cca_axis() * fault_axis();
+  }
 
   /// Decompose a dense index into grid coordinates (with its seed).
   JobSpec job(std::size_t index) const;
@@ -88,6 +95,10 @@ struct JobResult {
   bool completed = false;
   std::string metrics;                    ///< MetricsRegistry::snapshot()
   std::vector<obs::PacketEvent> events;   ///< flight-recorder capture
+  // Filled when RunOptions::check_invariants is set.
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t invariant_violations = 0;
+  std::string first_violation;            ///< first checker report, if any
 };
 
 struct RunOptions {
@@ -99,6 +110,10 @@ struct RunOptions {
   /// When > 0, install a per-job TraceRecorder with this capacity and keep
   /// the captured events.
   std::size_t trace_capacity = 0;
+  /// Install a per-job fault::StackInvariantChecker and record its verdict
+  /// in JobResult (violations are reported, never thrown, so one bad job
+  /// cannot mask the rest of the sweep).
+  bool check_invariants = false;
   /// Determinism mode: after the parallel run, re-run the whole grid on one
   /// thread and throw std::runtime_error unless every job's output is
   /// byte-identical.

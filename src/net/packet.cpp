@@ -29,6 +29,7 @@ std::ostream& operator<<(std::ostream& os, const Packet& p) {
     os << " quic pn=" << p.quic().packet_number;
   }
   if (p.is_dummy) os << " DUMMY";
+  if (p.corrupted) os << " CORRUPT";
   return os;
 }
 

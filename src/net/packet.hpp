@@ -117,6 +117,9 @@ struct Packet {
   Bytes header;          // wire overhead (L2+L3+L4(+QUIC))
   Bytes payload;         // transport payload carried
   bool is_dummy = false; // defense-injected padding packet
+  /// Payload damaged in transit (fault layer). The receiving host drops the
+  /// packet at checksum validation instead of delivering it upward.
+  bool corrupted = false;
   TimePoint enqueued_at; // stamped when handed to the qdisc
   TimePoint sent_at;     // stamped when serialisation onto the wire begins
 

@@ -34,6 +34,17 @@ class DuplexPath {
     return Config{p, p};
   }
 
+  /// Asymmetric path helper: distinct uplink (client->server) and downlink
+  /// (server->client) rates/delays, the common shape of access networks
+  /// (DOCSIS/DSL/LTE) where the request direction is much thinner than the
+  /// response direction.
+  static Config asymmetric(DataRate up_rate, Duration up_delay, DataRate down_rate,
+                           Duration down_delay, Bytes queue_capacity = Bytes::kibi(256),
+                           double up_loss = 0.0, double down_loss = 0.0) {
+    return Config{Pipe::Config{up_rate, up_delay, queue_capacity, up_loss},
+                  Pipe::Config{down_rate, down_delay, queue_capacity, down_loss}};
+  }
+
   DuplexPath(sim::Simulator& sim, Config cfg)
       : forward_(sim, cfg.forward), backward_(sim, cfg.backward) {}
 

@@ -47,22 +47,39 @@ void Pipe::on_transmitted(Packet p) {
   } else {
     busy_ = false;
   }
+  // Serialisation finished: the sender's NIC ring frees here no matter what
+  // happens to the packet in flight (a lost packet still occupied the wire).
   if (tx_complete_) tx_complete_(p);
 
-  if (cfg_.loss_rate > 0.0 && loss_rng_.chance(cfg_.loss_rate)) {
-    ++lost_packets_;
-    STOB_TRACE("pipe") << "loss " << p;
+  // An installed fault model owns the in-flight fate of the packet and
+  // replaces the built-in i.i.d. loss check.
+  if (fault_model_ != nullptr) {
+    fault_model_->on_transmitted(*this, std::move(p));
     return;
   }
 
+  if (cfg_.loss_rate > 0.0 && loss_rng_.chance(cfg_.loss_rate)) {
+    count_lost(p);
+    return;
+  }
+
+  deliver(std::move(p));
+}
+
+void Pipe::deliver(Packet p, Duration extra) {
   ++delivered_packets_;
   delivered_bytes_ += p.wire_size();
-  sim_.schedule_after(cfg_.delay, [this, p = std::move(p)]() mutable {
+  sim_.schedule_after(cfg_.delay + extra, [this, p = std::move(p)]() mutable {
     if (rx_tap_) rx_tap_(p, sim_.now());
     obs::record_packet(obs::Layer::Wire, obs::Direction::Rx, obs::EventKind::Receive, p,
                        sim_.now());
     if (sink_) sink_(std::move(p));
   });
+}
+
+void Pipe::count_lost(const Packet& p) {
+  ++lost_packets_;
+  STOB_TRACE("pipe") << "loss " << p;
 }
 
 }  // namespace stob::net

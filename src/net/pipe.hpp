@@ -14,6 +14,22 @@
 
 namespace stob::net {
 
+class Pipe;
+
+/// Hook a fault-injection layer implements to take over a pipe's
+/// impairment decisions (loss, reordering, duplication, corruption,
+/// jitter...). Invoked once per packet, after serialisation completes and
+/// tx_complete has fired; the model either hands copies back through
+/// Pipe::deliver() (with any extra delay) or discards via
+/// Pipe::count_lost(). While a model is installed it *replaces* the pipe's
+/// built-in i.i.d. loss check, so a model composes its own loss policy.
+/// The canonical implementation lives in src/fault/fault.hpp.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+  virtual void on_transmitted(Pipe& pipe, Packet p) = 0;
+};
+
 class Pipe {
  public:
   struct Config {
@@ -52,6 +68,20 @@ class Pipe {
   /// Offer a packet to the pipe. Drops (drop-tail) if the queue is full.
   void send(Packet p);
 
+  /// Install (or, with nullptr, remove) a fault model. Non-owning: the
+  /// model must outlive the pipe or detach itself first. With a model
+  /// installed the built-in loss_rate check is bypassed.
+  void set_fault_model(FaultModel* model) { fault_model_ = model; }
+  FaultModel* fault_model() const { return fault_model_; }
+
+  /// Deliver `p` to the sink after the pipe's propagation delay plus
+  /// `extra`. Fault models use this to re-inject (possibly duplicated,
+  /// corrupted or jittered) packets; counts as a delivered packet.
+  void deliver(Packet p, Duration extra = Duration());
+
+  /// Account a packet discarded in flight (loss model / fault layer).
+  void count_lost(const Packet& p);
+
   // Counters.
   std::uint64_t delivered_packets() const { return delivered_packets_; }
   Bytes delivered_bytes() const { return delivered_bytes_; }
@@ -72,6 +102,7 @@ class Pipe {
 
   sim::Simulator& sim_;
   Config cfg_;
+  FaultModel* fault_model_ = nullptr;
   Sink sink_;
   Tap tx_tap_;
   Tap rx_tap_;

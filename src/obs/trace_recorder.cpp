@@ -8,9 +8,12 @@ namespace stob::obs {
 
 namespace detail {
 thread_local TraceRecorder* g_recorder = nullptr;
+thread_local StackListener* g_listener = nullptr;
 }  // namespace detail
 
 void install_recorder(TraceRecorder* r) noexcept { detail::g_recorder = r; }
+
+void install_listener(StackListener* l) noexcept { detail::g_listener = l; }
 
 std::string_view to_string(Layer layer) {
   switch (layer) {

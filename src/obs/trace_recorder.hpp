@@ -125,12 +125,103 @@ class ScopedRecorder {
   TraceRecorder* prev_;
 };
 
+// ---------------------------------------------------------------- listener
+//
+// A second, independent tap: where TraceRecorder passively stores events
+// for later export, a StackListener reacts to them as they happen. The
+// fault layer's StackInvariantChecker (src/fault/invariants.hpp) is the
+// canonical implementation: it cross-checks every event against the
+// stack's safety invariants while a simulation runs. Same thread-local
+// discipline as the recorder slot: no listener installed = one pointer
+// load and a branch per hook.
+
+/// Queue whose occupancy is being reported to the listener.
+enum class QueueKind : std::uint8_t {
+  QdiscBacklog,  ///< qdisc backlog, bytes
+  NicRing,       ///< NIC tx ring occupancy, bytes
+};
+
+/// Impairment the fault layer applied to a packet (see src/fault/).
+enum class FaultKind : std::uint8_t { Loss, Corrupt, Duplicate, Reorder, Jitter, Flap };
+
+/// One transport emission, annotated with what the CCA alone would have
+/// allowed. This is the hook the never-more-aggressive invariant checks:
+/// a Stob policy may delay or shrink an emission, never advance or grow it.
+struct DepartureEvent {
+  net::FlowKey flow;
+  TimePoint now;
+  TimePoint departure;      ///< chosen earliest-departure time (post-policy)
+  TimePoint cca_departure;  ///< earliest time the CCA/pacer alone allows
+  std::int64_t bytes = 0;          ///< payload bytes emitted
+  std::int64_t cca_segment = 0;    ///< segment size before policy shaping
+  std::int64_t cwnd = 0;           ///< congestion window at emission, bytes
+  std::int64_t inflight = 0;       ///< bytes in flight *before* this emission
+  /// Emission may exceed `inflight + bytes <= cwnd` by this many bytes
+  /// (e.g. QUIC admits a packet whenever inflight < cwnd).
+  std::int64_t cwnd_slack = 0;
+  bool window_limited = false;     ///< emission was subject to the cwnd check
+  bool is_retransmission = false;
+};
+
+/// Observer of stack activity on the current thread. All methods are called
+/// synchronously from hook sites; implementations must not re-enter the
+/// stack.
+class StackListener {
+ public:
+  virtual ~StackListener() = default;
+  virtual void on_packet(const PacketEvent& ev) = 0;
+  virtual void on_departure(const DepartureEvent& ev) = 0;
+  /// Cumulative ACK advanced: `una` is the new lowest unacked offset
+  /// (TCP stream offset semantics).
+  virtual void on_ack_advance(const net::FlowKey& flow, std::uint64_t una) = 0;
+  virtual void on_queue_depth(QueueKind kind, std::int64_t depth, std::int64_t bound) = 0;
+  virtual void on_fault(FaultKind kind, const net::Packet& p, TimePoint now) = 0;
+};
+
+namespace detail {
+extern thread_local StackListener* g_listener;  // nullptr = no listener
+}  // namespace detail
+
+inline StackListener* listener() noexcept { return detail::g_listener; }
+
+/// Install (or, with nullptr, remove) the calling thread's listener.
+void install_listener(StackListener* l) noexcept;
+
+/// RAII listener installation, mirroring ScopedRecorder.
+class ScopedListener {
+ public:
+  explicit ScopedListener(StackListener& l) : prev_(listener()) { install_listener(&l); }
+  ~ScopedListener() { install_listener(prev_); }
+  ScopedListener(const ScopedListener&) = delete;
+  ScopedListener& operator=(const ScopedListener&) = delete;
+
+ private:
+  StackListener* prev_;
+};
+
+inline void note_departure(const DepartureEvent& ev) {
+  if (StackListener* l = detail::g_listener) l->on_departure(ev);
+}
+
+inline void note_ack_advance(const net::FlowKey& flow, std::uint64_t una) {
+  if (StackListener* l = detail::g_listener) l->on_ack_advance(flow, una);
+}
+
+inline void note_queue_depth(QueueKind kind, std::int64_t depth, std::int64_t bound) {
+  if (StackListener* l = detail::g_listener) l->on_queue_depth(kind, depth, bound);
+}
+
+inline void note_fault(FaultKind kind, const net::Packet& p, TimePoint now) {
+  if (StackListener* l = detail::g_listener) l->on_fault(kind, p, now);
+}
+
 /// Record an observation of `p` if a recorder is installed. seq is taken
 /// from the transport header (TCP stream offset / QUIC packet number).
 inline void record_packet(Layer layer, Direction dir, EventKind kind, const net::Packet& p,
                           TimePoint now) {
   TraceRecorder* r = detail::g_recorder;
-  if (r == nullptr) return;
+  StackListener* l = detail::g_listener;
+  if (r == nullptr && l == nullptr) return;
   PacketEvent ev;
   ev.time = now;
   ev.flow = p.flow;
@@ -140,7 +231,8 @@ inline void record_packet(Layer layer, Direction dir, EventKind kind, const net:
   ev.bytes = p.payload.count();
   ev.seq = p.is_tcp() ? p.tcp().seq : p.quic().packet_number;
   ev.packet_id = p.id;
-  r->record(ev);
+  if (r != nullptr) r->record(ev);
+  if (l != nullptr) l->on_packet(ev);
 }
 
 }  // namespace stob::obs

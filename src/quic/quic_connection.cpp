@@ -425,6 +425,22 @@ std::int64_t QuicConnection::emit_packet(bool force_padding_to_initial) {
 
   ++stats_.packets_sent;
   stats_.bytes_sent += Bytes(payload);
+  if (obs::listener() != nullptr) {
+    obs::DepartureEvent dep;
+    dep.flow = key_;
+    dep.now = now;
+    dep.departure = pkt.not_before;
+    dep.cca_departure = cca_departure;
+    dep.bytes = payload;
+    dep.cca_segment = cfg_.max_payload;
+    dep.cwnd = cca_->cwnd().count();
+    dep.inflight = eliciting ? inflight_ - payload : inflight_;
+    // QUIC admits a packet whenever inflight < cwnd (send_pending's loop
+    // condition), so an emission may overshoot cwnd by payload - 1 bytes.
+    dep.cwnd_slack = payload > 0 ? payload - 1 : 0;
+    dep.window_limited = established_ && stream_payload > 0 && !force_padding_to_initial;
+    obs::note_departure(dep);
+  }
   obs::record_packet(obs::Layer::Quic, obs::Direction::Tx, obs::EventKind::Send, pkt, now);
   obs::count("quic.packets_sent");
   obs::sample("quic.cwnd_bytes", static_cast<double>(cca_->cwnd().count()));

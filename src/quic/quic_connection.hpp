@@ -85,6 +85,9 @@ class QuicConnection {
   Bytes cwnd() const { return cca_->cwnd(); }
   Duration srtt() const { return rtt_.srtt(); }
   Bytes inflight() const { return Bytes(inflight_); }
+  /// Consecutive PTO fires without forward progress (exponential backoff
+  /// exponent); reset to 0 by the next newly-acked byte.
+  int pto_backoff() const { return pto_backoff_; }
 
  private:
   struct SendStream {

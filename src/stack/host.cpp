@@ -19,6 +19,14 @@ Host::Host(sim::Simulator& sim, net::HostId id, Config cfg)
       nic_(sim, cfg.make_qdisc ? cfg.make_qdisc() : default_qdisc(), cfg.nic) {}
 
 void Host::receive(net::Packet p) {
+  // Checksum validation: a payload damaged in transit (fault layer) never
+  // reaches the transport — it surfaces there as loss, while the wire trace
+  // still shows the delivery.
+  if (p.corrupted) {
+    ++checksum_drops_;
+    STOB_DEBUG("host") << "host " << id_ << " checksum drop " << p;
+    return;
+  }
   auto it = flows_.find(p.flow);
   if (it != flows_.end()) {
     it->second(std::move(p));

@@ -53,6 +53,8 @@ class Host {
   net::Port allocate_port() { return next_port_++; }
 
   std::uint64_t unmatched_packets() const { return unmatched_; }
+  /// Packets dropped at ingress checksum validation (Packet::corrupted).
+  std::uint64_t checksum_drops() const { return checksum_drops_; }
 
  private:
   struct ListenerKey {
@@ -73,6 +75,7 @@ class Host {
   Nic nic_;
   net::Port next_port_ = 40000;
   std::uint64_t unmatched_ = 0;
+  std::uint64_t checksum_drops_ = 0;
   std::unordered_map<net::FlowKey, PacketHandler, net::FlowKeyHash> flows_;
   std::unordered_map<ListenerKey, PacketHandler, ListenerKeyHash> listeners_;
 };

@@ -81,6 +81,7 @@ void Nic::push_to_wire(net::Packet p) {
                 static_cast<double>((payload + p.tso_mss - 1) / p.tso_mss));
     const std::int64_t mss = p.tso_mss;
     std::int64_t offset = 0;
+    std::int64_t pushed = 0;
     while (offset < payload) {
       const std::int64_t chunk = std::min(mss, payload - offset);
       net::Packet wire = p;
@@ -94,6 +95,7 @@ void Nic::push_to_wire(net::Packet p) {
       }
       offset += chunk;
       ring_bytes_ += wire.wire_size();
+      pushed += wire.wire_size().count();
       ring_per_flow_[wire.flow] += wire.wire_size().count();
       ++wire_packets_sent_;
       obs::count("nic.wire_packets");
@@ -101,6 +103,10 @@ void Nic::push_to_wire(net::Packet p) {
                          sim_.now());
       egress_->send(std::move(wire));
     }
+    // Ring-bound invariant: the ring may overshoot tx_ring by at most the
+    // burst just pushed (a whole super-segment enters once pump() saw room).
+    obs::note_queue_depth(obs::QueueKind::NicRing, ring_bytes_.count(),
+                          cfg_.tx_ring.count() + pushed);
     return;
   }
   ring_bytes_ += p.wire_size();
@@ -108,6 +114,8 @@ void Nic::push_to_wire(net::Packet p) {
   ++wire_packets_sent_;
   obs::count("nic.wire_packets");
   obs::record_packet(obs::Layer::Nic, obs::Direction::Tx, obs::EventKind::Send, p, sim_.now());
+  obs::note_queue_depth(obs::QueueKind::NicRing, ring_bytes_.count(),
+                        cfg_.tx_ring.count() + p.wire_size().count());
   egress_->send(std::move(p));
 }
 

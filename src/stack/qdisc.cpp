@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "obs/metrics.hpp"
 #include "obs/trace_recorder.hpp"
@@ -14,11 +15,17 @@ namespace {
 // Observability taps shared by both qdiscs. All of these are single
 // load-and-branch no-ops when no recorder/registry is installed.
 
-void note_enqueue(const net::Packet& p, Bytes backlog) {
+void note_enqueue(const net::Packet& p, Bytes backlog, Bytes capacity) {
   obs::record_packet(obs::Layer::Qdisc, obs::Direction::Tx, obs::EventKind::Enqueue, p,
                      p.enqueued_at);
   obs::count("qdisc.enqueued");
   obs::sample("qdisc.backlog_bytes", static_cast<double>(backlog.count()));
+  // Queue-bound invariant: with the admit-one-into-empty rule, the backlog
+  // may exceed capacity only by way of a single oversize packet.
+  const std::int64_t bound = capacity.count() > 0
+                                 ? std::max(capacity.count(), p.wire_size().count())
+                                 : std::numeric_limits<std::int64_t>::max();
+  obs::note_queue_depth(obs::QueueKind::QdiscBacklog, backlog.count(), bound);
 }
 
 void note_drop(const net::Packet& p) {
@@ -59,7 +66,7 @@ void FifoQdisc::enqueue(net::Packet p) {
   }
   backlog_ += size;
   per_flow_bytes_[p.flow] += size.count();
-  note_enqueue(p, backlog_);
+  note_enqueue(p, backlog_, capacity_);
   queue_.push_back(std::move(p));
 }
 
@@ -109,7 +116,7 @@ void FqQdisc::enqueue(net::Packet p) {
     fq.in_round = true;
     round_.push_back(p.flow);
   }
-  note_enqueue(p, backlog_);
+  note_enqueue(p, backlog_, cfg_.capacity);
   fq.packets.push_back(std::move(p));
 }
 

@@ -39,7 +39,7 @@ std::int64_t TlsSession::seal(std::int64_t plaintext, TimePoint now) {
     if (body > chunk) {
       obs::count("tls.padding_bytes", static_cast<std::uint64_t>(body - chunk));
     }
-    if (obs::TraceRecorder* r = obs::recorder()) {
+    if (obs::recorder() != nullptr || obs::listener() != nullptr) {
       obs::PacketEvent ev;
       ev.time = now;
       ev.flow = flow_;
@@ -48,7 +48,8 @@ std::int64_t TlsSession::seal(std::int64_t plaintext, TimePoint now) {
       ev.kind = obs::EventKind::Send;
       ev.bytes = wire;
       ev.seq = static_cast<std::uint64_t>(send_offset_);
-      r->record(ev);
+      if (obs::TraceRecorder* r = obs::recorder()) r->record(ev);
+      if (obs::StackListener* l = obs::listener()) l->on_packet(ev);
     }
     send_offset_ += wire;
     wire_total += wire;
@@ -65,7 +66,7 @@ std::int64_t TlsSession::open(std::int64_t wire, TimePoint now) {
     buffered_ -= rec.wire;
     plaintext += rec.plaintext;
     in_flight_.pop_front();
-    if (obs::TraceRecorder* r = obs::recorder()) {
+    if (obs::recorder() != nullptr || obs::listener() != nullptr) {
       obs::PacketEvent ev;
       ev.time = now;
       ev.flow = flow_;
@@ -74,7 +75,8 @@ std::int64_t TlsSession::open(std::int64_t wire, TimePoint now) {
       ev.kind = obs::EventKind::Receive;
       ev.bytes = rec.wire;
       ev.seq = static_cast<std::uint64_t>(recv_offset_);
-      r->record(ev);
+      if (obs::TraceRecorder* r = obs::recorder()) r->record(ev);
+      if (obs::StackListener* l = obs::listener()) l->on_packet(ev);
     }
     recv_offset_ += rec.wire;
   }

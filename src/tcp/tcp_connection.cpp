@@ -194,6 +194,7 @@ void TcpConnection::process_ack(const net::TcpHeader& h, bool has_payload) {
     }
 
     snd_una_ = h.ack;
+    obs::note_ack_advance(key_, snd_una_);
     stats_.bytes_delivered =
         Bytes(static_cast<std::int64_t>(fin_sent_ ? std::min(snd_una_, fin_seq_) : snd_una_));
     dupacks_ = 0;
@@ -487,6 +488,22 @@ std::int64_t TcpConnection::emit_segment(std::uint64_t seq, std::int64_t len, bo
   stats_.bytes_sent += Bytes(seg_len);
   if (is_retx) ++stats_.retransmissions;
 
+  if (obs::listener() != nullptr) {
+    obs::DepartureEvent dep;
+    dep.flow = key_;
+    dep.now = now;
+    dep.departure = pkt.not_before;
+    dep.cca_departure = cca_departure;
+    dep.bytes = seg_len;
+    dep.cca_segment = candidate;
+    dep.cwnd = cca_->cwnd().count();
+    dep.inflight = inflight().count();
+    // New data was admitted under usable_window(), so inflight + bytes <=
+    // cwnd holds exactly; retransmissions are pipe-limited instead.
+    dep.window_limited = !is_retx;
+    dep.is_retransmission = is_retx;
+    obs::note_departure(dep);
+  }
   obs::record_packet(obs::Layer::Tcp, obs::Direction::Tx,
                      is_retx ? obs::EventKind::Retransmit : obs::EventKind::Send, pkt, now);
   obs::count(is_retx ? "tcp.retransmissions" : "tcp.segments_sent");

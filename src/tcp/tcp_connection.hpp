@@ -123,6 +123,8 @@ class TcpConnection {
   Bytes cwnd() const { return cca_->cwnd(); }
   DataRate pacing_rate() const { return cca_->pacing_rate(); }
   Duration srtt() const { return rtt_.srtt(); }
+  /// Current retransmission timeout (with any exponential backoff applied).
+  Duration rto() const { return rtt_.rto(); }
   CongestionControl& cca() { return *cca_; }
   Bytes inflight() const { return Bytes(static_cast<std::int64_t>(snd_nxt_ - snd_una_)); }
   Bytes unsent() const { return Bytes(unsent_bytes_); }

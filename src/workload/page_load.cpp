@@ -35,6 +35,12 @@ class Driver {
             static_cast<double>(profile.access_rate.bits_per_sec()) * rate_mult)),
         profile.base_one_way_delay * delay_mult, Bytes::kibi(384));
     hp_ = std::make_unique<stack::HostPair>(hp_cfg);
+    if (options.path_faults.any()) {
+      // Forked so the page-load sampling stream stays identical whether or
+      // not faults are enabled (clean runs are byte-for-byte unchanged).
+      faults_ = std::make_unique<fault::PathFaults>(hp_->sim(), hp_->path(),
+                                                    options.path_faults, rng_.fork());
+    }
     recorder_ = std::make_unique<wf::TraceRecorder>(hp_->path());
 
     tcp::TcpConnection::Config server_cfg = options_.server_conn;
@@ -243,6 +249,8 @@ class Driver {
   const PageLoadOptions& options_;
   PagePlan plan_;
   std::unique_ptr<stack::HostPair> hp_;
+  // Declared after hp_ so injectors detach from the pipes before they die.
+  std::unique_ptr<fault::PathFaults> faults_;
   std::unique_ptr<wf::TraceRecorder> recorder_;
   std::unique_ptr<tcp::TcpListener> listener_;
   std::vector<ClientSlot> slots_;

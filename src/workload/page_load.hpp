@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "core/policy.hpp"
+#include "fault/fault.hpp"
 #include "stack/tls_record.hpp"
 #include "stack/host_pair.hpp"
 #include "tcp/tcp_connection.hpp"
@@ -40,6 +41,10 @@ struct PageLoadOptions {
   /// application-side padding locus the paper points at in §4.2).
   bool tls_records = false;
   stack::TlsConfig tls;
+  /// Adverse-network fault profile applied to the path (forward = client ->
+  /// server). The default ("clean", no impairments) attaches nothing, so
+  /// un-faulted runs are byte-identical to builds without the fault layer.
+  fault::PathProfile path_faults;
   /// Give up after this much simulated time.
   Duration timeout = Duration::seconds(60);
 };

@@ -122,6 +122,27 @@ TEST(Pipe, LossModelDropsApproximately) {
   EXPECT_EQ(pipe.lost_packets() + pipe.delivered_packets(), 2000u);
 }
 
+TEST(Pipe, LostPacketFiresTxAccountingButNoRxTap) {
+  // Loss happens after serialisation: the sender side (tx tap, tx_complete,
+  // i.e. the NIC ring free) must see the packet, the receiver side (rx tap,
+  // sink) must not.
+  sim::Simulator s;
+  Pipe pipe(s, {DataRate::gbps(1), Duration::millis(1), Bytes(0), 1.0});
+  int tx_taps = 0, rx_taps = 0, completions = 0, sunk = 0;
+  pipe.set_tx_tap([&](const Packet&, TimePoint) { ++tx_taps; });
+  pipe.set_rx_tap([&](const Packet&, TimePoint) { ++rx_taps; });
+  pipe.set_tx_complete([&](const Packet&) { ++completions; });
+  pipe.set_sink([&](Packet) { ++sunk; });
+  pipe.send(make_packet(1000));
+  s.run();
+  EXPECT_EQ(tx_taps, 1);
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(rx_taps, 0);
+  EXPECT_EQ(sunk, 0);
+  EXPECT_EQ(pipe.lost_packets(), 1u);
+  EXPECT_EQ(pipe.delivered_packets(), 0u);
+}
+
 TEST(Pipe, TapsObserveTxAndRx) {
   sim::Simulator s;
   Pipe pipe(s, {DataRate::mbps(8), Duration::millis(1), Bytes(0), 0.0});
@@ -174,6 +195,18 @@ TEST(DuplexPath, DirectionsAreIndependent) {
   s.run();
   EXPECT_EQ(fwd, 1);
   EXPECT_EQ(bwd, 2);
+}
+
+TEST(DuplexPath, AsymmetricDirectionsDiffer) {
+  sim::Simulator s;
+  // ADSL-shaped: fat/short downlink, thin/long uplink.
+  DuplexPath path(s, DuplexPath::asymmetric(DataRate::mbps(5), Duration::millis(15),
+                                            DataRate::mbps(50), Duration::millis(5)));
+  EXPECT_EQ(path.forward().config().rate.bits_per_sec(), DataRate::mbps(5).bits_per_sec());
+  EXPECT_EQ(path.backward().config().rate.bits_per_sec(), DataRate::mbps(50).bits_per_sec());
+  EXPECT_EQ(path.forward().config().delay.ns(), Duration::millis(15).ns());
+  EXPECT_EQ(path.backward().config().delay.ns(), Duration::millis(5).ns());
+  EXPECT_EQ(path.base_rtt().ms(), 20.0);
 }
 
 TEST(DuplexPath, PipeSelectorByDirection) {
