@@ -176,7 +176,17 @@ void TraceRecorder::write_csv(const std::filesystem::path& path) const {
 void TraceRecorder::write_jsonl(const std::filesystem::path& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path.string());
-  for (const PacketEvent& ev : events()) out << to_json(ev) << '\n';
+  out << to_jsonl();
+}
+
+std::string TraceRecorder::to_jsonl() const {
+  std::string out;
+  out.reserve(size() * 160);
+  for (const PacketEvent& ev : events()) {
+    out += to_json(ev);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace stob::obs

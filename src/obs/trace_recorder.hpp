@@ -83,6 +83,9 @@ class TraceRecorder {
   // ---- exporters ----
   void write_csv(const std::filesystem::path& path) const;
   void write_jsonl(const std::filesystem::path& path) const;
+  /// The JSONL export as one in-memory string (exactly the bytes
+  /// write_jsonl would emit). The golden-trace corpus hashes this.
+  std::string to_jsonl() const;
 
   static csv::Row csv_header();
   static csv::Row to_csv_row(const PacketEvent& ev);

@@ -1,0 +1,40 @@
+// Minimal SHA-256 (FIPS 180-4), used to fingerprint exported traces.
+//
+// The golden-trace regression corpus (tests/golden/) stores one hash per
+// canonical simulation instead of megabytes of JSONL; any behavioural drift
+// in the stack — scheduler order, packetisation, fault decisions — changes
+// the exported trace and therefore the digest. Not a security boundary,
+// just a compact, stable fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace stob::util {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb `len` bytes. May be called repeatedly (streaming).
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalise and return the digest as 64 lowercase hex characters. The
+  /// object must not be updated after this.
+  std::string hex_digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t bit_count_ = 0;
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+};
+
+/// One-shot convenience: SHA-256 of `s` as lowercase hex.
+std::string sha256_hex(std::string_view s);
+
+}  // namespace stob::util

@@ -1,0 +1,225 @@
+// Golden-trace regression corpus.
+//
+// Runs a canonical matrix of simulations — 3 in-stack defenses x
+// {Reno, CUBIC, BBR} x {TCP page load, QUIC-lite push} x one adverse-mix
+// fault profile — records every stack layer with a TraceRecorder, and
+// compares the SHA-256 of the JSONL export against the hashes committed in
+// tests/golden/hashes.txt.
+//
+// The corpus was recorded against the pre-overhaul (lazy-cancel
+// priority_queue) simulator core, so any event-loop replacement must
+// reproduce the seed behaviour byte-for-byte to pass. A hash mismatch
+// means observable wire behaviour changed: either a bug, or an intentional
+// semantic change that must be called out in review and re-recorded with
+//   STOB_GOLDEN_UPDATE=1 ./build/tests/test_golden_trace
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cca_guard.hpp"
+#include "core/policies.hpp"
+#include "fault/fault.hpp"
+#include "net/packet.hpp"
+#include "obs/trace_recorder.hpp"
+#include "quic/quic_connection.hpp"
+#include "stack/host_pair.hpp"
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
+#include "workload/page_load.hpp"
+#include "workload/website.hpp"
+
+#ifndef STOB_GOLDEN_DIR
+#error "STOB_GOLDEN_DIR must point at the committed golden corpus"
+#endif
+
+namespace stob {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x601dE27Ace5ull;
+constexpr std::size_t kRecorderCapacity = 1 << 20;
+
+// One in-stack defense configuration. Policies are stateful (DelayPolicy
+// carries an Rng and per-flow departure state), so each run builds a fresh
+// chain; this bundles the ownership.
+struct DefenseChain {
+  std::string name;
+  std::vector<std::unique_ptr<core::Policy>> owned;
+  core::Policy* root = nullptr;  // nullptr = stock stack
+};
+
+DefenseChain make_defense(int which) {
+  DefenseChain d;
+  switch (which) {
+    case 0:
+      d.name = "none";
+      break;
+    case 1: {
+      d.name = "split";
+      d.owned.push_back(std::make_unique<core::SplitPolicy>());
+      d.root = d.owned[0].get();
+      break;
+    }
+    default: {
+      // The paper's "Combined" point: split + delay, clamped by the CCA
+      // guard so the policy can never outpace what the CCA alone allows.
+      d.name = "split-delay-guard";
+      d.owned.push_back(std::make_unique<core::SplitPolicy>());
+      d.owned.push_back(std::make_unique<core::DelayPolicy>());
+      auto composite = std::make_unique<core::CompositePolicy>(
+          std::vector<core::Policy*>{d.owned[0].get(), d.owned[1].get()});
+      auto guard = std::make_unique<core::CcaGuard>(*composite);
+      d.root = guard.get();
+      d.owned.push_back(std::move(composite));
+      d.owned.push_back(std::move(guard));
+      break;
+    }
+  }
+  return d;
+}
+
+// Small fixed site so the corpus runs in milliseconds of wall clock but
+// still exercises handshake, parallel connections, think time and objects.
+workload::SiteProfile golden_site() {
+  workload::SiteProfile site;
+  site.name = "golden";
+  site.html_mu = 9.6;
+  site.objects_mean = 8.0;
+  site.object_mu = 9.0;
+  site.parallel_connections = 3;
+  site.base_one_way_delay = Duration::millis(12);
+  site.access_rate = DataRate::mbps(50);
+  return site;
+}
+
+std::string run_tcp(const std::string& cca, core::Policy* policy) {
+  net::PacketIdScope id_scope;  // packet ids restart at 1, like exp jobs
+  Rng rng(kSeed);
+  workload::PageLoadOptions opt;
+  opt.client_conn.cca = cca;
+  opt.server_conn.cca = cca;
+  opt.server_conn.policy = policy;
+  opt.tls_records = true;
+  opt.path_faults = fault::PathProfile::symmetric(fault::adverse_mix());
+
+  obs::TraceRecorder recorder(kRecorderCapacity);
+  obs::ScopedRecorder scoped(recorder);
+  const workload::PageLoadResult result = workload::run_page_load(golden_site(), rng, opt);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(recorder.overwritten(), 0u) << "golden recorder capacity too small";
+  return recorder.to_jsonl();
+}
+
+std::string run_quic(const std::string& cca, core::Policy* policy) {
+  net::PacketIdScope id_scope;  // packet ids restart at 1, like exp jobs
+  stack::HostPair::Config cfg;
+  cfg.path = net::DuplexPath::symmetric(DataRate::mbps(50), Duration::millis(12));
+  stack::HostPair hp(cfg);
+  fault::PathFaults faults(hp.sim(), hp.path(),
+                           fault::PathProfile::symmetric(fault::adverse_mix()), Rng(kSeed));
+
+  quic::QuicConnection::Config conn_cfg;
+  conn_cfg.cca = cca;
+  conn_cfg.policy = policy;
+
+  obs::TraceRecorder recorder(kRecorderCapacity);
+  obs::ScopedRecorder scoped(recorder);
+
+  quic::QuicListener listener(hp.server(), 443, conn_cfg);
+  listener.set_accept_callback([](quic::QuicConnection& c) {
+    c.on_connected = [&c] {
+      c.send_stream(0, Bytes::kibi(200));
+      c.finish_stream(0);
+      c.send_stream(4, Bytes::kibi(40));
+      c.finish_stream(4);
+    };
+  });
+
+  quic::QuicConnection client(hp.client(), quic::QuicConnection::Config{});
+  Bytes received;
+  client.on_stream_data = [&](std::uint64_t, Bytes n, bool) { received += n; };
+  client.connect(hp.server().id(), 443);
+  hp.run(TimePoint(Duration::seconds(60).ns()));
+
+  EXPECT_EQ(received.count(), Bytes::kibi(240).count()) << "incomplete QUIC transfer";
+  EXPECT_EQ(recorder.overwritten(), 0u) << "golden recorder capacity too small";
+  return recorder.to_jsonl();
+}
+
+std::map<std::string, std::string> compute_corpus() {
+  std::map<std::string, std::string> hashes;
+  const std::vector<std::string> ccas = {"reno", "cubic", "bbr"};
+  for (int defense = 0; defense < 3; ++defense) {
+    for (const std::string& cca : ccas) {
+      {
+        DefenseChain chain = make_defense(defense);
+        hashes["tcp." + cca + "." + chain.name + ".adverse-mix"] =
+            util::sha256_hex(run_tcp(cca, chain.root));
+      }
+      {
+        DefenseChain chain = make_defense(defense);
+        hashes["quic." + cca + "." + chain.name + ".adverse-mix"] =
+            util::sha256_hex(run_quic(cca, chain.root));
+      }
+    }
+  }
+  return hashes;
+}
+
+std::string golden_path() { return std::string(STOB_GOLDEN_DIR) + "/hashes.txt"; }
+
+std::map<std::string, std::string> load_golden() {
+  std::map<std::string, std::string> out;
+  std::ifstream in(golden_path());
+  std::string key, hash;
+  while (in >> key >> hash) out[key] = hash;
+  return out;
+}
+
+TEST(GoldenTrace, CanonicalMatrixUnchanged) {
+  const std::map<std::string, std::string> corpus = compute_corpus();
+
+  if (std::getenv("STOB_GOLDEN_UPDATE") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out) << "cannot write " << golden_path();
+    for (const auto& [key, hash] : corpus) out << key << " " << hash << "\n";
+    GTEST_SKIP() << "golden corpus re-recorded at " << golden_path();
+  }
+
+  const std::map<std::string, std::string> golden = load_golden();
+  ASSERT_FALSE(golden.empty()) << "missing golden corpus " << golden_path()
+                               << " — record it with STOB_GOLDEN_UPDATE=1";
+  EXPECT_EQ(golden.size(), corpus.size());
+  for (const auto& [key, hash] : corpus) {
+    const auto it = golden.find(key);
+    ASSERT_NE(it, golden.end()) << "no golden entry for " << key;
+    EXPECT_EQ(it->second, hash)
+        << "wire trace drifted for " << key
+        << " — if intentional, re-record with STOB_GOLDEN_UPDATE=1";
+  }
+}
+
+// The corpus is only as strong as its determinism: the same matrix point
+// must hash identically across repeated in-process runs (fresh Rng, fresh
+// policies, fresh simulator each time).
+TEST(GoldenTrace, RunsAreDeterministic) {
+  DefenseChain a = make_defense(2);
+  const std::string first = run_tcp("cubic", a.root);
+  DefenseChain b = make_defense(2);
+  const std::string second = run_tcp("cubic", b.root);
+  EXPECT_EQ(util::sha256_hex(first), util::sha256_hex(second));
+
+  DefenseChain c = make_defense(1);
+  const std::string qa = run_quic("bbr", c.root);
+  DefenseChain d = make_defense(1);
+  const std::string qb = run_quic("bbr", d.root);
+  EXPECT_EQ(util::sha256_hex(qa), util::sha256_hex(qb));
+}
+
+}  // namespace
+}  // namespace stob
