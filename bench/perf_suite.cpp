@@ -1,0 +1,454 @@
+// Reproducible performance-trajectory harness.
+//
+// Times the simulation core (event-loop microbenchmarks) and end-to-end
+// workloads (page load, table1-style grid at --jobs {1,N}, chaos scenario)
+// and emits a BENCH_*.json snapshot so every PR extends a comparable perf
+// trajectory. Unlike micro_bench this tool has *no external dependencies*
+// (no google-benchmark): timing comes from CLOCK_PROCESS_CPUTIME_ID (plus a
+// steady_clock wall reading) and heap churn from counting operator new in
+// this translation unit.
+//
+// Usage:
+//   perf_suite [--smoke] [--out BENCH_4.json] [--baseline OLD.json]
+//              [--filter substr] [--jobs N]
+//
+//   --smoke      tiny problem sizes (CI smoke job; numbers are not
+//                comparable to full runs and are marked "smoke": true)
+//   --baseline   embed a previous run's JSON verbatim under "baseline" and
+//                report events/sec speedups for benchmarks both runs share
+//   --jobs N     worker count for the _jN grid benchmark (default: hardware)
+//
+// Output schema, one object per benchmark:
+//   { "name":, "wall_ms":, "cpu_ms":, "events":, "events_per_sec":,
+//     "allocs":, "iters": }
+// plus top-level "git_rev", "smoke" and (optionally) "baseline".
+// events_per_sec is computed from process-CPU time (best of N iterations),
+// which stays comparable when other tenants preempt us on shared runners;
+// wall_ms is the same iteration's wall clock, reported for context.
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "fault/fault.hpp"
+#include "net/packet.hpp"
+#include "net/pipe.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/page_load.hpp"
+#include "workload/website.hpp"
+
+using namespace stob;
+
+// ------------------------------------------------------------ alloc probe
+//
+// Counting operator new in the binary gives an allocation figure for each
+// benchmark with zero tooling dependencies. Relaxed atomics: the grid
+// benchmarks allocate from worker threads.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace {
+
+struct BenchResult {
+  std::string name;
+  double wall_ms = 0;
+  double cpu_ms = 0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0;
+  std::uint64_t allocs = 0;
+  int iters = 0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Process CPU time in milliseconds (sums all threads). Preferred basis for
+/// events/sec: unlike wall time it is insensitive to other tenants
+/// preempting us on a shared machine, which keeps the BENCH_*.json
+/// trajectory comparable across noisy CI runners.
+double cpu_now_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+/// Run `body` (which returns the number of simulator events executed)
+/// `iters` times; keep the best CPU time (noise floor), that iteration's
+/// wall time and alloc count.
+template <typename Body>
+BenchResult run_bench(const std::string& name, int iters, Body&& body) {
+  BenchResult r;
+  r.name = name;
+  r.iters = iters;
+  r.cpu_ms = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+    const double cpu0 = cpu_now_ms();
+    const Clock::time_point t0 = Clock::now();
+    const std::uint64_t events = body();
+    const double wall = ms_since(t0);
+    const double cpu = cpu_now_ms() - cpu0;
+    if (cpu < r.cpu_ms) {
+      r.cpu_ms = cpu;
+      r.wall_ms = wall;
+      r.events = events;
+      r.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+    }
+  }
+  r.events_per_sec = r.cpu_ms > 0 ? static_cast<double>(r.events) / (r.cpu_ms / 1e3) : 0;
+  std::printf("%-28s %10.2f cpu-ms %12" PRIu64 " events %14.0f ev/s %10" PRIu64 " allocs\n",
+              r.name.c_str(), r.cpu_ms, r.events, r.events_per_sec, r.allocs);
+  return r;
+}
+
+// ------------------------------------------------------- microbenchmarks
+
+/// Representative callback capture: the transport timers capture `this`
+/// plus a weak_ptr (24 B); the pipe captures a whole Packet. This struct
+/// sits in between, so the std::function path of the old core pays its
+/// heap allocation exactly as the real stack does.
+struct MidCapture {
+  std::uint64_t a[6] = {0, 0, 0, 0, 0, 0};
+  void* self = nullptr;
+};
+
+/// The headline event-loop benchmark: schedule `n` one-shot events at
+/// pseudo-random times in batches, drain, repeat. Exercises push, pop and
+/// callback dispatch with no cancellation.
+std::uint64_t sim_schedule_fire(std::size_t n) {
+  sim::Simulator s;
+  std::uint64_t sink = 0;
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  const std::size_t batch = 4096;
+  std::size_t scheduled = 0;
+  while (scheduled < n) {
+    const std::size_t m = std::min(batch, n - scheduled);
+    for (std::size_t i = 0; i < m; ++i) {
+      x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+      MidCapture cap;
+      cap.a[0] = x;
+      cap.self = &sink;
+      s.schedule_after(Duration(static_cast<std::int64_t>(x % 1000)),
+                       [cap] { *static_cast<std::uint64_t*>(cap.self) += cap.a[0]; });
+    }
+    scheduled += m;
+    s.run();
+  }
+  if (sink == 42) std::printf("?");  // defeat dead-code elimination
+  return s.executed();
+}
+
+/// Transport-timer churn: most scheduled timers are cancelled and rearmed
+/// before firing (RTO/delack/PTO behaviour). Cancellation cost dominates.
+std::uint64_t sim_timer_churn(std::size_t n) {
+  sim::Simulator s;
+  std::uint64_t fired = 0;
+  std::uint64_t x = 0xC0FFEEull;
+  std::vector<sim::EventId> live(64);
+  std::size_t scheduled = 0;
+  while (scheduled < n) {
+    for (std::size_t slot = 0; slot < live.size() && scheduled < n; ++slot, ++scheduled) {
+      x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+      s.cancel(live[slot]);  // rearm: cancel the previous timer in this slot
+      live[slot] = s.schedule_after(Duration(static_cast<std::int64_t>(200 + x % 800)),
+                                    [&fired] { ++fired; });
+      if (x % 8 == 0) s.run(s.now() + Duration(50));  // let a few fire
+    }
+  }
+  s.run();
+  return s.executed() + s.cancelled();
+}
+
+/// Same-timestamp FIFO bursts: models TSO micro-bursts and simultaneous
+/// qdisc releases, stressing the tie-break path.
+std::uint64_t sim_same_tick(std::size_t n) {
+  sim::Simulator s;
+  std::uint64_t order_check = 0;
+  const std::size_t burst = 64;
+  std::size_t scheduled = 0;
+  std::int64_t t = 0;
+  while (scheduled < n) {
+    for (std::size_t i = 0; i < burst; ++i) {
+      s.schedule_at(TimePoint(t), [&order_check, i] { order_check += i; });
+    }
+    scheduled += burst;
+    t += 10;
+    if (scheduled % (burst * 64) == 0) s.run();
+  }
+  s.run();
+  return s.executed();
+}
+
+/// Packet stream through a pipe: serialisation + delivery events carrying
+/// Packet captures, the simulator's dominant real workload.
+std::uint64_t net_pipe_stream(std::size_t n) {
+  sim::Simulator s;
+  net::Pipe::Config cfg;
+  cfg.rate = DataRate::gbps(10);
+  cfg.delay = Duration::micros(50);
+  cfg.queue_capacity = Bytes(0);  // unbounded: this measures the event loop
+  net::Pipe pipe(s, cfg);
+  std::uint64_t delivered = 0;
+  pipe.set_sink([&delivered](net::Packet) { ++delivered; });
+  const std::size_t batch = 1024;
+  std::size_t sent = 0;
+  while (sent < n) {
+    const std::size_t m = std::min(batch, n - sent);
+    for (std::size_t i = 0; i < m; ++i) {
+      net::Packet p;
+      p.id = net::next_packet_id();
+      p.flow = {1, 2, 40000, 443, net::Proto::Tcp};
+      p.header = Bytes(net::kEthIpTcpHeader);
+      p.payload = Bytes(1460);
+      p.tcp().seq = sent + i;
+      pipe.send(std::move(p));
+    }
+    sent += m;
+    s.run();
+  }
+  return s.executed();
+}
+
+// ------------------------------------------------------- e2e benchmarks
+
+workload::PageLoadOptions page_options() {
+  workload::PageLoadOptions opt;
+  opt.tls_records = true;
+  return opt;
+}
+
+std::uint64_t e2e_page_load(int repeats) {
+  std::uint64_t events = 0;
+  for (int i = 0; i < repeats; ++i) {
+    net::PacketIdScope ids;
+    Rng rng(0xBE7C4ull + static_cast<std::uint64_t>(i));
+    const workload::PageLoadResult r =
+        workload::run_page_load(workload::nine_sites()[0], rng, page_options());
+    if (!r.completed) std::fprintf(stderr, "WARNING: page load %d incomplete\n", i);
+    events += r.sim_events;
+  }
+  return events;
+}
+
+std::uint64_t grid_run(std::size_t sites, std::size_t samples, std::size_t jobs,
+                       bool chaos) {
+  exp::ExperimentGrid grid;
+  const auto& all = workload::nine_sites();
+  grid.sites.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(sites));
+  grid.samples = samples;
+  grid.ccas = {"reno", "cubic", "bbr"};
+  if (chaos) grid.faults = {fault::PathProfile::symmetric(fault::adverse_mix())};
+  grid.base_seed = 0x57AB1E5EEDull;
+  exp::RunOptions opts;
+  opts.page = page_options();
+  opts.jobs = jobs;
+  std::uint64_t events = 0;
+  for (const exp::JobResult& r : exp::run_grid(grid, opts)) events += r.sim_events;
+  return events;
+}
+
+// ------------------------------------------------------------- reporting
+
+std::string git_rev() {
+  if (const char* env = std::getenv("STOB_GIT_REV")) return env;
+  std::string rev = "unknown";
+  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      rev.assign(buf);
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) rev.pop_back();
+      if (rev.empty()) rev = "unknown";
+    }
+    pclose(p);
+  }
+  return rev;
+}
+
+/// Extract "events_per_sec" for benchmark `name` from a previous run's JSON
+/// (our own emitter's formatting; not a general JSON parser).
+double baseline_events_per_sec(const std::string& json, const std::string& name) {
+  const std::string needle = "\"name\": \"" + name + "\"";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return 0;
+  const std::string key = "\"events_per_sec\": ";
+  const std::size_t k = json.find(key, at);
+  if (k == std::string::npos) return 0;
+  return std::atof(json.c_str() + k + key.size());
+}
+
+void write_json(const std::string& path, const std::vector<BenchResult>& results, bool smoke,
+                const std::string& baseline_json) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"stob-bench-v1\",\n";
+  out << "  \"git_rev\": \"" << git_rev() << "\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"wall_ms\": " << r.wall_ms
+        << ", \"cpu_ms\": " << r.cpu_ms << ", \"events\": " << r.events
+        << ", \"events_per_sec\": " << r.events_per_sec << ", \"allocs\": " << r.allocs
+        << ", \"iters\": " << r.iters << "}";
+    if (!baseline_json.empty()) {
+      const double base = baseline_events_per_sec(baseline_json, r.name);
+      if (base > 0) {
+        out << ",\n    {\"name\": \"" << r.name << ".speedup_vs_baseline\", \"wall_ms\": 0"
+            << ", \"cpu_ms\": 0, \"events\": 0, \"events_per_sec\": "
+            << (r.events_per_sec / base) << ", \"allocs\": 0, \"iters\": 0}";
+      }
+    }
+    out << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  ]";
+  if (!baseline_json.empty()) {
+    out << ",\n  \"baseline\": " << baseline_json << "\n";
+  } else {
+    out << "\n";
+  }
+  out << "}\n";
+
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << out.str();
+  std::printf("\nwrote %s (git %s)\n", path.c_str(), git_rev().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_4.json";
+  std::string baseline_path;
+  std::string filter;
+  std::size_t jobs_n = std::thread::hardware_concurrency();
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(a, "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(a, "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(a, "--filter") == 0 && i + 1 < argc) {
+      filter = argv[++i];
+    } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+      jobs_n = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_suite [--smoke] [--out F] [--baseline F] [--filter S] "
+                   "[--jobs N]\n");
+      return 2;
+    }
+  }
+  if (jobs_n == 0) jobs_n = 1;
+
+  // Problem sizes: full runs target ~seconds per benchmark; smoke runs keep
+  // CI fast while still exercising every code path.
+  const std::size_t micro_n = smoke ? 200'000 : 4'000'000;
+  const int micro_iters = smoke ? 2 : 5;
+  const std::size_t pipe_n = smoke ? 50'000 : 1'000'000;
+  const int page_repeats = smoke ? 1 : 5;
+  const std::size_t grid_sites = smoke ? 1 : 3;
+  const std::size_t grid_samples = smoke ? 1 : 4;
+
+  std::vector<BenchResult> results;
+  auto want = [&](const char* name) {
+    return filter.empty() || std::string(name).find(filter) != std::string::npos;
+  };
+
+  std::printf("perf_suite (%s, jobs=%zu)\n\n", smoke ? "smoke" : "full", jobs_n);
+  if (want("sim.schedule_fire")) {
+    results.push_back(run_bench("sim.schedule_fire", micro_iters,
+                                [&] { return sim_schedule_fire(micro_n); }));
+  }
+  if (want("sim.timer_churn")) {
+    results.push_back(
+        run_bench("sim.timer_churn", micro_iters, [&] { return sim_timer_churn(micro_n); }));
+  }
+  if (want("sim.same_tick_fifo")) {
+    results.push_back(
+        run_bench("sim.same_tick_fifo", micro_iters, [&] { return sim_same_tick(micro_n); }));
+  }
+  if (want("net.pipe_stream")) {
+    results.push_back(
+        run_bench("net.pipe_stream", micro_iters, [&] { return net_pipe_stream(pipe_n); }));
+  }
+  if (want("e2e.page_load")) {
+    results.push_back(
+        run_bench("e2e.page_load", smoke ? 1 : 3, [&] { return e2e_page_load(page_repeats); }));
+  }
+  if (want("grid.table1_j1")) {
+    results.push_back(run_bench("grid.table1_j1", 1, [&] {
+      return grid_run(grid_sites, grid_samples, 1, /*chaos=*/false);
+    }));
+  }
+  if (want("grid.table1_jN")) {
+    results.push_back(run_bench("grid.table1_jN", 1, [&] {
+      return grid_run(grid_sites, grid_samples, jobs_n, /*chaos=*/false);
+    }));
+  }
+  if (want("grid.chaos")) {
+    results.push_back(run_bench("grid.chaos", 1, [&] {
+      return grid_run(grid_sites, grid_samples, jobs_n, /*chaos=*/true);
+    }));
+  }
+
+  std::string baseline_json;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    baseline_json = ss.str();
+    while (!baseline_json.empty() &&
+           (baseline_json.back() == '\n' || baseline_json.back() == ' ')) {
+      baseline_json.pop_back();
+    }
+  }
+
+  write_json(out_path, results, smoke, baseline_json);
+  return 0;
+}

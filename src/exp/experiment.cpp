@@ -82,6 +82,7 @@ JobResult run_job(const ExperimentGrid& grid, const JobSpec& spec, const RunOpti
   result.response_bytes = loaded.response_bytes;
   result.objects_fetched = loaded.objects_fetched;
   result.completed = loaded.completed;
+  result.sim_events = loaded.sim_events;
   if (!grid.defenses.empty()) {
     const DefenseAxis& axis = grid.defenses[spec.defense];
     if (axis.defense != nullptr) result.trace = axis.defense->apply(result.trace, rng);
@@ -118,6 +119,7 @@ bool results_identical(const JobResult& a, const JobResult& b) {
   return a.spec.index == b.spec.index && a.spec.seed == b.spec.seed && a.trace == b.trace &&
          a.page_load_time == b.page_load_time && a.response_bytes == b.response_bytes &&
          a.objects_fetched == b.objects_fetched && a.completed == b.completed &&
+         a.sim_events == b.sim_events &&
          a.metrics == b.metrics && a.events == b.events &&
          a.invariant_checks == b.invariant_checks &&
          a.invariant_violations == b.invariant_violations &&

@@ -93,6 +93,7 @@ struct JobResult {
   std::int64_t response_bytes = 0;
   std::size_t objects_fetched = 0;
   bool completed = false;
+  std::uint64_t sim_events = 0;           ///< simulator events this job executed
   std::string metrics;                    ///< MetricsRegistry::snapshot()
   std::vector<obs::PacketEvent> events;   ///< flight-recorder capture
   // Filled when RunOptions::check_invariants is set.

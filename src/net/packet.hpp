@@ -13,8 +13,8 @@
 #include <ostream>
 #include <string>
 #include <variant>
-#include <vector>
 
+#include "net/small_vec.hpp"
 #include "util/units.hpp"
 
 namespace stob::net {
@@ -76,8 +76,9 @@ struct TcpHeader {
   std::uint64_t ts_val = 0;    // timestamp option (echoed for RTT sampling)
   std::uint64_t ts_ecr = 0;
   /// SACK blocks: out-of-order byte ranges [first, second) the receiver
-  /// holds (at most 3, newest first, as in the TCP SACK option).
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack;
+  /// holds (at most 3, newest first, as in the TCP SACK option). Inline
+  /// capacity 3 means SACK never allocates.
+  SmallVec<std::pair<std::uint64_t, std::uint64_t>, 3> sack;
 
   bool has(TcpFlags f) const { return (flags & f) != 0; }
 };
@@ -107,7 +108,9 @@ using QuicFrame = std::variant<QuicStreamFrame, QuicAckFrame, QuicPaddingFrame>;
 struct QuicHeader {
   std::uint64_t packet_number = 0;
   bool ack_eliciting = false;
-  std::vector<QuicFrame> frames;
+  /// Inline capacity 4 covers the stream+ack+padding mixes the simulated
+  /// transport emits; larger frame lists spill to the thread-local pool.
+  SmallVec<QuicFrame, 4> frames;
 };
 
 /// One simulated packet. Copyable; taps copy the metadata they record.

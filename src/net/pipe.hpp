@@ -4,10 +4,10 @@
 // data and ACK traffic, so TCP's ACK clock emerges naturally.
 #pragma once
 
-#include <deque>
 #include <functional>
 
 #include "net/packet.hpp"
+#include "util/ring_deque.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -109,7 +109,7 @@ class Pipe {
   TxComplete tx_complete_;
   Rng loss_rng_{0xC0FFEEull};
 
-  std::deque<Packet> queue_;
+  util::RingDeque<Packet> queue_;
   bool busy_ = false;
   Bytes queued_bytes_;
   Bytes max_queued_bytes_;

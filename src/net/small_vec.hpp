@@ -1,0 +1,187 @@
+// Inline-capacity vector for per-packet header lists.
+//
+// Every TCP segment used to carry a std::vector for its SACK blocks and
+// every QUIC datagram one for its frame list — a heap allocation (and a
+// free) per packet copy even though SACK tops out at 3 blocks and a
+// simulated QUIC datagram rarely exceeds a handful of frames. SmallVec
+// stores up to N elements inline inside the Packet itself; the rare spill
+// (and any growth beyond it) is served by the thread-local buffer pool, so
+// packet construction and tap copies stay off the global allocator.
+//
+// Deliberately minimal: exactly the surface the transports and tests use
+// (push/emplace_back, clear, size/empty, iteration, operator[], equality,
+// copy/move). Elements must be copyable; the packet header types all are.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "util/buffer_pool.hpp"
+
+namespace stob::net {
+
+// GCC cannot track which std::variant alternative is live through inlined
+// Packet copies and reports the *inactive* header's `data_` as
+// maybe-uninitialized inside is_spilled(); every constructor initialises
+// data_, so the warning is spurious.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be at least 1");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() noexcept = default;
+
+  SmallVec(const SmallVec& other) { append_all(other); }
+
+  SmallVec(SmallVec&& other) noexcept(std::is_nothrow_move_constructible_v<T>) {
+    if (other.is_spilled()) {
+      // Steal the spill buffer wholesale.
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        ::new (inline_slot(i)) T(std::move(other.inline_ref(i)));
+      }
+      size_ = other.size_;
+      other.clear();
+    }
+  }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear();
+      append_all(other);
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept(std::is_nothrow_move_constructible_v<T>) {
+    if (this != &other) {
+      destroy_all();
+      release_spill();
+      ::new (this) SmallVec(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVec() {
+    destroy_all();
+    release_spill();
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void clear() noexcept {
+    destroy_all();
+    size_ = 0;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow();
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) { return !(a == b); }
+
+ private:
+  bool is_spilled() const noexcept { return data_ != nullptr; }
+
+  T* data() noexcept { return is_spilled() ? data_ : reinterpret_cast<T*>(inline_buf_); }
+  const T* data() const noexcept {
+    return is_spilled() ? data_ : reinterpret_cast<const T*>(inline_buf_);
+  }
+
+  void* inline_slot(std::size_t i) noexcept { return inline_buf_ + i * sizeof(T); }
+  T& inline_ref(std::size_t i) noexcept { return *reinterpret_cast<T*>(inline_slot(i)); }
+
+  void append_all(const SmallVec& other) {
+    for (const T& v : other) emplace_back(v);
+  }
+
+  void destroy_all() noexcept {
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) d[i].~T();
+  }
+
+  void release_spill() noexcept {
+    if (is_spilled()) {
+      mem::pool_free(data_, capacity_ * sizeof(T));
+      data_ = nullptr;
+      capacity_ = N;
+    }
+  }
+
+  void grow() {
+    const std::size_t new_cap = capacity_ * 2;
+    T* fresh = static_cast<T*>(mem::pool_alloc(new_cap * sizeof(T)));
+    T* old = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(old[i]));
+      old[i].~T();
+    }
+    release_spill();
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  alignas(T) unsigned char inline_buf_[N * sizeof(T)];
+  T* data_ = nullptr;  // non-null once spilled to the pool
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace stob::net

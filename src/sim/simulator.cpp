@@ -1,55 +1,34 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
 #include <utility>
 
 namespace stob::sim {
 
-EventId Simulator::schedule_at(TimePoint when, Callback cb) {
-  assert(cb);
-  if (when < now_) when = now_;  // never schedule into the past
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{when, seq, std::move(cb)});
-  return EventId(seq);
+void Simulator::remove_at(std::size_t pos) {
+  const Slot last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail slot itself
+  // Re-seat the former tail at the vacated position; it may need to move
+  // either direction relative to its new neighbourhood.
+  if (pos > 0 && before(last, heap_[(pos - 1) / 4])) {
+    sift_up(pos, last);
+  } else {
+    sift_down(pos, last);
+  }
 }
 
 void Simulator::cancel(EventId id) {
   if (!id.valid()) return;
-  // The entry stays in the heap but is skipped when popped; the set keeps
-  // pending() accurate and prevents double counting.
-  if (cancelled_.insert(id.seq_).second) {
-    ++cancelled_in_queue_;
-    ++cancelled_total_;
-  }
-}
-
-bool Simulator::step(TimePoint until) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_in_queue_;
-      queue_.pop();
-      continue;
-    }
-    if (top.when > until) return false;
-    // Move the callback out before popping; the callback may schedule more
-    // events (mutating the heap) while it runs.
-    Entry entry = std::move(const_cast<Entry&>(top));
-    queue_.pop();
-    now_ = entry.when;
-    ++executed_;
-    entry.cb();
-    return true;
-  }
-  return false;
-}
-
-std::size_t Simulator::run(TimePoint until) {
-  std::size_t n = 0;
-  while (step(until)) ++n;
-  if (now_ < until && until != TimePoint::max()) now_ = until;
-  return n;
+  const std::uint32_t node = id.slot_ - 1;
+  if (node >= meta_.size()) return;
+  NodeMeta& m = meta_[node];
+  // Generation mismatch ⇒ the event already fired or was cancelled and the
+  // node may now belong to someone else; a stale handle must not touch it.
+  if (m.gen != id.gen_ || m.heap_pos == kNoPos) return;
+  const std::size_t pos = m.heap_pos;
+  release_node(node);
+  remove_at(pos);
+  ++cancelled_total_;
 }
 
 }  // namespace stob::sim

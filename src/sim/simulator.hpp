@@ -4,34 +4,52 @@
 // (link serialisation, qdisc dequeue, TCP timers, application think time) is
 // an event scheduled at an absolute TimePoint. Events at the same time fire
 // in scheduling order (FIFO tie-break), which keeps runs deterministic.
+//
+// Hot-path design (see DESIGN.md §11): the ready queue is an indexed 4-ary
+// min-heap of 24-byte slots ordered on (when, seq). Callbacks live in a
+// stable node pool beside the heap; each heap slot carries its node index
+// and a dense side-array maps nodes back to heap positions, so cancel() is
+// a true O(log n) heap removal — no tombstone set, no lazy-skip
+// bookkeeping, and pending() is exact by construction. Event ids are
+// (node, generation) pairs: nodes are recycled through a freelist and bump
+// their generation on every release, so a stale id for a recycled node can
+// never cancel the new occupant. Callbacks are sim::Event (small-buffer
+// optimised) constructed in place in their node, so the common
+// schedule/fire cycle performs zero heap allocations and moves each
+// capture exactly once.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/event.hpp"
 #include "util/units.hpp"
 
 namespace stob::sim {
 
 /// Handle to a scheduled event; allows cancellation (e.g. TCP retransmission
-/// timers that are rearmed on every ACK).
+/// timers that are rearmed on every ACK). Generation-checked: a handle to an
+/// event that already fired or was cancelled is harmlessly inert even after
+/// its pool node has been reused.
 class EventId {
  public:
   EventId() = default;
-  bool valid() const { return seq_ != 0; }
+  bool valid() const { return slot_ != 0; }
 
  private:
   friend class Simulator;
-  explicit EventId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  EventId(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = 0;  // node index + 1; 0 = invalid
+  std::uint32_t gen_ = 0;   // must match the node's generation to act
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Event;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -41,56 +59,224 @@ class Simulator {
   TimePoint now() const { return now_; }
 
   /// Schedule `cb` to run at absolute time `when` (clamped to now if in the
-  /// past). Returns a handle usable with cancel().
-  EventId schedule_at(TimePoint when, Callback cb);
-
-  /// Schedule `cb` to run `delay` from now.
-  EventId schedule_after(Duration delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+  /// past). Returns a handle usable with cancel(). Accepts any void()
+  /// callable; the capture is constructed directly in the scheduler's node
+  /// pool (no intermediate copies, no allocation for hot-path sizes).
+  template <typename F,
+            typename = std::enable_if_t<std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_at(TimePoint when, F&& cb) {
+    if (when < now_) when = now_;  // never schedule into the past
+    const std::uint32_t node = acquire_node();
+    if constexpr (std::is_same_v<std::decay_t<F>, Event>) {
+      assert(cb);
+      cb_ref(node) = std::forward<F>(cb);
+    } else {
+      cb_ref(node).emplace(std::forward<F>(cb));
+    }
+    const Slot slot{when.ns(), (next_seq_++ << kNodeBits) | node};
+    heap_.push_back(slot);  // placeholder; sift_up assigns the final position
+    sift_up(heap_.size() - 1, slot);
+    return EventId(node + 1, meta_[node].gen);
   }
 
-  /// Cancel a pending event. Cancelling an already-fired or invalid id is a
-  /// harmless no-op (timers race with the events that disarm them).
+  /// Schedule `cb` to run `delay` from now.
+  template <typename F,
+            typename = std::enable_if_t<std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_after(Duration delay, F&& cb) {
+    return schedule_at(now_ + delay, std::forward<F>(cb));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired, already-cancelled,
+  /// or invalid id is a harmless no-op (timers race with the events that
+  /// disarm them).
   void cancel(EventId id);
 
   /// Run until the queue drains or `until`, whichever first.
   /// Returns the number of events executed.
-  std::size_t run(TimePoint until = TimePoint::max());
+  /// Defined inline so the dispatch loop (pop, node recycle, callback
+  /// invoke) compiles into the caller's translation unit.
+  std::size_t run(TimePoint until = TimePoint::max()) {
+    std::size_t n = 0;
+    while (step(until)) ++n;
+    if (now_ < until && until != TimePoint::max()) now_ = until;
+    return n;
+  }
 
   /// Run at most one event. Returns false if the queue is empty or the next
   /// event is after `until`.
-  bool step(TimePoint until = TimePoint::max());
+  bool step(TimePoint until = TimePoint::max()) {
+    if (heap_.empty()) return false;
+    const Slot top = heap_[0];
+    if (top.when_ns > until.ns()) return false;
+    // Detach the event before invoking: bump the generation (so a stale
+    // EventId for this event is already inert) and pull it out of the heap,
+    // but invoke the callback in place — chunked storage keeps its address
+    // stable even if the callback grows the pool — and only put the node on
+    // the freelist afterwards, so a re-entrant schedule cannot reuse
+    // storage that is still executing.
+    const std::uint32_t node = top.node();
+    {
+      NodeMeta& m = meta_[node];
+      ++m.gen;
+      m.heap_pos = kNoPos;
+    }
+    pop_root();
+    now_ = TimePoint(top.when_ns);
+    ++executed_;
+    Event& cb = cb_ref(node);
+    cb();
+    cb = Event{};  // destroy the capture now that it has run
+    // meta_ may have been reallocated by callbacks scheduling; re-index.
+    meta_[node].heap_pos = free_head_;  // freelist link
+    free_head_ = node;
+    return true;
+  }
 
-  /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return queue_.size() - cancelled_in_queue_; }
+  /// Number of pending events. Exact: cancelled events leave the heap
+  /// immediately.
+  std::size_t pending() const { return heap_.size(); }
 
   /// Total events executed since construction.
   std::uint64_t executed() const { return executed_; }
 
   /// Total events cancelled since construction (cancellation churn — mostly
-  /// transport timers rearmed before firing).
+  /// transport timers rearmed before firing). Counts only events that were
+  /// actually pending when cancelled.
   std::uint64_t cancelled() const { return cancelled_total_; }
 
  private:
-  struct Entry {
-    TimePoint when;
-    std::uint64_t seq = 0;  // FIFO tie-break and cancellation key
-    Callback cb;
+  static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
 
-    // Min-heap on (when, seq) via greater-than for priority_queue.
-    bool operator>(const Entry& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
-    }
+  /// aux packs (seq << kNodeBits) | node: 40 bits of FIFO sequence over 24
+  /// bits of node index. Comparing aux directly is the seq comparison —
+  /// node bits only discriminate when seqs are equal, which cannot happen.
+  /// Limits: ≤16.7M *concurrently pending* events (asserted in
+  /// acquire_node) and ≤2^40 ≈ 1.1e12 total schedules per Simulator.
+  static constexpr std::uint32_t kNodeBits = 24;
+  static constexpr std::uint64_t kNodeMask = (std::uint64_t{1} << kNodeBits) - 1;
+
+  /// 16-byte heap slot (4 per cache line); the callback stays put in its
+  /// pool node so sift operations move only these.
+  struct Slot {
+    std::int64_t when_ns;
+    std::uint64_t aux;  // (seq << kNodeBits) | node
+    std::uint32_t node() const { return static_cast<std::uint32_t>(aux & kNodeMask); }
   };
+
+  /// Per-node bookkeeping, kept out of the (large) callback array so the
+  /// backref writes done by sift operations stay in a dense 8-byte-stride
+  /// side table. heap_pos doubles as the freelist link while the node is
+  /// free: a node is never both in the heap and on the freelist, and every
+  /// read of heap_pos (in cancel) is gated by the generation check, which
+  /// fails for freed nodes because release bumps gen.
+  struct NodeMeta {
+    std::uint32_t heap_pos = kNoPos;  // or next free node while free
+    std::uint32_t gen = 1;
+  };
+
+  static bool before(const Slot& a, const Slot& b) {
+#if defined(__SIZEOF_INT128__)
+    // when_ns is never negative (schedule_at clamps to now, and now starts
+    // at 0), so (when, aux) compares lexicographically as one unsigned
+    // 128-bit key — branchless, which matters in the sift-down best-child
+    // tournament where the outcome is data-dependent.
+    const auto key = [](const Slot& s) {
+      return (static_cast<unsigned __int128>(static_cast<std::uint64_t>(s.when_ns)) << 64) |
+             s.aux;
+    };
+    return key(a) < key(b);
+#else
+    if (a.when_ns != b.when_ns) return a.when_ns < b.when_ns;
+    return a.aux < b.aux;  // seq lives in the high bits
+#endif
+  }
+
+  // Callback storage is chunked so Event addresses are stable for the
+  // lifetime of their node: step() can invoke a callback in place (no
+  // move-out) even if the callback schedules enough new events to grow the
+  // pool mid-dispatch.
+  static constexpr std::size_t kChunkShift = 8;  // 256 Events per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  Event& cb_ref(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_node() {
+    if (free_head_ != kNoPos) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = meta_[idx].heap_pos;  // freelist link; place() overwrites
+      return idx;
+    }
+    assert(meta_.size() <= kNodeMask && "more than 2^24 concurrently pending events");
+    if (meta_.size() == chunks_.size() * kChunkSize) {
+      chunks_.emplace_back(new Event[kChunkSize]);
+    }
+    meta_.emplace_back();
+    return static_cast<std::uint32_t>(meta_.size() - 1);
+  }
+
+  void release_node(std::uint32_t idx) {
+    NodeMeta& m = meta_[idx];
+    cb_ref(idx) = Event{};
+    ++m.gen;  // invalidate every outstanding EventId for this node
+    m.heap_pos = free_head_;
+    free_head_ = idx;
+  }
+
+  void place(std::size_t pos, const Slot& slot) {
+    heap_[pos] = slot;
+    meta_[slot.node()].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+
+  void sift_up(std::size_t pos, Slot slot) {
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 4;
+      if (!before(slot, heap_[parent])) break;
+      place(pos, heap_[parent]);
+      pos = parent;
+    }
+    place(pos, slot);
+  }
+
+  // 4-ary layout: children of i are 4i+1..4i+4, parent is (i-1)/4. Wider
+  // nodes halve the tree depth vs. a binary heap and keep the sift-down
+  // working set inside one or two cache lines of 16-byte slots. Defined
+  // inline so pop_root()/step() compile into the caller's TU.
+  void sift_down(std::size_t pos, Slot slot) {
+    const std::size_t size = heap_.size();
+    for (;;) {
+      const std::size_t first_child = 4 * pos + 1;
+      if (first_child >= size) break;
+      std::size_t best = first_child;
+      const std::size_t last_child = first_child + 4 < size ? first_child + 4 : size;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], slot)) break;
+      place(pos, heap_[best]);
+      pos = best;
+    }
+    place(pos, slot);
+  }
+
+  void remove_at(std::size_t pos);
+
+  /// remove_at(0) without the interior-position checks — the hot pop path.
+  void pop_root() {
+    const Slot last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0, last);
+  }
 
   TimePoint now_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_total_ = 0;
-  std::size_t cancelled_in_queue_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> heap_;
+  std::vector<std::unique_ptr<Event[]>> chunks_;  // node pool: stable callback storage
+  std::vector<NodeMeta> meta_;  // node pool: heap backref / generation / freelist
+  std::uint32_t free_head_ = kNoPos;
 };
 
 }  // namespace stob::sim

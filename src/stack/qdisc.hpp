@@ -13,13 +13,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <list>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "net/packet.hpp"
+#include "util/ring_deque.hpp"
 #include "util/units.hpp"
 
 namespace stob::stack {
@@ -65,7 +65,7 @@ class FifoQdisc final : public Qdisc {
   Bytes capacity_;
   Bytes backlog_;
   std::uint64_t dropped_ = 0;
-  std::deque<net::Packet> queue_;
+  util::RingDeque<net::Packet> queue_;
   std::unordered_map<net::FlowKey, std::int64_t, net::FlowKeyHash> per_flow_bytes_;
 };
 
@@ -103,7 +103,7 @@ class FqQdisc final : public Qdisc {
 
  private:
   struct FlowQueue {
-    std::deque<net::Packet> packets;
+    util::RingDeque<net::Packet> packets;
     std::int64_t bytes = 0;
     std::int64_t deficit = 0;
     bool in_round = false;  // linked into the active round-robin list

@@ -1,0 +1,45 @@
+// Thread-local freelist pool for small raw buffers.
+//
+// The per-segment allocation churn in the hot path comes from two places:
+// variable-length packet metadata (SACK blocks, QUIC frame lists) and
+// oversized event-callback captures. Both want the same thing — a few tens
+// to a few hundred bytes, allocated and freed millions of times per run,
+// always on the simulation's own thread. This pool serves them from
+// per-thread, power-of-two-bucketed freelists: after warm-up the hot path
+// never touches the global allocator, and because each worker thread owns
+// its freelists there is no cross-thread contention or synchronisation
+// (the experiment engine's job isolation already guarantees buffers do not
+// migrate between threads).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stob::mem {
+
+/// Allocate `bytes` of max_align-aligned storage, preferring the calling
+/// thread's freelist. `bytes` == 0 is served as 1. Buffers larger than the
+/// largest bucket fall through to the global allocator.
+void* pool_alloc(std::size_t bytes);
+
+/// Return a pool_alloc'd buffer. `bytes` must be the size passed to
+/// pool_alloc (the pool re-derives the bucket from it). Freed buffers are
+/// cached up to a per-bucket cap, then released for real.
+void pool_free(void* p, std::size_t bytes) noexcept;
+
+struct PoolStats {
+  std::uint64_t hits = 0;         ///< allocs served from a freelist
+  std::uint64_t misses = 0;       ///< allocs that hit the global allocator
+  std::uint64_t outstanding = 0;  ///< live pool_alloc'd buffers
+  std::uint64_t cached = 0;       ///< buffers currently parked in freelists
+};
+
+/// Counters for the calling thread's pool.
+PoolStats pool_stats();
+
+/// Drop every cached buffer on the calling thread back to the allocator
+/// (tests use this to assert no leaks; long-lived workers may call it
+/// between batches to trim memory).
+void pool_purge() noexcept;
+
+}  // namespace stob::mem

@@ -79,6 +79,7 @@ class Driver {
       result.response_bytes += plan_.object_bytes[i];
     }
     result.completed = html_done_ && objects_fetched_ == plan_.object_bytes.size();
+    result.sim_events = hp_->sim().executed();
     return result;
   }
 

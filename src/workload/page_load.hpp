@@ -55,6 +55,9 @@ struct PageLoadResult {
   std::int64_t response_bytes = 0;
   std::size_t objects_fetched = 0;
   bool completed = false;
+  /// Simulator events executed for this load — the denominator perf
+  /// harnesses (bench/perf_suite) use to report end-to-end events/sec.
+  std::uint64_t sim_events = 0;
 };
 
 /// Run one page load in a fresh simulation. Deterministic for a given rng

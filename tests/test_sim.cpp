@@ -147,5 +147,129 @@ TEST(Simulator, ManyEventsStressOrder) {
   EXPECT_EQ(s.executed(), 10000u);
 }
 
+// ------------------------- scheduler edge cases (indexed-heap specifics)
+
+// pending() must stay exact through heavy cancellation — including cancels
+// of events that already fired, which the pre-overhaul lazy-cancel core
+// mis-counted (a tombstone for a fired event was never reclaimed).
+TEST(Simulator, PendingExactUnderHeavyCancellation) {
+  Simulator s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(s.schedule_at(TimePoint(i), [] {}));
+  }
+  // Cancel every other event: 50 pending removed.
+  for (int i = 0; i < 100; i += 2) s.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(s.pending(), 50u);
+  EXPECT_EQ(s.cancelled(), 50u);
+  // Fire half of the survivors, then cancel ALL original ids: the fired and
+  // already-cancelled ones are no-ops, the still-pending ones are removed.
+  s.run(TimePoint(49));
+  EXPECT_EQ(s.executed(), 25u);
+  EXPECT_EQ(s.pending(), 25u);
+  for (const EventId& id : ids) s.cancel(id);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.cancelled(), 75u);  // only true cancellations counted
+  // Cancelling everything again changes nothing.
+  for (const EventId& id : ids) s.cancel(id);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.cancelled(), 75u);
+  EXPECT_EQ(s.run(), 0u);
+}
+
+TEST(Simulator, SchedulingIntoThePastClampsAfterTimeAdvances) {
+  Simulator s;
+  s.schedule_at(TimePoint(1000), [] {});
+  s.run();
+  EXPECT_EQ(s.now(), TimePoint(1000));
+  // Both absolute-past and negative-relative schedules clamp to now and
+  // fire immediately, in FIFO order.
+  std::vector<int> order;
+  s.schedule_at(TimePoint(3), [&] { order.push_back(1); });
+  s.schedule_after(Duration(-500), [&] { order.push_back(2); });
+  s.schedule_at(TimePoint::zero(), [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(s.now(), TimePoint(1000));  // no time travel
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// A callback scheduling at the *current* tick must run within the same
+// run(), after every event already queued for that tick (FIFO by seq).
+TEST(Simulator, ReentrantScheduleAtFromCallback) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint(10), [&] {
+    order.push_back(0);
+    s.schedule_at(s.now(), [&] {
+      order.push_back(3);
+      s.schedule_at(s.now(), [&] { order.push_back(4); });
+    });
+  });
+  s.schedule_at(TimePoint(10), [&] { order.push_back(1); });
+  s.schedule_at(TimePoint(10), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(s.now(), TimePoint(10));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(s.executed(), 5u);
+}
+
+// Event ids are generation-checked: after a node is recycled, a stale id
+// for its previous occupant must not cancel (or otherwise disturb) the new
+// one. With a single event in flight the scheduler reuses one node over and
+// over, so every iteration exercises id reuse.
+TEST(Simulator, StaleIdCannotCancelRecycledNode) {
+  Simulator s;
+  int fired = 0;
+  const EventId first = s.schedule_at(TimePoint(1), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  for (int i = 2; i <= 50; ++i) {
+    const EventId id = s.schedule_at(TimePoint(i), [&] { ++fired; });
+    s.cancel(first);  // stale: its node has been recycled many times over
+    EXPECT_EQ(s.pending(), 1u) << "stale cancel removed the new occupant";
+    s.run();
+    s.cancel(id);  // cancel-after-fire: also a no-op
+  }
+  EXPECT_EQ(fired, 50);
+  EXPECT_EQ(s.cancelled(), 0u);
+}
+
+// Cancelling a *live* event through an id handed out after recycling works,
+// and double-cancel through a copy of the same id is inert.
+TEST(Simulator, RecycledNodeCancelsThroughFreshIdOnly) {
+  Simulator s;
+  int fired = 0;
+  // Churn the pool so the next schedule reuses a recycled node.
+  for (int i = 0; i < 8; ++i) s.cancel(s.schedule_at(TimePoint(5), [&] { ++fired; }));
+  const EventId live = s.schedule_at(TimePoint(7), [&] { ++fired; });
+  const EventId copy = live;
+  s.cancel(live);
+  s.cancel(copy);
+  s.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.cancelled(), 9u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+// The callback object stays alive while it runs even though its node is
+// already detached: a callback that schedules a large burst (forcing pool
+// growth) and then keeps using its own capture must not read freed memory.
+TEST(Simulator, CallbackSurvivesPoolGrowthItTriggers) {
+  Simulator s;
+  std::uint64_t sum = 0;
+  std::uint64_t canary[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  s.schedule_at(TimePoint(1), [&, canary] {
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_after(Duration(i + 1), [&sum] { ++sum; });
+    }
+    std::uint64_t local = 0;
+    for (const std::uint64_t v : canary) local += v;
+    sum += local * 1000000;  // 36e6: detectable if the capture was clobbered
+  });
+  s.run();
+  EXPECT_EQ(sum, 36000000u + 1000u);
+  EXPECT_EQ(s.executed(), 1001u);
+}
+
 }  // namespace
 }  // namespace stob::sim
