@@ -165,16 +165,15 @@ void BM_KfpFeatureExtraction(benchmark::State& state) {
 BENCHMARK(BM_KfpFeatureExtraction)->Arg(100)->Arg(1000)->Arg(5000);
 
 struct ForestFixture {
-  std::vector<std::vector<double>> rows;
+  wf::FeatureMatrix x{9 * 60, 120};
   std::vector<int> labels;
 
   ForestFixture() {
     Rng rng(4);
+    std::size_t r = 0;
     for (int c = 0; c < 9; ++c) {
-      for (int i = 0; i < 60; ++i) {
-        std::vector<double> row(120);
-        for (double& v : row) v = rng.normal(c, 2.0);
-        rows.push_back(std::move(row));
+      for (int i = 0; i < 60; ++i, ++r) {
+        for (double& v : x.row(r)) v = rng.normal(c, 2.0);
         labels.push_back(c);
       }
     }
@@ -187,7 +186,7 @@ void BM_RandomForestFit(benchmark::State& state) {
   cfg.num_trees = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     wf::RandomForest forest(cfg);
-    forest.fit({fx.rows, fx.labels, 9});
+    forest.fit({&fx.x, fx.labels, 9});
     benchmark::DoNotOptimize(forest.tree_count());
   }
 }
@@ -198,10 +197,10 @@ void BM_RandomForestPredict(benchmark::State& state) {
   wf::RandomForest::Config cfg;
   cfg.num_trees = 100;
   wf::RandomForest forest(cfg);
-  forest.fit({fx.rows, fx.labels, 9});
+  forest.fit({&fx.x, fx.labels, 9});
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(forest.predict(fx.rows[i++ % fx.rows.size()]));
+    benchmark::DoNotOptimize(forest.predict(fx.x.row(i++ % fx.x.rows())));
   }
 }
 BENCHMARK(BM_RandomForestPredict);

@@ -9,7 +9,7 @@
 // this translation unit.
 //
 // Usage:
-//   perf_suite [--smoke] [--out BENCH_4.json] [--baseline OLD.json]
+//   perf_suite [--smoke] [--out BENCH_5.json] [--baseline OLD.json]
 //              [--filter substr] [--jobs N]
 //
 //   --smoke      tiny problem sizes (CI smoke job; numbers are not
@@ -39,12 +39,17 @@
 #include <thread>
 #include <vector>
 
+#include "defenses/trace_defense.hpp"
 #include "exp/experiment.hpp"
+#include "exp/worker_pool.hpp"
 #include "fault/fault.hpp"
 #include "net/packet.hpp"
 #include "net/pipe.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "wf/features.hpp"
+#include "wf/kfp.hpp"
+#include "wf/random_forest.hpp"
 #include "workload/page_load.hpp"
 #include "workload/website.hpp"
 
@@ -283,6 +288,115 @@ std::uint64_t grid_run(std::size_t sites, std::size_t samples, std::size_t jobs,
   return events;
 }
 
+// ------------------------------------------------- WF attack benchmarks
+//
+// Synthetic k-FP-scale learning problem: `classes` Gaussian blobs in a
+// feature space as wide as the real k-FP extractor produces. Sizes are the
+// benchmark contract — the wf.* entries stay comparable across engine
+// rewrites only while the (rows, features, trees) triple is unchanged.
+
+struct WfBenchData {
+  wf::FeatureMatrix x;
+  std::vector<int> labels;
+  int classes = 0;
+
+  WfBenchData(int num_classes, int per_class, std::size_t features)
+      : x(static_cast<std::size_t>(num_classes) * static_cast<std::size_t>(per_class), features),
+        classes(num_classes) {
+    Rng rng(0xF0E57ull);
+    std::size_t r = 0;
+    for (int c = 0; c < num_classes; ++c) {
+      for (int s = 0; s < per_class; ++s, ++r) {
+        for (double& v : x.row(r)) v = rng.normal(static_cast<double>(c), 2.0);
+        labels.push_back(c);
+      }
+    }
+  }
+};
+
+/// Forest training: events = trees x training rows (tree-sample units).
+std::uint64_t wf_fit(const WfBenchData& data, std::size_t trees) {
+  wf::RandomForest::Config cfg;
+  cfg.num_trees = trees;
+  wf::RandomForest forest(cfg);
+  forest.fit({&data.x, data.labels, data.classes});
+  if (!forest.trained()) std::printf("?");
+  return trees * data.x.rows();
+}
+
+/// Forest inference over the whole dataset, `passes` times: events =
+/// predictions x trees (tree-walk units).
+std::uint64_t wf_predict_batch(const wf::RandomForest& forest, const WfBenchData& data,
+                               int passes) {
+  std::uint64_t sink = 0;
+  for (int p = 0; p < passes; ++p) {
+    for (int pred : forest.predict_batch(data.x)) sink += static_cast<std::uint64_t>(pred);
+  }
+  if (sink == 0xFFFFFFFFull) std::printf("?");
+  return static_cast<std::uint64_t>(passes) * data.x.rows() * forest.tree_count();
+}
+
+/// Leaf-vector k-NN (k-FP's open-world mechanism): the whole dataset
+/// queries itself, `passes` times. events = query x train pairs.
+std::uint64_t wf_knn_leaf(const WfBenchData& data, std::size_t trees, int passes) {
+  wf::KFingerprint::Config cfg;
+  cfg.forest.num_trees = trees;
+  cfg.use_knn = true;
+  wf::KFingerprint clf(cfg);
+  clf.fit(data.x, data.labels);
+  std::uint64_t sink = 0;
+  for (int p = 0; p < passes; ++p) {
+    for (int pred : clf.predict_batch(data.x)) sink += static_cast<std::uint64_t>(pred);
+  }
+  if (sink == 0xFFFFFFFFull) std::printf("?");
+  return static_cast<std::uint64_t>(passes) * data.x.rows() * data.x.rows();
+}
+
+/// Miniature Table 2 pipeline: collect a (site x sample) grid through the
+/// simulated stack, sanitise, then cross-validate k-FP over (scope x
+/// countermeasure) cells — the paper's dominant evaluation loop end to end.
+/// Attack cells run serially (jobs=1) so the CPU-time basis is clean.
+/// events = simulator events of the collection stage (identical across
+/// attack-engine rewrites, so events/sec ratios are CPU-time ratios).
+std::uint64_t grid_table2(std::size_t sites, std::size_t samples, std::size_t folds,
+                          std::size_t trees) {
+  exp::ExperimentGrid grid;
+  const auto& all = workload::nine_sites();
+  grid.sites.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(sites));
+  grid.samples = samples;
+  grid.base_seed = 0x7AB1E2ull;
+  exp::RunOptions opts;
+  opts.page = page_options();
+  opts.jobs = 1;
+  std::uint64_t events = 0;
+  const std::vector<exp::JobResult> results = exp::run_grid(grid, opts);
+  for (const exp::JobResult& r : results) events += r.sim_events;
+  const wf::Dataset data = exp::to_dataset(results).sanitized_by_download_size(0.75);
+
+  defenses::CombinedDefense combined;
+  struct Variant {
+    const char* name;
+    const defenses::TraceDefense* defense;
+  };
+  const Variant variants[] = {{"Original", nullptr}, {"Combined", &combined}};
+  wf::KFingerprint::Config kfp_cfg;
+  kfp_cfg.forest.num_trees = trees;
+  double acc = 0;
+  for (std::size_t scope : {std::size_t{30}, std::size_t{0}}) {
+    for (const Variant& v : variants) {
+      Rng rng(0x7AB1E2ull ^ 0xDEFull);
+      const wf::Dataset defended = data.transformed([&](const wf::Trace& t) {
+        wf::Trace out =
+            v.defense != nullptr ? defenses::apply_to_prefix(*v.defense, t, scope, rng) : t;
+        return scope == 0 ? out : out.truncated(scope);
+      });
+      acc += wf::cross_validate(defended, kfp_cfg, folds, 0x7AB1E2ull).mean_accuracy;
+    }
+  }
+  if (acc < 0) std::printf("?");
+  return events;
+}
+
 // ------------------------------------------------------------- reporting
 
 std::string git_rev() {
@@ -357,7 +471,7 @@ void write_json(const std::string& path, const std::vector<BenchResult>& results
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string out_path = "BENCH_4.json";
+  std::string out_path = "BENCH_5.json";
   std::string baseline_path;
   std::string filter;
   std::size_t jobs_n = std::thread::hardware_concurrency();
@@ -430,6 +544,40 @@ int main(int argc, char** argv) {
   if (want("grid.chaos")) {
     results.push_back(run_bench("grid.chaos", 1, [&] {
       return grid_run(grid_sites, grid_samples, jobs_n, /*chaos=*/true);
+    }));
+  }
+
+  // WF attack engine. Sizes are part of the benchmark contract (see
+  // WfBenchData); the feature width matches the real k-FP extractor scale.
+  const int wf_classes = 9;
+  const int wf_per_class = smoke ? 10 : 60;
+  const std::size_t wf_features = 150;
+  const std::size_t wf_trees = smoke ? 20 : 100;
+  const int wf_iters = smoke ? 1 : 3;
+  if (want("wf.")) {
+    const WfBenchData wf_data(wf_classes, wf_per_class, wf_features);
+    if (want("wf.fit")) {
+      results.push_back(
+          run_bench("wf.fit", wf_iters, [&] { return wf_fit(wf_data, wf_trees); }));
+    }
+    if (want("wf.predict_batch")) {
+      wf::RandomForest::Config cfg;
+      cfg.num_trees = wf_trees;
+      wf::RandomForest forest(cfg);
+      forest.fit({&wf_data.x, wf_data.labels, wf_data.classes});
+      const int passes = smoke ? 2 : 20;
+      results.push_back(run_bench("wf.predict_batch", wf_iters,
+                                  [&] { return wf_predict_batch(forest, wf_data, passes); }));
+    }
+    if (want("wf.knn_leaf")) {
+      const int passes = smoke ? 1 : 4;
+      results.push_back(run_bench("wf.knn_leaf", wf_iters,
+                                  [&] { return wf_knn_leaf(wf_data, wf_trees, passes); }));
+    }
+  }
+  if (want("grid.table2")) {
+    results.push_back(run_bench("grid.table2", 1, [&] {
+      return grid_table2(smoke ? 2 : 9, smoke ? 2 : 12, /*folds=*/3, smoke ? 15 : 60);
     }));
   }
 

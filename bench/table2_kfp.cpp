@@ -99,20 +99,42 @@ int main(int argc, char** argv) {
 
   // 4. One parallel job per (scope, variant) cell; each cell re-derives its
   //    rng exactly as the serial loop did, so the table is --jobs-invariant.
-  const std::vector<wf::EvalResult> cells = exp::run_ordered<wf::EvalResult>(
-      scopes.size() * variants.size(), jobs, [&](std::size_t cell) {
-        const std::size_t scope = scopes[cell / variants.size()];
-        const Variant& v = variants[cell % variants.size()];
-        // Defense applied to the first `scope` packets (whole trace when 0),
-        // then the attack sees the same prefix.
-        Rng rng(seed ^ 0xDEFull);
-        wf::Dataset defended = data.transformed([&](const wf::Trace& t) {
-          wf::Trace out =
-              v.defense != nullptr ? defenses::apply_to_prefix(*v.defense, t, scope, rng) : t;
-          return scope == 0 ? out : out.truncated(scope);
-        });
-        return wf::cross_validate(defended, kfp_cfg, folds, seed);
-      });
+  const auto eval_cell = [&](std::size_t cell) {
+    const std::size_t scope = scopes[cell / variants.size()];
+    const Variant& v = variants[cell % variants.size()];
+    // Defense applied to the first `scope` packets (whole trace when 0),
+    // then the attack sees the same prefix.
+    Rng rng(seed ^ 0xDEFull);
+    wf::Dataset defended = data.transformed([&](const wf::Trace& t) {
+      wf::Trace out =
+          v.defense != nullptr ? defenses::apply_to_prefix(*v.defense, t, scope, rng) : t;
+      return scope == 0 ? out : out.truncated(scope);
+    });
+    return wf::cross_validate(defended, kfp_cfg, folds, seed);
+  };
+  const std::size_t cell_count = scopes.size() * variants.size();
+  const std::vector<wf::EvalResult> cells =
+      exp::run_ordered<wf::EvalResult>(cell_count, jobs, eval_cell);
+
+  // --check-determinism also covers the attack stage: re-run every cell at a
+  // different worker count and demand identical EvalResults (fold accuracies,
+  // confusion matrices, everything).
+  if (cli.check_determinism) {
+    const std::size_t other_jobs = jobs == 1 ? 2 : 1;
+    const std::vector<wf::EvalResult> again =
+        exp::run_ordered<wf::EvalResult>(cell_count, other_jobs, eval_cell);
+    for (std::size_t cell = 0; cell < cell_count; ++cell) {
+      if (cells[cell] != again[cell]) {
+        std::fprintf(stderr,
+                     "table2_kfp: attack determinism violation in cell %zu "
+                     "(jobs=%zu vs jobs=%zu)\n",
+                     cell, jobs, other_jobs);
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "table2_kfp: attack stage identical at jobs=%zu and jobs=%zu\n", jobs,
+                 other_jobs);
+  }
 
   std::printf("%-5s", "N");
   for (const Variant& v : variants) std::printf("  %-17s", v.name.c_str());

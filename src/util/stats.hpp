@@ -20,6 +20,11 @@ double stddev(std::span<const double> xs);
 /// Linear-interpolated percentile, p in [0, 100]. Input need not be sorted.
 double percentile(std::span<const double> xs, double p);
 
+/// Same interpolation as percentile(), but the input must already be
+/// ascending — no copy, no sort. Callers that need several quantiles of
+/// one list sort once and reuse.
+double percentile_sorted(std::span<const double> xs, double p);
+
 double median(std::span<const double> xs);
 double min(std::span<const double> xs);
 double max(std::span<const double> xs);

@@ -44,27 +44,33 @@ std::vector<double> cumul_features(const Trace& trace, std::size_t n_points) {
   return out;
 }
 
-void KnnClassifier::fit(const std::vector<std::vector<double>>& rows,
-                        const std::vector<int>& labels) {
-  if (rows.empty() || rows.size() != labels.size()) {
+void KnnClassifier::fit(const FeatureMatrix& x, const std::vector<int>& labels) {
+  if (x.empty() || x.rows() != labels.size()) {
     throw std::invalid_argument("KnnClassifier::fit: bad input");
   }
-  const std::size_t dims = rows[0].size();
+  const std::size_t dims = x.cols();
   mean_.assign(dims, 0.0);
   scale_.assign(dims, 1.0);
+  std::vector<double> col(x.rows());
   for (std::size_t d = 0; d < dims; ++d) {
-    std::vector<double> col;
-    col.reserve(rows.size());
-    for (const auto& r : rows) col.push_back(r[d]);
+    for (std::size_t r = 0; r < x.rows(); ++r) col[r] = x.at(r, d);
     mean_[d] = stats::mean(col);
     const double sd = stats::stddev(col);
     scale_[d] = sd > 1e-12 ? sd : 1.0;
   }
-  rows_.clear();
-  rows_.reserve(rows.size());
-  for (const auto& r : rows) rows_.push_back(standardize(r));
+  rows_ = FeatureMatrix(x.rows(), dims);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const std::span<const double> in = x.row(r);
+    const std::span<double> out = rows_.row(r);
+    for (std::size_t d = 0; d < dims; ++d) out[d] = (in[d] - mean_[d]) / scale_[d];
+  }
   labels_ = labels;
   num_classes_ = *std::max_element(labels.begin(), labels.end()) + 1;
+}
+
+void KnnClassifier::fit(const std::vector<std::vector<double>>& rows,
+                        const std::vector<int>& labels) {
+  fit(FeatureMatrix::from_rows(rows), labels);
 }
 
 std::vector<double> KnnClassifier::standardize(std::span<const double> x) const {
@@ -77,11 +83,12 @@ int KnnClassifier::predict(std::span<const double> x) const {
   if (rows_.empty()) throw std::logic_error("KnnClassifier::predict before fit");
   const std::vector<double> q = standardize(x);
   std::vector<std::pair<double, int>> dists;
-  dists.reserve(rows_.size());
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
+  dists.reserve(rows_.rows());
+  for (std::size_t i = 0; i < rows_.rows(); ++i) {
+    const std::span<const double> row = rows_.row(i);
     double d2 = 0.0;
     for (std::size_t d = 0; d < q.size(); ++d) {
-      const double diff = rows_[i][d] - q[d];
+      const double diff = row[d] - q[d];
       d2 += diff * diff;
     }
     dists.emplace_back(d2, labels_[i]);
@@ -97,15 +104,15 @@ EvalResult cumul_cross_validate(const Dataset& data, std::size_t k_neighbors,
                                 std::size_t n_points, std::size_t folds, std::uint64_t seed) {
   if (data.size() == 0) throw std::invalid_argument("cumul_cross_validate: empty dataset");
   if (folds < 2) throw std::invalid_argument("cumul_cross_validate: need >= 2 folds");
-  std::vector<std::vector<double>> rows;
-  rows.reserve(data.size());
+  FeatureMatrix rows(data.size(), 4 + n_points);
   for (std::size_t i = 0; i < data.size(); ++i) {
-    rows.push_back(cumul_features(data.trace(i), n_points));
+    const std::vector<double> f = cumul_features(data.trace(i), n_points);
+    std::copy(f.begin(), f.end(), rows.row(i).begin());
   }
   const std::vector<int>& labels = data.labels();
   const int num_classes = *std::max_element(labels.begin(), labels.end()) + 1;
 
-  std::vector<std::size_t> fold_of(rows.size());
+  std::vector<std::size_t> fold_of(rows.rows());
   Rng rng(seed);
   for (int cls = 0; cls < num_classes; ++cls) {
     std::vector<std::size_t> idx;
@@ -119,22 +126,21 @@ EvalResult cumul_cross_validate(const Dataset& data, std::size_t k_neighbors,
   EvalResult result;
   result.confusion = ConfusionMatrix(static_cast<std::size_t>(num_classes));
   for (std::size_t f = 0; f < folds; ++f) {
-    std::vector<std::vector<double>> train_rows;
+    std::vector<std::size_t> train_idx, test_idx;
     std::vector<int> train_labels;
-    std::vector<std::size_t> test_idx;
-    for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t i = 0; i < rows.rows(); ++i) {
       if (fold_of[i] == f) {
         test_idx.push_back(i);
       } else {
-        train_rows.push_back(rows[i]);
+        train_idx.push_back(i);
         train_labels.push_back(labels[i]);
       }
     }
-    if (test_idx.empty() || train_rows.empty()) continue;
+    if (test_idx.empty() || train_idx.empty()) continue;
     KnnClassifier clf(k_neighbors);
-    clf.fit(train_rows, train_labels);
+    clf.fit(rows.gathered(train_idx), train_labels);
     ConfusionMatrix cm(static_cast<std::size_t>(num_classes));
-    for (std::size_t i : test_idx) cm.add(labels[i], clf.predict(rows[i]));
+    for (std::size_t i : test_idx) cm.add(labels[i], clf.predict(rows.row(i)));
     result.fold_accuracies.push_back(cm.accuracy());
     result.confusion.merge(cm);
   }

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "wf/feature_matrix.hpp"
 #include "wf/kfp.hpp"
 #include "wf/trace.hpp"
 
@@ -23,11 +24,13 @@ namespace stob::wf {
 std::vector<double> cumul_features(const Trace& trace, std::size_t n_points = 100);
 
 /// k-NN classifier with per-feature standardisation (z-scores computed on
-/// the training set) and Euclidean distance.
+/// the training set) and Euclidean distance. Training rows are held in one
+/// contiguous FeatureMatrix so the distance scan streams memory.
 class KnnClassifier {
  public:
   explicit KnnClassifier(std::size_t k = 5) : k_(k) {}
 
+  void fit(const FeatureMatrix& x, const std::vector<int>& labels);
   void fit(const std::vector<std::vector<double>>& rows, const std::vector<int>& labels);
   int predict(std::span<const double> x) const;
   bool trained() const { return !rows_.empty(); }
@@ -36,7 +39,7 @@ class KnnClassifier {
   std::vector<double> standardize(std::span<const double> x) const;
 
   std::size_t k_;
-  std::vector<std::vector<double>> rows_;  // standardized training rows
+  FeatureMatrix rows_;  // standardized training rows
   std::vector<int> labels_;
   std::vector<double> mean_;
   std::vector<double> scale_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -21,31 +22,119 @@ double gini(std::span<const double> counts, double total) {
   return 1.0 - acc;
 }
 
+// Order-preserving bijection from finite doubles to uint64: integer
+// comparison of keys matches double comparison of values, so the split
+// search sorts 8-byte integer keys instead of doubles. -0.0 is collapsed
+// to +0.0 first so key equality coincides with double equality — the
+// scan's "no cut between equal values" rule must see ±0.0 as one run.
+std::uint64_t key_of(double v) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return (b & 0x8000000000000000ull) != 0 ? ~b : b | 0x8000000000000000ull;
+}
+
+double value_of(std::uint64_t k) {
+  std::uint64_t b = (k & 0x8000000000000000ull) != 0 ? k ^ 0x8000000000000000ull : ~k;
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+/// Sort the (key, payload) elements by key. Tie order among equal keys is
+/// free: cuts are only valid at equal-value run boundaries, where the
+/// accumulated class counts are exact integers independent of intra-run
+/// order. Small runs use insertion sort, mid-size std::sort, large runs a
+/// skip-pass LSD radix (stable, byte digits).
+namespace {
+
+template <typename KVT>
+void sort_kv(KVT* kv, std::size_t n, std::vector<KVT>& scratch) {
+  if (n < 2) return;
+  if (n <= 48) {
+    for (std::size_t i = 1; i < n; ++i) {
+      const KVT e = kv[i];
+      std::size_t j = i;
+      while (j > 0 && kv[j - 1].key > e.key) {
+        kv[j] = kv[j - 1];
+        --j;
+      }
+      kv[j] = e;
+    }
+    return;
+  }
+  if (n < 512) {
+    std::sort(kv, kv + n, [](const KVT& a, const KVT& b) { return a.key < b.key; });
+    return;
+  }
+
+  // One pass builds all eight digit histograms; uniform digits (common:
+  // nearby feature values share exponent bytes) skip their scatter pass.
+  std::uint32_t hist[8][256] = {};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = kv[i].key;
+    for (int d = 0; d < 8; ++d) ++hist[d][(k >> (8 * d)) & 0xFF];
+  }
+  scratch.resize(n);
+  KVT* src = kv;
+  KVT* dst = scratch.data();
+  for (int d = 0; d < 8; ++d) {
+    if (hist[d][(src[0].key >> (8 * d)) & 0xFF] == n) continue;  // uniform digit
+    std::uint32_t offsets[256];
+    std::uint32_t sum = 0;
+    for (int b = 0; b < 256; ++b) {
+      offsets[b] = sum;
+      sum += hist[d][b];
+    }
+    for (std::size_t i = 0; i < n; ++i) dst[offsets[(src[i].key >> (8 * d)) & 0xFF]++] = src[i];
+    std::swap(src, dst);
+  }
+  if (src != kv) std::copy_n(src, n, kv);
+}
+
 }  // namespace
 
 void DecisionTree::fit(const TrainView& view, std::span<const std::size_t> indices, Rng& rng) {
-  if (view.num_classes <= 0 || view.rows.empty() || indices.empty()) {
+  if (view.num_classes <= 0 || view.size() == 0 || indices.empty()) {
     throw std::invalid_argument("DecisionTree::fit: empty training data");
   }
   num_classes_ = view.num_classes;
   nodes_.clear();
   dists_.clear();
   depth_ = 0;
-  std::vector<std::size_t> idx(indices.begin(), indices.end());
-  build(view, idx, 0, idx.size(), 0, rng);
+
+  // Collapse bootstrap duplicates into integer weights: a row drawn m
+  // times contributes m to every count, so all impurity arithmetic (sums
+  // of exact small integers) is bit-identical to carrying m copies, while
+  // sorts and scans shrink to the ~63% unique rows.
+  Workspace ws;
+  ws.weight.assign(view.size(), 0.0);
+  for (std::size_t i : indices) ws.weight[i] += 1.0;
+  std::vector<std::size_t> idx;
+  idx.reserve(indices.size());
+  for (std::size_t r = 0; r < view.size(); ++r) {
+    if (ws.weight[r] > 0.0) idx.push_back(r);
+  }
+  ws.left_counts.resize(static_cast<std::size_t>(num_classes_));
+  ws.right_counts.resize(static_cast<std::size_t>(num_classes_));
+  build(view, idx, 0, idx.size(), static_cast<double>(indices.size()), 0, rng, ws);
 }
 
-std::uint32_t DecisionTree::make_leaf(const TrainView& view, std::span<const std::size_t> idx) {
+std::uint32_t DecisionTree::make_leaf(const TrainView& view, std::span<const std::size_t> idx,
+                                      double weighted_n, Workspace& ws) {
   Node node;
   node.feature = -1;
   node.dist_offset = static_cast<std::uint32_t>(dists_.size());
-  std::vector<double> dist(static_cast<std::size_t>(num_classes_), 0.0);
-  for (std::size_t i : idx) dist[static_cast<std::size_t>(view.labels[i])] += 1.0;
-  const double total = static_cast<double>(idx.size());
+  ws.dist.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  for (std::size_t i : idx) {
+    ws.dist[static_cast<std::size_t>(view.labels[i])] += ws.weight[i];
+  }
   int best = 0;
   for (int c = 0; c < num_classes_; ++c) {
-    dists_.push_back(dist[static_cast<std::size_t>(c)] / total);
-    if (dist[static_cast<std::size_t>(c)] > dist[static_cast<std::size_t>(best)]) best = c;
+    dists_.push_back(ws.dist[static_cast<std::size_t>(c)] / weighted_n);
+    if (ws.dist[static_cast<std::size_t>(c)] > ws.dist[static_cast<std::size_t>(best)]) best = c;
   }
   node.majority = best;
   nodes_.push_back(node);
@@ -53,9 +142,10 @@ std::uint32_t DecisionTree::make_leaf(const TrainView& view, std::span<const std
 }
 
 std::uint32_t DecisionTree::build(const TrainView& view, std::vector<std::size_t>& idx,
-                                  std::size_t lo, std::size_t hi, int depth, Rng& rng) {
+                                  std::size_t lo, std::size_t hi, double weighted_n, int depth,
+                                  Rng& rng, Workspace& ws) {
   depth_ = std::max(depth_, depth);
-  const std::size_t n = hi - lo;
+  const std::size_t n = hi - lo;  // unique rows; weighted_n counts duplicates
   const std::span<const std::size_t> here(idx.data() + lo, n);
 
   // Purity check.
@@ -66,82 +156,103 @@ std::uint32_t DecisionTree::build(const TrainView& view, std::vector<std::size_t
       break;
     }
   }
-  if (pure || depth >= cfg_.max_depth || n < cfg_.min_samples_split) {
-    return make_leaf(view, here);
+  if (pure || depth >= cfg_.max_depth ||
+      weighted_n < static_cast<double>(cfg_.min_samples_split)) {
+    return make_leaf(view, here, weighted_n, ws);
   }
 
-  const std::size_t num_features = view.rows[0].size();
+  const std::size_t num_features = view.features();
   std::size_t mtry = cfg_.max_features;
   if (mtry == 0) mtry = static_cast<std::size_t>(std::sqrt(static_cast<double>(num_features)));
   mtry = std::clamp<std::size_t>(mtry, 1, num_features);
 
   // Sample `mtry` distinct features (partial Fisher-Yates).
-  std::vector<std::size_t> feats(num_features);
-  std::iota(feats.begin(), feats.end(), 0);
+  ws.feats.resize(num_features);
+  std::iota(ws.feats.begin(), ws.feats.end(), 0);
   for (std::size_t i = 0; i < mtry; ++i) {
     const auto j = static_cast<std::size_t>(
         rng.uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(num_features - 1)));
-    std::swap(feats[i], feats[j]);
+    std::swap(ws.feats[i], ws.feats[j]);
+  }
+
+  // (weight, label) payloads are per-element, shared by every candidate
+  // feature of this node.
+  ws.payload.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t row = here[i];
+    ws.payload[i] = (static_cast<std::uint64_t>(ws.weight[row]) << 32) |
+                    static_cast<std::uint32_t>(view.labels[row]);
   }
 
   // Exact best-split search over the sampled features.
   double best_score = std::numeric_limits<double>::infinity();
   std::int32_t best_feature = -1;
   double best_threshold = 0.0;
+  double best_wl = 0.0;
 
-  std::vector<std::pair<double, int>> vals(n);
-  std::vector<double> left_counts(static_cast<std::size_t>(num_classes_));
-  std::vector<double> right_counts(static_cast<std::size_t>(num_classes_));
+  ws.kv.resize(n);
+  KV* kv = ws.kv.data();
+  double* left_counts = ws.left_counts.data();
+  double* right_counts = ws.right_counts.data();
+  const auto classes = static_cast<std::size_t>(num_classes_);
+  const double min_leaf = static_cast<double>(cfg_.min_samples_leaf);
 
   for (std::size_t fi = 0; fi < mtry; ++fi) {
-    const std::size_t f = feats[fi];
+    const std::size_t f = ws.feats[fi];
     for (std::size_t i = 0; i < n; ++i) {
-      vals[i] = {view.rows[here[i]][f], view.labels[here[i]]};
+      kv[i] = KV{key_of(view.value(here[i], f)), ws.payload[i]};
     }
-    std::sort(vals.begin(), vals.end());
-    if (vals.front().first == vals.back().first) continue;  // constant feature
+    sort_kv(kv, n, ws.kv_scratch);
+    if (kv[0].key == kv[n - 1].key) continue;  // constant feature
 
-    std::fill(left_counts.begin(), left_counts.end(), 0.0);
-    std::fill(right_counts.begin(), right_counts.end(), 0.0);
-    for (const auto& [v, c] : vals) right_counts[static_cast<std::size_t>(c)] += 1.0;
+    std::fill_n(left_counts, classes, 0.0);
+    std::fill_n(right_counts, classes, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      right_counts[kv[i].payload & 0xFFFFFFFFull] += static_cast<double>(kv[i].payload >> 32);
+    }
 
+    double wl = 0.0;
     for (std::size_t i = 0; i + 1 < n; ++i) {
-      const auto c = static_cast<std::size_t>(vals[i].second);
-      left_counts[c] += 1.0;
-      right_counts[c] -= 1.0;
-      if (vals[i].first == vals[i + 1].first) continue;  // not a valid cut
-      const std::size_t nl = i + 1;
-      const std::size_t nr = n - nl;
-      if (nl < cfg_.min_samples_leaf || nr < cfg_.min_samples_leaf) continue;
-      const double score = (static_cast<double>(nl) * gini(left_counts, static_cast<double>(nl)) +
-                            static_cast<double>(nr) * gini(right_counts, static_cast<double>(nr))) /
-                           static_cast<double>(n);
+      const std::size_t c = kv[i].payload & 0xFFFFFFFFull;
+      const auto w = static_cast<double>(kv[i].payload >> 32);
+      left_counts[c] += w;
+      right_counts[c] -= w;
+      wl += w;
+      if (kv[i].key == kv[i + 1].key) continue;  // not a valid cut
+      const double wr = weighted_n - wl;
+      if (wl < min_leaf || wr < min_leaf) continue;
+      const double score =
+          (wl * gini({left_counts, classes}, wl) + wr * gini({right_counts, classes}, wr)) /
+          weighted_n;
       if (score < best_score) {
         best_score = score;
         best_feature = static_cast<std::int32_t>(f);
-        best_threshold = (vals[i].first + vals[i + 1].first) / 2.0;
+        best_threshold = (value_of(kv[i].key) + value_of(kv[i + 1].key)) / 2.0;
+        best_wl = wl;
       }
     }
   }
 
-  if (best_feature < 0) return make_leaf(view, here);
+  if (best_feature < 0) return make_leaf(view, here, weighted_n, ws);
 
-  // Partition indices in place: <= threshold to the left.
-  const auto mid_it = std::partition(idx.begin() + static_cast<std::ptrdiff_t>(lo),
-                                     idx.begin() + static_cast<std::ptrdiff_t>(hi),
-                                     [&](std::size_t i) {
-                                       return view.rows[i][static_cast<std::size_t>(
-                                                  best_feature)] <= best_threshold;
-                                     });
+  // Partition indices in place: <= threshold to the left. Duplicates of a
+  // row travel together, so unique-index partitioning splits exactly the
+  // multiset the duplicated partition would.
+  const auto bf = static_cast<std::size_t>(best_feature);
+  const auto mid_it = std::partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(lo), idx.begin() + static_cast<std::ptrdiff_t>(hi),
+      [&](std::size_t i) { return view.value(i, bf) <= best_threshold; });
   const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
-  if (mid == lo || mid == hi) return make_leaf(view, here);  // degenerate partition
+  if (mid == lo || mid == hi) {
+    return make_leaf(view, here, weighted_n, ws);  // degenerate partition
+  }
 
   const auto node_index = static_cast<std::uint32_t>(nodes_.size());
   nodes_.emplace_back();
   nodes_[node_index].feature = best_feature;
   nodes_[node_index].threshold = best_threshold;
-  const std::uint32_t left = build(view, idx, lo, mid, depth + 1, rng);
-  const std::uint32_t right = build(view, idx, mid, hi, depth + 1, rng);
+  const std::uint32_t left = build(view, idx, lo, mid, best_wl, depth + 1, rng, ws);
+  const std::uint32_t right = build(view, idx, mid, hi, weighted_n - best_wl, depth + 1, rng, ws);
   nodes_[node_index].left = left;
   nodes_[node_index].right = right;
   return node_index;

@@ -8,15 +8,20 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "wf/feature_matrix.hpp"
 
 namespace stob::wf {
 
-/// Row-major dataset view: rows[i] is a feature vector, labels[i] its class
-/// (0..num_classes-1).
+/// Training-set view: contiguous row-major features plus labels[i] in
+/// 0..num_classes-1. The matrix outlives the view.
 struct TrainView {
-  std::span<const std::vector<double>> rows;
+  const FeatureMatrix* x = nullptr;
   std::span<const int> labels;
   int num_classes = 0;
+
+  std::size_t size() const { return x == nullptr ? 0 : x->rows(); }
+  std::size_t features() const { return x == nullptr ? 0 : x->cols(); }
+  double value(std::size_t row, std::size_t feature) const { return x->at(row, feature); }
 };
 
 class DecisionTree {
@@ -27,6 +32,18 @@ class DecisionTree {
     std::size_t min_samples_leaf = 1;
     /// Features examined per split; 0 = floor(sqrt(F)) (forest default).
     std::size_t max_features = 0;
+  };
+
+  /// Node layout shared with RandomForest's flattened pool: internal nodes
+  /// carry feature/threshold and child links, leaves a class-distribution
+  /// offset. The root is always node 0.
+  struct Node {
+    std::int32_t feature = -1;       // -1 marks a leaf
+    double threshold = 0.0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::int32_t majority = 0;       // cached argmax of the distribution
+    std::uint32_t dist_offset = 0;   // into dists() (leaves only)
   };
 
   DecisionTree() : DecisionTree(Config{}) {}
@@ -49,21 +66,33 @@ class DecisionTree {
   int depth() const { return depth_; }
   bool trained() const { return !nodes_.empty(); }
 
+  /// Raw node pool / flattened per-leaf class distributions, for
+  /// RandomForest's structure-of-arrays flattening.
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<double>& dists() const { return dists_; }
+
  private:
-  struct Node {
-    // Internal nodes: feature/threshold and child links. Leaves: class
-    // distribution offset.
-    std::int32_t feature = -1;       // -1 marks a leaf
-    double threshold = 0.0;
-    std::uint32_t left = 0;
-    std::uint32_t right = 0;
-    std::int32_t majority = 0;       // cached argmax of the distribution
-    std::uint32_t dist_offset = 0;   // into dists_ (leaves only)
+  /// Sort element of the split search: order-mapped feature value plus a
+  /// payload packing (bootstrap multiplicity << 32 | label).
+  struct KV {
+    std::uint64_t key;
+    std::uint64_t payload;
+  };
+
+  /// Per-fit scratch reused across nodes so build() allocates nothing on
+  /// the hot path.
+  struct Workspace {
+    std::vector<std::size_t> feats;        // feature subsample permutation
+    std::vector<KV> kv, kv_scratch;        // split-search sort buffers
+    std::vector<std::uint64_t> payload;    // per node element, shared by features
+    std::vector<double> weight;            // bootstrap multiplicity per training row
+    std::vector<double> left_counts, right_counts, dist;
   };
 
   std::uint32_t build(const TrainView& view, std::vector<std::size_t>& idx, std::size_t lo,
-                      std::size_t hi, int depth, Rng& rng);
-  std::uint32_t make_leaf(const TrainView& view, std::span<const std::size_t> idx);
+                      std::size_t hi, double weighted_n, int depth, Rng& rng, Workspace& ws);
+  std::uint32_t make_leaf(const TrainView& view, std::span<const std::size_t> idx,
+                          double weighted_n, Workspace& ws);
   const Node& descend(std::span<const double> x) const;
 
   Config cfg_;

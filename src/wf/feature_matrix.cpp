@@ -1,0 +1,43 @@
+#include "wf/feature_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stob::wf {
+
+FeatureMatrix FeatureMatrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  FeatureMatrix m;
+  if (rows.empty()) return m;
+  m.cols_ = rows[0].size();
+  m.data_.reserve(rows.size() * m.cols_);
+  for (const std::vector<double>& r : rows) {
+    if (r.size() != m.cols_) throw std::invalid_argument("FeatureMatrix: ragged rows");
+    m.data_.insert(m.data_.end(), r.begin(), r.end());
+  }
+  return m;
+}
+
+void FeatureMatrix::set_cols(std::size_t cols) {
+  if (!data_.empty()) throw std::logic_error("FeatureMatrix::set_cols on non-empty matrix");
+  cols_ = cols;
+}
+
+void FeatureMatrix::append_row(std::span<const double> values) {
+  if (cols_ == 0 && data_.empty()) cols_ = values.size();
+  if (values.size() != cols_) throw std::invalid_argument("FeatureMatrix: row width mismatch");
+  data_.insert(data_.end(), values.begin(), values.end());
+}
+
+FeatureMatrix FeatureMatrix::gathered(std::span<const std::size_t> indices) const {
+  FeatureMatrix out;
+  out.cols_ = cols_;
+  out.data_.resize(indices.size() * cols_);
+  double* dst = out.data_.data();
+  for (std::size_t i : indices) {
+    std::copy_n(data_.data() + i * cols_, cols_, dst);
+    dst += cols_;
+  }
+  return out;
+}
+
+}  // namespace stob::wf

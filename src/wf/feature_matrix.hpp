@@ -1,0 +1,54 @@
+// Contiguous row-major feature storage for the WF attack engine.
+//
+// One allocation for the whole dataset (rows x cols doubles) instead of a
+// std::vector per sample: rows are cache-line-contiguous, a fold's training
+// subset is a single gather, and batch kernels (forest prediction, leaf
+// k-NN) can stream it. Rows are handed out as std::span, so classifiers
+// never see the storage layout.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stob::wf {
+
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  /// rows x cols matrix, zero-filled.
+  FeatureMatrix(std::size_t rows, std::size_t cols) : cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Copy a ragged row-of-vectors dataset into contiguous storage. All rows
+  /// must have the same width.
+  static FeatureMatrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return cols_ == 0 ? 0 : data_.size() / cols_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const double* data() const { return data_.data(); }
+
+  /// Set the width of an empty matrix (before the first append_row).
+  void set_cols(std::size_t cols);
+
+  /// Append one row (must match cols(); sets cols() on a fresh matrix).
+  void append_row(std::span<const double> values);
+
+  /// New matrix holding rows `indices`, in order (fold/train-set gather).
+  FeatureMatrix gathered(std::span<const std::size_t> indices) const;
+
+  friend bool operator==(const FeatureMatrix&, const FeatureMatrix&) = default;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace stob::wf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 
 #include "util/stats.hpp"
 
@@ -10,30 +11,52 @@ namespace stob::wf {
 namespace {
 
 /// Helper collecting (name, value) pairs so names and values never drift.
+/// Values land in caller-owned storage via a write cursor, so a dataset's
+/// rows go straight into the contiguous FeatureMatrix without a per-trace
+/// vector in between.
 class FeatureBuilder {
  public:
-  explicit FeatureBuilder(std::vector<double>* out) : out_(out) {}
+  explicit FeatureBuilder(std::span<double> out) : out_(out) {}
 
-  void add(const std::string& name, double value) {
-    if (out_ != nullptr) out_->push_back(std::isfinite(value) ? value : 0.0);
-    if (names_ != nullptr) names_->push_back(name);
+  void add(std::string_view name, double value) {
+    if (cursor_ < out_.size()) out_[cursor_++] = std::isfinite(value) ? value : 0.0;
+    if (names_ != nullptr) names_->emplace_back(name);
   }
 
-  /// Summary-statistic bundle over a value list.
-  void add_stats(const std::string& prefix, std::span<const double> xs) {
-    add(prefix + "_mean", stats::mean(xs));
-    add(prefix + "_std", stats::stddev(xs));
-    add(prefix + "_min", stats::min(xs));
-    add(prefix + "_max", stats::max(xs));
-    add(prefix + "_median", stats::median(xs));
-    add(prefix + "_p75", stats::percentile(xs, 75.0));
+  /// Summary-statistic bundle over a value list. Mean and stddev accumulate
+  /// over the original order (their rounding depends on it); the order
+  /// statistics share one sort of the list instead of re-sorting per
+  /// quantile, which yields the same values.
+  void add_stats(std::string_view prefix, std::span<const double> xs) {
+    add2(prefix, "_mean", stats::mean(xs));
+    add2(prefix, "_std", stats::stddev(xs));
+    sorted_.assign(xs.begin(), xs.end());
+    std::sort(sorted_.begin(), sorted_.end());
+    add2(prefix, "_min", sorted_.empty() ? 0.0 : sorted_.front());
+    add2(prefix, "_max", sorted_.empty() ? 0.0 : sorted_.back());
+    add2(prefix, "_median", stats::percentile_sorted(sorted_, 50.0));
+    add2(prefix, "_p75", stats::percentile_sorted(sorted_, 75.0));
   }
 
   void collect_names(std::vector<std::string>* names) { names_ = names; }
+  bool collecting_names() const { return names_ != nullptr; }
 
  private:
-  std::vector<double>* out_;
+  /// add() without building the concatenated name unless names are wanted.
+  void add2(std::string_view prefix, std::string_view suffix, double value) {
+    if (cursor_ < out_.size()) out_[cursor_++] = std::isfinite(value) ? value : 0.0;
+    if (names_ != nullptr) {
+      std::string name;
+      name.reserve(prefix.size() + suffix.size());
+      name.append(prefix).append(suffix);
+      names_->push_back(std::move(name));
+    }
+  }
+
+  std::span<double> out_;
+  std::size_t cursor_ = 0;
   std::vector<std::string>* names_ = nullptr;
+  std::vector<double> sorted_;
 };
 
 /// The single implementation walked both for names and values.
@@ -43,6 +66,11 @@ void build(const Trace& trace, FeatureBuilder& fb) {
 
   std::vector<double> in_times, out_times, all_times;
   std::vector<double> in_sizes, out_sizes;
+  all_times.reserve(pkts.size());
+  in_times.reserve(pkts.size());
+  out_times.reserve(pkts.size());
+  in_sizes.reserve(pkts.size());
+  out_sizes.reserve(pkts.size());
   for (const PacketRecord& p : pkts) {
     all_times.push_back(p.time);
     if (p.direction > 0) {
@@ -150,6 +178,7 @@ void build(const Trace& trace, FeatureBuilder& fb) {
   // ---- 6. Inter-arrival times: total / in / out.
   auto gaps = [](const std::vector<double>& ts) {
     std::vector<double> g;
+    if (ts.size() > 1) g.reserve(ts.size() - 1);
     for (std::size_t i = 1; i < ts.size(); ++i) g.push_back(ts[i] - ts[i - 1]);
     return g;
   };
@@ -166,17 +195,27 @@ void build(const Trace& trace, FeatureBuilder& fb) {
                                gap_all.begin() + std::min<std::size_t>(20, gap_all.size()));
   fb.add_stats("iat_first20", gap_head);
 
-  // ---- 7. Transmission time quantiles.
+  // ---- 7. Transmission time quantiles. One sort per list feeds all three
+  // quantiles (same sorted order, hence same interpolated values, as the
+  // sort-per-call stats::percentile).
   fb.add("time_total", trace.duration());
-  fb.add("time_q25_all", stats::percentile(all_times, 25.0));
-  fb.add("time_q50_all", stats::percentile(all_times, 50.0));
-  fb.add("time_q75_all", stats::percentile(all_times, 75.0));
-  fb.add("time_q25_in", stats::percentile(in_times, 25.0));
-  fb.add("time_q50_in", stats::percentile(in_times, 50.0));
-  fb.add("time_q75_in", stats::percentile(in_times, 75.0));
-  fb.add("time_q25_out", stats::percentile(out_times, 25.0));
-  fb.add("time_q50_out", stats::percentile(out_times, 50.0));
-  fb.add("time_q75_out", stats::percentile(out_times, 75.0));
+  std::vector<double> sorted_times;
+  const auto sort_times = [&sorted_times](const std::vector<double>& ts) {
+    sorted_times.assign(ts.begin(), ts.end());
+    std::sort(sorted_times.begin(), sorted_times.end());
+  };
+  sort_times(all_times);
+  fb.add("time_q25_all", stats::percentile_sorted(sorted_times, 25.0));
+  fb.add("time_q50_all", stats::percentile_sorted(sorted_times, 50.0));
+  fb.add("time_q75_all", stats::percentile_sorted(sorted_times, 75.0));
+  sort_times(in_times);
+  fb.add("time_q25_in", stats::percentile_sorted(sorted_times, 25.0));
+  fb.add("time_q50_in", stats::percentile_sorted(sorted_times, 50.0));
+  fb.add("time_q75_in", stats::percentile_sorted(sorted_times, 75.0));
+  sort_times(out_times);
+  fb.add("time_q25_out", stats::percentile_sorted(sorted_times, 25.0));
+  fb.add("time_q50_out", stats::percentile_sorted(sorted_times, 50.0));
+  fb.add("time_q75_out", stats::percentile_sorted(sorted_times, 75.0));
 
   // ---- 8. Packets per second.
   std::vector<double> pps;
@@ -229,13 +268,17 @@ void build(const Trace& trace, FeatureBuilder& fb) {
         }
       }
     }
-    fb.add("time_to_in_frac_" + std::to_string(static_cast<int>(frac * 100)), reached);
+    if (fb.collecting_names()) {
+      fb.add("time_to_in_frac_" + std::to_string(static_cast<int>(frac * 100)), reached);
+    } else {
+      fb.add({}, reached);
+    }
   }
 }
 
 std::vector<std::string> compute_names() {
   std::vector<std::string> names;
-  FeatureBuilder fb(nullptr);
+  FeatureBuilder fb({});
   fb.collect_names(&names);
   build(Trace{}, fb);
   return names;
@@ -251,18 +294,21 @@ const std::vector<std::string>& kfp_feature_names() {
 std::size_t kfp_feature_count() { return kfp_feature_names().size(); }
 
 std::vector<double> kfp_features(const Trace& trace) {
-  std::vector<double> out;
-  out.reserve(kfp_feature_count());
-  FeatureBuilder fb(&out);
+  std::vector<double> out(kfp_feature_count(), 0.0);
+  FeatureBuilder fb(out);
   build(trace, fb);
   return out;
 }
 
-std::vector<std::vector<double>> kfp_features(const Dataset& dataset) {
-  std::vector<std::vector<double>> rows;
-  rows.reserve(dataset.size());
-  for (std::size_t i = 0; i < dataset.size(); ++i) rows.push_back(kfp_features(dataset.trace(i)));
-  return rows;
+void kfp_features_into(const Trace& trace, std::span<double> out) {
+  FeatureBuilder fb(out);
+  build(trace, fb);
+}
+
+FeatureMatrix kfp_features(const Dataset& dataset) {
+  FeatureMatrix m(dataset.size(), kfp_feature_count());
+  for (std::size_t i = 0; i < dataset.size(); ++i) kfp_features_into(dataset.trace(i), m.row(i));
+  return m;
 }
 
 }  // namespace stob::wf

@@ -10,9 +10,11 @@
 // datasets are comparable across runs.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "wf/feature_matrix.hpp"
 #include "wf/trace.hpp"
 
 namespace stob::wf {
@@ -28,7 +30,12 @@ const std::vector<std::string>& kfp_feature_names();
 /// yield zeros for undefined statistics.
 std::vector<double> kfp_features(const Trace& trace);
 
-/// Extract features for every trace of a dataset (row-major).
-std::vector<std::vector<double>> kfp_features(const Dataset& dataset);
+/// Same extraction, writing into caller-owned storage of exactly
+/// kfp_feature_count() entries (e.g. a FeatureMatrix row).
+void kfp_features_into(const Trace& trace, std::span<double> out);
+
+/// Extract features for every trace of a dataset into one contiguous
+/// row-major matrix (row i <-> trace i).
+FeatureMatrix kfp_features(const Dataset& dataset);
 
 }  // namespace stob::wf

@@ -5,7 +5,9 @@
 #include <map>
 #include <stdexcept>
 
+#include "exp/worker_pool.hpp"
 #include "util/stats.hpp"
+#include "wf/leaf_knn.hpp"
 
 namespace stob::wf {
 
@@ -13,20 +15,18 @@ void KFingerprint::fit(const Dataset& train) {
   fit(kfp_features(train), train.labels());
 }
 
-void KFingerprint::fit(const std::vector<std::vector<double>>& rows,
-                       const std::vector<int>& labels) {
-  if (rows.size() != labels.size() || rows.empty()) {
+void KFingerprint::fit(const FeatureMatrix& x, const std::vector<int>& labels) {
+  if (x.rows() != labels.size() || x.empty()) {
     throw std::invalid_argument("KFingerprint::fit: rows/labels mismatch or empty");
   }
   num_classes_ = *std::max_element(labels.begin(), labels.end()) + 1;
-  TrainView view{rows, labels, num_classes_};
+  TrainView view{&x, labels, num_classes_};
   forest_ = RandomForest(cfg_.forest);
   forest_.fit(view);
   train_leaves_.clear();
   train_labels_.clear();
   if (cfg_.use_knn) {
-    train_leaves_.reserve(rows.size());
-    for (const auto& r : rows) train_leaves_.push_back(forest_.leaf_vector(r));
+    train_leaves_ = forest_.leaf_batch(x);
     train_labels_ = labels;
   }
 }
@@ -38,16 +38,15 @@ int KFingerprint::predict(std::span<const double> features) const {
   return cfg_.use_knn ? knn_predict(features) : forest_.predict(features);
 }
 
-int KFingerprint::knn_predict(std::span<const double> features) const {
-  const std::vector<std::uint32_t> q = forest_.leaf_vector(features);
-  // Hamming similarity: count of trees agreeing on the leaf.
+/// Neighbour selection over precomputed leaf-agreement counts. Verbatim the
+/// historical per-sample logic (scored vector in train order, partial_sort
+/// on matches, map-ordered vote) so batched and per-sample paths pick the
+/// same neighbours even on ties.
+int KFingerprint::knn_select(std::span<const int> counts) const {
   std::vector<std::pair<int, int>> scored;  // (matches, label)
-  scored.reserve(train_leaves_.size());
-  for (std::size_t i = 0; i < train_leaves_.size(); ++i) {
-    int matches = 0;
-    const auto& t = train_leaves_[i];
-    for (std::size_t j = 0; j < q.size(); ++j) matches += (t[j] == q[j]);
-    scored.emplace_back(matches, train_labels_[i]);
+  scored.reserve(train_labels_.size());
+  for (std::size_t i = 0; i < train_labels_.size(); ++i) {
+    scored.emplace_back(counts[i], train_labels_[i]);
   }
   const std::size_t k = std::min(cfg_.k_neighbors, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
@@ -57,6 +56,38 @@ int KFingerprint::knn_predict(std::span<const double> features) const {
   return std::max_element(votes.begin(), votes.end(), [](const auto& a, const auto& b) {
            return a.second < b.second;
          })->first;
+}
+
+int KFingerprint::knn_predict(std::span<const double> features) const {
+  const std::vector<std::uint32_t> q = forest_.leaf_vector(features);
+  std::vector<int> counts(train_labels_.size());
+  leaf_match_counts(train_leaves_, train_labels_.size(), q, counts);
+  return knn_select(counts);
+}
+
+std::vector<int> KFingerprint::predict_batch(const FeatureMatrix& x) const {
+  if (!forest_.trained()) throw std::logic_error("KFingerprint::predict_batch before fit");
+  if (!cfg_.use_knn) return forest_.predict_batch(x);
+
+  const std::size_t n_query = x.rows();
+  const std::size_t n_train = train_labels_.size();
+  const std::size_t trees = forest_.tree_count();
+  const std::vector<std::uint32_t> query_leaves = forest_.leaf_batch(x);
+  std::vector<int> out(n_query, 0);
+  // Chunk queries so the agreement matrix stays modest for large test sets.
+  constexpr std::size_t kChunk = 256;
+  std::vector<int> counts;
+  for (std::size_t lo = 0; lo < n_query; lo += kChunk) {
+    const std::size_t hi = std::min(n_query, lo + kChunk);
+    counts.assign((hi - lo) * n_train, 0);
+    leaf_match_matrix(train_leaves_, n_train,
+                      {query_leaves.data() + lo * trees, (hi - lo) * trees}, hi - lo, trees,
+                      counts);
+    for (std::size_t q = lo; q < hi; ++q) {
+      out[q] = knn_select({counts.data() + (q - lo) * n_train, n_train});
+    }
+  }
+  return out;
 }
 
 // --------------------------------------------------------- ConfusionMatrix
@@ -81,21 +112,22 @@ void ConfusionMatrix::merge(const ConfusionMatrix& other) {
 // ----------------------------------------------------------- cross_validate
 
 EvalResult cross_validate(const Dataset& data, const KFingerprint::Config& cfg,
-                          std::size_t folds, std::uint64_t seed) {
-  return cross_validate(kfp_features(data), data.labels(), cfg, folds, seed);
+                          std::size_t folds, std::uint64_t seed, std::size_t jobs) {
+  return cross_validate(kfp_features(data), data.labels(), cfg, folds, seed, jobs);
 }
 
-EvalResult cross_validate(const std::vector<std::vector<double>>& rows,
-                          const std::vector<int>& labels, const KFingerprint::Config& cfg,
-                          std::size_t folds, std::uint64_t seed) {
-  if (rows.size() != labels.size() || rows.empty()) {
+EvalResult cross_validate(const FeatureMatrix& x, const std::vector<int>& labels,
+                          const KFingerprint::Config& cfg, std::size_t folds, std::uint64_t seed,
+                          std::size_t jobs) {
+  if (x.rows() != labels.size() || x.empty()) {
     throw std::invalid_argument("cross_validate: rows/labels mismatch or empty");
   }
   if (folds < 2) throw std::invalid_argument("cross_validate: need >= 2 folds");
   const int num_classes = *std::max_element(labels.begin(), labels.end()) + 1;
 
   // Stratified fold assignment: shuffle within each class, deal round-robin.
-  std::vector<std::size_t> fold_of(rows.size());
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> fold_of(n);
   Rng rng(seed);
   for (int cls = 0; cls < num_classes; ++cls) {
     std::vector<std::size_t> idx;
@@ -106,31 +138,47 @@ EvalResult cross_validate(const std::vector<std::vector<double>>& rows,
     for (std::size_t j = 0; j < idx.size(); ++j) fold_of[idx[j]] = j % folds;
   }
 
+  // Folds are independent given the assignment (each fold's forest seed
+  // depends only on (seed, f)), so they can run in parallel; the ordered
+  // reduction below keeps merge order — and therefore every result byte —
+  // identical to the serial loop.
+  struct FoldOutcome {
+    ConfusionMatrix cm{0};
+    bool valid = false;
+  };
+  const std::vector<FoldOutcome> outcomes =
+      exp::run_ordered<FoldOutcome>(folds, jobs, [&](std::size_t f) {
+        std::vector<std::size_t> train_idx, test_idx;
+        for (std::size_t i = 0; i < n; ++i) {
+          (fold_of[i] == f ? test_idx : train_idx).push_back(i);
+        }
+        FoldOutcome out;
+        if (test_idx.empty() || train_idx.empty()) return out;
+
+        std::vector<int> train_labels;
+        train_labels.reserve(train_idx.size());
+        for (std::size_t i : train_idx) train_labels.push_back(labels[i]);
+
+        KFingerprint::Config fold_cfg = cfg;
+        fold_cfg.forest.seed = seed ^ (0x9E3779B97F4A7C15ull * (f + 1));
+        KFingerprint clf(fold_cfg);
+        clf.fit(x.gathered(train_idx), train_labels);
+
+        const std::vector<int> predicted = clf.predict_batch(x.gathered(test_idx));
+        out.cm = ConfusionMatrix(static_cast<std::size_t>(num_classes));
+        for (std::size_t j = 0; j < test_idx.size(); ++j) {
+          out.cm.add(labels[test_idx[j]], predicted[j]);
+        }
+        out.valid = true;
+        return out;
+      });
+
   EvalResult result;
   result.confusion = ConfusionMatrix(static_cast<std::size_t>(num_classes));
-  for (std::size_t f = 0; f < folds; ++f) {
-    std::vector<std::vector<double>> train_rows;
-    std::vector<int> train_labels;
-    std::vector<std::size_t> test_idx;
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      if (fold_of[i] == f) {
-        test_idx.push_back(i);
-      } else {
-        train_rows.push_back(rows[i]);
-        train_labels.push_back(labels[i]);
-      }
-    }
-    if (test_idx.empty() || train_rows.empty()) continue;
-
-    KFingerprint::Config fold_cfg = cfg;
-    fold_cfg.forest.seed = seed ^ (0x9E3779B97F4A7C15ull * (f + 1));
-    KFingerprint clf(fold_cfg);
-    clf.fit(train_rows, train_labels);
-
-    ConfusionMatrix cm(static_cast<std::size_t>(num_classes));
-    for (std::size_t i : test_idx) cm.add(labels[i], clf.predict(rows[i]));
-    result.fold_accuracies.push_back(cm.accuracy());
-    result.confusion.merge(cm);
+  for (const FoldOutcome& out : outcomes) {
+    if (!out.valid) continue;
+    result.fold_accuracies.push_back(out.cm.accuracy());
+    result.confusion.merge(out.cm);
   }
   result.mean_accuracy = stats::mean(result.fold_accuracies);
   result.std_accuracy = stats::stddev(result.fold_accuracies);

@@ -7,11 +7,17 @@
 //  * forest vote (the "k-FP Random Forest accuracy" the paper tabulates),
 //  * k-NN over leaf-id vectors (k-FP's original open-world mechanism),
 // selectable via Config::use_knn.
+//
+// Training data lives in a contiguous FeatureMatrix; prediction and the
+// leaf k-NN stage have batched entry points that the evaluation protocol
+// uses. Batched and per-sample paths give identical results, and
+// cross_validate(jobs > 1) is byte-identical to a serial run.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "wf/feature_matrix.hpp"
 #include "wf/features.hpp"
 #include "wf/random_forest.hpp"
 #include "wf/trace.hpp"
@@ -32,22 +38,28 @@ class KFingerprint {
   /// Train on a labeled dataset (features are extracted internally).
   void fit(const Dataset& train);
 
-  /// Train on pre-extracted feature rows.
-  void fit(const std::vector<std::vector<double>>& rows, const std::vector<int>& labels);
+  /// Train on pre-extracted features (row i is labels[i]'s feature vector).
+  void fit(const FeatureMatrix& x, const std::vector<int>& labels);
 
   int predict(const Trace& trace) const;
   int predict(std::span<const double> features) const;
 
+  /// Batched predict; out[i] corresponds to x.row(i). Identical to calling
+  /// predict() per row.
+  std::vector<int> predict_batch(const FeatureMatrix& x) const;
+
   const RandomForest& forest() const { return forest_; }
 
  private:
+  int knn_select(std::span<const int> counts) const;
   int knn_predict(std::span<const double> features) const;
 
   Config cfg_;
   RandomForest forest_;
   int num_classes_ = 0;
-  // k-NN mode: fingerprints (leaf vectors) of the training samples.
-  std::vector<std::vector<std::uint32_t>> train_leaves_;
+  // k-NN mode: training-sample fingerprints, row-major n_train x trees
+  // (RandomForest::leaf_batch layout).
+  std::vector<std::uint32_t> train_leaves_;
   std::vector<int> train_labels_;
 };
 
@@ -69,6 +81,8 @@ class ConfusionMatrix {
   /// Merge another matrix of the same shape.
   void merge(const ConfusionMatrix& other);
 
+  friend bool operator==(const ConfusionMatrix&, const ConfusionMatrix&) = default;
+
  private:
   std::size_t classes_;
   std::vector<std::uint64_t> counts_;
@@ -79,17 +93,21 @@ struct EvalResult {
   double std_accuracy = 0.0;
   std::vector<double> fold_accuracies;
   ConfusionMatrix confusion{0};
+
+  friend bool operator==(const EvalResult&, const EvalResult&) = default;
 };
 
 /// Stratified k-fold cross-validation of k-FP on `data` (closed world).
-/// Deterministic for a given seed.
+/// Deterministic for a given seed; `jobs` parallelises folds without
+/// changing any result byte.
 EvalResult cross_validate(const Dataset& data, const KFingerprint::Config& cfg,
-                          std::size_t folds = 5, std::uint64_t seed = 0x5EEDull);
+                          std::size_t folds = 5, std::uint64_t seed = 0x5EEDull,
+                          std::size_t jobs = 1);
 
 /// Same protocol on pre-extracted features (lets callers extract once and
 /// evaluate many truncations/defenses cheaply).
-EvalResult cross_validate(const std::vector<std::vector<double>>& rows,
-                          const std::vector<int>& labels, const KFingerprint::Config& cfg,
-                          std::size_t folds = 5, std::uint64_t seed = 0x5EEDull);
+EvalResult cross_validate(const FeatureMatrix& x, const std::vector<int>& labels,
+                          const KFingerprint::Config& cfg, std::size_t folds = 5,
+                          std::uint64_t seed = 0x5EEDull, std::size_t jobs = 1);
 
 }  // namespace stob::wf

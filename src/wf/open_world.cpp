@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "util/rng.hpp"
+#include "wf/feature_matrix.hpp"
 #include "wf/features.hpp"
+#include "wf/leaf_knn.hpp"
 
 namespace stob::wf {
 
@@ -33,8 +36,9 @@ OpenWorldResult open_world_evaluate(const Dataset& monitored, const Dataset& bac
 
   Rng rng(cfg.seed);
 
-  // Per-class stratified split of the monitored set.
-  std::vector<std::vector<double>> train_rows;
+  // Per-class stratified split of the monitored set. Only the split
+  // consumes the RNG; feature extraction is deferred to one batched pass.
+  std::vector<std::size_t> train_traces;  // monitored first, then background
   std::vector<int> train_labels;
   std::vector<std::size_t> mon_test;
   for (int cls = 0; cls < num_monitored_classes; ++cls) {
@@ -47,13 +51,14 @@ OpenWorldResult open_world_evaluate(const Dataset& monitored, const Dataset& bac
         1, static_cast<std::size_t>(cfg.train_fraction * static_cast<double>(idx.size())));
     for (std::size_t j = 0; j < idx.size(); ++j) {
       if (j < train_count) {
-        train_rows.push_back(kfp_features(monitored.trace(idx[j])));
+        train_traces.push_back(idx[j]);
         train_labels.push_back(cls);
       } else {
         mon_test.push_back(idx[j]);
       }
     }
   }
+  const std::size_t mon_train = train_traces.size();
 
   // Background split (labels collapsed to one class).
   std::vector<std::size_t> bg_order;
@@ -62,31 +67,36 @@ OpenWorldResult open_world_evaluate(const Dataset& monitored, const Dataset& bac
   std::vector<std::size_t> bg_test;
   for (std::size_t j = 0; j < bg_order.size(); ++j) {
     if (j < bg_train) {
-      train_rows.push_back(kfp_features(background.trace(bg_order[j])));
+      train_traces.push_back(bg_order[j]);
       train_labels.push_back(background_label);
     } else {
       bg_test.push_back(bg_order[j]);
     }
   }
 
+  // Batched feature extraction straight into contiguous matrices.
+  const std::size_t features = kfp_feature_count();
+  FeatureMatrix train_x(train_traces.size(), features);
+  for (std::size_t r = 0; r < train_traces.size(); ++r) {
+    const Dataset& src = r < mon_train ? monitored : background;
+    kfp_features_into(src.trace(train_traces[r]), train_x.row(r));
+  }
+
   RandomForest forest(cfg.forest);
-  forest.fit({train_rows, train_labels, num_monitored_classes + 1});
+  forest.fit({&train_x, train_labels, num_monitored_classes + 1});
 
   // Fingerprints of the training set for leaf-vector k-NN.
-  std::vector<std::vector<std::uint32_t>> train_leaves;
-  train_leaves.reserve(train_rows.size());
-  for (const auto& r : train_rows) train_leaves.push_back(forest.leaf_vector(r));
+  const std::size_t trees = forest.tree_count();
+  const std::size_t n_train = train_traces.size();
+  const std::vector<std::uint32_t> train_leaves = forest.leaf_batch(train_x);
 
   // k-FP rule: monitored verdict only on unanimous k nearest fingerprints.
-  auto classify = [&](const Trace& trace) -> int {
-    const std::vector<std::uint32_t> q = forest.leaf_vector(kfp_features(trace));
+  // Selection over the agreement counts is verbatim the per-sample logic,
+  // so the batched kernel cannot change any verdict.
+  auto classify = [&](std::span<const int> counts) -> int {
     std::vector<std::pair<int, int>> scored;  // (matches, label)
-    scored.reserve(train_leaves.size());
-    for (std::size_t i = 0; i < train_leaves.size(); ++i) {
-      int matches = 0;
-      for (std::size_t t = 0; t < q.size(); ++t) matches += (train_leaves[i][t] == q[t]);
-      scored.emplace_back(matches, train_labels[i]);
-    }
+    scored.reserve(n_train);
+    for (std::size_t i = 0; i < n_train; ++i) scored.emplace_back(counts[i], train_labels[i]);
     const std::size_t k = std::min(cfg.k_neighbors, scored.size());
     std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
                       scored.end(),
@@ -99,21 +109,47 @@ OpenWorldResult open_world_evaluate(const Dataset& monitored, const Dataset& bac
     return first;
   };
 
+  // One batched pass per test set: extract -> leaf fingerprints -> tiled
+  // agreement counts -> per-query verdicts.
+  auto classify_set = [&](const Dataset& src, const std::vector<std::size_t>& test_idx) {
+    std::vector<int> verdicts(test_idx.size(), background_label);
+    if (test_idx.empty()) return verdicts;
+    FeatureMatrix qx(test_idx.size(), features);
+    for (std::size_t r = 0; r < test_idx.size(); ++r) {
+      kfp_features_into(src.trace(test_idx[r]), qx.row(r));
+    }
+    const std::vector<std::uint32_t> q_leaves = forest.leaf_batch(qx);
+    constexpr std::size_t kChunk = 256;
+    std::vector<int> counts;
+    for (std::size_t lo = 0; lo < test_idx.size(); lo += kChunk) {
+      const std::size_t hi = std::min(test_idx.size(), lo + kChunk);
+      counts.assign((hi - lo) * n_train, 0);
+      leaf_match_matrix(train_leaves, n_train,
+                        {q_leaves.data() + lo * trees, (hi - lo) * trees}, hi - lo, trees,
+                        counts);
+      for (std::size_t q = lo; q < hi; ++q) {
+        verdicts[q] = classify({counts.data() + (q - lo) * n_train, n_train});
+      }
+    }
+    return verdicts;
+  };
+
   OpenWorldResult out;
   out.monitored_tested = mon_test.size();
   out.background_tested = bg_test.size();
 
+  const std::vector<int> mon_verdicts = classify_set(monitored, mon_test);
   std::size_t true_pos = 0, correct_site = 0;
-  for (std::size_t i : mon_test) {
-    const int pred = classify(monitored.trace(i));
-    if (pred != background_label) {
+  for (std::size_t j = 0; j < mon_test.size(); ++j) {
+    if (mon_verdicts[j] != background_label) {
       ++true_pos;
-      if (pred == monitored.label(i)) ++correct_site;
+      if (mon_verdicts[j] == monitored.label(mon_test[j])) ++correct_site;
     }
   }
+  const std::vector<int> bg_verdicts = classify_set(background, bg_test);
   std::size_t false_pos = 0;
-  for (std::size_t i : bg_test) {
-    if (classify(background.trace(i)) != background_label) ++false_pos;
+  for (int v : bg_verdicts) {
+    if (v != background_label) ++false_pos;
   }
 
   if (!mon_test.empty()) {

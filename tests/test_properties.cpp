@@ -12,8 +12,10 @@
 //    for adversarial trace shapes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <tuple>
 
 #include "core/cca_guard.hpp"
@@ -203,6 +205,18 @@ TEST_P(FeatureTotality, FiniteFixedWidthOnAdversarialTraces) {
   const auto kfp = wf::kfp_features(t);
   ASSERT_EQ(kfp.size(), wf::kfp_feature_count());
   for (double v : kfp) ASSERT_TRUE(std::isfinite(v)) << kind;
+  // The name table is index-aligned with the value vector: same width, every
+  // slot named, no name reused for two slots.
+  const auto& names = wf::kfp_feature_names();
+  ASSERT_EQ(names.size(), kfp.size());
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  for (const std::string& name : names) EXPECT_FALSE(name.empty());
+  // Spot-check a named slot against a directly computable quantity.
+  const auto it = std::find(names.begin(), names.end(), "count_total");
+  ASSERT_NE(it, names.end());
+  EXPECT_EQ(kfp[static_cast<std::size_t>(it - names.begin())],
+            static_cast<double>(t.packets().size()));
   const auto cumul = wf::cumul_features(t, 100);
   ASSERT_EQ(cumul.size(), 104u);
   for (double v : cumul) ASSERT_TRUE(std::isfinite(v)) << kind;

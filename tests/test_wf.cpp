@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "wf/decision_tree.hpp"
 #include "wf/features.hpp"
 #include "wf/kfp.hpp"
@@ -161,6 +162,7 @@ TEST(Features, SensitiveToDirectionPattern) {
 struct TwoBlobs {
   std::vector<std::vector<double>> rows;
   std::vector<int> labels;
+  FeatureMatrix x;
 
   explicit TwoBlobs(int n = 100, double sep = 4.0, std::uint64_t seed = 9) {
     Rng rng(seed);
@@ -170,8 +172,9 @@ struct TwoBlobs {
       rows.push_back({rng.normal(sep, 1), rng.normal(sep, 1), rng.uniform(0, 1)});
       labels.push_back(1);
     }
+    x = FeatureMatrix::from_rows(rows);
   }
-  TrainView view() const { return {rows, labels, 2}; }
+  TrainView view() const { return {&x, labels, 2}; }
 };
 
 TEST(DecisionTree, FitsSeparableData) {
@@ -216,18 +219,19 @@ TEST(DecisionTree, ProbaSumsToOne) {
 
 TEST(DecisionTree, EmptyFitThrows) {
   DecisionTree tree;
-  std::vector<std::vector<double>> rows;
+  FeatureMatrix x;
   std::vector<int> labels;
-  TrainView view{rows, labels, 2};
+  TrainView view{&x, labels, 2};
   std::vector<std::size_t> idx;
   Rng rng(1);
   EXPECT_THROW(tree.fit(view, idx, rng), std::invalid_argument);
 }
 
 TEST(DecisionTree, SingleClassIsLeaf) {
-  std::vector<std::vector<double>> rows{{1.0}, {2.0}, {3.0}};
+  const std::vector<std::vector<double>> rows{{1.0}, {2.0}, {3.0}};
+  const FeatureMatrix x = FeatureMatrix::from_rows(rows);
   std::vector<int> labels{1, 1, 1};
-  TrainView view{rows, labels, 2};
+  TrainView view{&x, labels, 2};
   std::vector<std::size_t> idx{0, 1, 2};
   DecisionTree tree;
   Rng rng(1);
@@ -354,6 +358,32 @@ TEST(KFingerprint, AccuracyGrowsWithPrefixLength) {
   EXPECT_GE(full_res.mean_accuracy, short_res.mean_accuracy);
 }
 
+TEST(CrossValidate, AggregatesFoldAccuracies) {
+  const Dataset data = synthetic_sites(3, 12, 59);
+  KFingerprint::Config cfg;
+  cfg.forest.num_trees = 15;
+  const EvalResult res = cross_validate(data, cfg, 3, 5);
+  ASSERT_EQ(res.fold_accuracies.size(), 3u);
+  for (double a : res.fold_accuracies) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(res.mean_accuracy, stats::mean(res.fold_accuracies));
+  EXPECT_DOUBLE_EQ(res.std_accuracy, stats::stddev(res.fold_accuracies));
+  // Every sample lands in the merged confusion matrix exactly once, and its
+  // trace equals the unweighted mean of the folds only when folds are equal
+  // sized (they are here: 36 samples / 3 folds).
+  std::size_t total = 0;
+  double diag = 0;
+  for (int a = 0; a < 3; ++a) {
+    for (int p = 0; p < 3; ++p) total += res.confusion.at(a, p);
+  }
+  for (int c = 0; c < 3; ++c) diag += static_cast<double>(res.confusion.at(c, c));
+  EXPECT_EQ(total, data.size());
+  EXPECT_NEAR(res.confusion.accuracy(), diag / static_cast<double>(total), 1e-12);
+  EXPECT_NEAR(res.confusion.accuracy(), res.mean_accuracy, 1e-12);
+}
+
 TEST(ConfusionMatrix, AccuracyAndMerge) {
   ConfusionMatrix a(2), b(2);
   a.add(0, 0);
@@ -369,9 +399,9 @@ TEST(CrossValidate, RejectsBadArguments) {
   const Dataset data = synthetic_sites(2, 4, 1);
   KFingerprint::Config cfg;
   EXPECT_THROW(cross_validate(data, cfg, 1), std::invalid_argument);
-  std::vector<std::vector<double>> rows;
+  FeatureMatrix x;
   std::vector<int> labels;
-  EXPECT_THROW(cross_validate(rows, labels, cfg, 3), std::invalid_argument);
+  EXPECT_THROW(cross_validate(x, labels, cfg, 3), std::invalid_argument);
 }
 
 }  // namespace
