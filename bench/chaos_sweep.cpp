@@ -17,12 +17,14 @@
 // --jobs value, and --check-determinism re-runs the grid serially to prove
 // it. Exit status is 1 if any stack invariant was violated.
 //
-// Flags: --jobs N (or STOB_JOBS), --check-determinism.
+// Flags: --jobs N (or STOB_JOBS), --check-determinism, --manifest PATH /
+// --trace-events PATH (either turns the span profiler on).
 // Environment knobs: STOB_SITES (default 2), STOB_SAMPLES (default 2),
 // STOB_SEED.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,8 @@
 #include "exp/experiment.hpp"
 #include "exp/worker_pool.hpp"
 #include "fault/fault.hpp"
+#include "obs/manifest.hpp"
+#include "obs/prof.hpp"
 #include "workload/page_load.hpp"
 
 namespace {
@@ -81,11 +85,18 @@ int main(int argc, char** argv) {
   // --jobs value (the engine's determinism contract).
   std::fprintf(stderr, "chaos_sweep: running %zu jobs with %zu workers\n", grid.job_count(), jobs);
 
+  obs::Profiler prof;
+  std::optional<obs::ScopedProfiler> prof_guard;
+  if (cli.profile()) prof_guard.emplace(prof);
+
   exp::RunOptions run;
   run.jobs = jobs;
   run.check_invariants = true;
   run.check_determinism = cli.check_determinism;
-  const std::vector<exp::JobResult> results = exp::run_grid(grid, run);
+  const std::vector<exp::JobResult> results = [&] {
+    obs::ProfSpan span("sweep");
+    return exp::run_grid(grid, run);
+  }();
 
   // Reduce in job order. The undefended (defense 0) twin of every defended
   // job precedes it within the same (fault, site, sample) block, so the
@@ -142,6 +153,24 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(row.checks),
                 static_cast<unsigned long long>(row.violations));
     total_violations += row.violations;
+  }
+
+  if (cli.profile()) {
+    prof_guard.reset();  // all spans closed; stop recording before export
+    if (!cli.manifest_path.empty()) {
+      obs::RunManifest m = obs::build_manifest("chaos_sweep", prof, nullptr, jobs, seed);
+      m.set_config("sites", std::to_string(grid.sites.size()));
+      m.set_config("samples", std::to_string(samples));
+      m.set_config("scenarios", std::to_string(grid.faults.size()));
+      m.set_config("defenses", std::to_string(grid.defenses.size()));
+      m.set_config("ccas", std::to_string(grid.ccas.size()));
+      m.write(cli.manifest_path);
+      std::fprintf(stderr, "chaos_sweep: wrote %s\n", cli.manifest_path.c_str());
+    }
+    if (!cli.trace_events_path.empty()) {
+      obs::write_trace_event(cli.trace_events_path, prof.records(), "chaos_sweep");
+      std::fprintf(stderr, "chaos_sweep: wrote %s\n", cli.trace_events_path.c_str());
+    }
   }
 
   if (total_violations > 0) {

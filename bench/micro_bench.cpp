@@ -12,6 +12,7 @@
 #include "core/policies.hpp"
 #include "net/pipe.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace_recorder.hpp"
 #include "sim/simulator.hpp"
 #include "stack/nic.hpp"
@@ -117,6 +118,39 @@ void BM_MetricsObserve(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_MetricsObserve);
+
+// The span profiler's disabled path: constructing + destroying a ProfSpan
+// with no Profiler installed must be one TLS load and a branch at each end,
+// same contract as the packet/metrics hooks above (~1-2 ns).
+void BM_ProfSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ProfSpan span("bench.disabled");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProfSpanDisabled);
+
+// Enabled path: open + close with clock reads and pool-counter snapshots.
+void BM_ProfSpanEnabled(benchmark::State& state) {
+  obs::Profiler prof;
+  obs::ScopedProfiler guard(prof);
+  for (auto _ : state) {
+    {
+      obs::ProfSpan span("bench.enabled");
+      benchmark::DoNotOptimize(&span);
+    }
+    // Span closed: safe to trim the record buffer between iterations.
+    if (prof.records().size() > (1u << 20)) {
+      state.PauseTiming();
+      prof.clear();
+      state.ResumeTiming();
+    }
+  }
+  benchmark::DoNotOptimize(prof.records().size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProfSpanEnabled);
 
 void BM_PolicyHook(benchmark::State& state) {
   core::SplitPolicy split;

@@ -1,0 +1,91 @@
+// Perf-regression gate over two BENCH_*.json snapshots.
+//
+// Loads a committed baseline (e.g. BENCH_5.json at the repo root) and a
+// fresh perf_suite run, prints a speedup table, and exits nonzero when a
+// benchmark regressed past the threshold or disappeared from the suite —
+// CI's bench-smoke job runs this so a perf regression fails the build the
+// same way a broken test does.
+//
+// Usage:
+//   perf_report --baseline BENCH_5.json --fresh BENCH_new.json
+//               [--max-regression 0.25] [--ignore-smoke-mismatch]
+//
+// The throughput gate (events/sec ratio) only applies when both snapshots
+// were produced at the same problem sizes (their "smoke" flags match);
+// otherwise only the coverage gate runs, unless --ignore-smoke-mismatch
+// forces ratios anyway. Exit codes: 0 ok, 1 gate failed, 2 usage/IO error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "util/bench_json.hpp"
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string fresh_path;
+  stob::bench::GateOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(a, "--fresh") == 0 && i + 1 < argc) {
+      fresh_path = argv[++i];
+    } else if (std::strcmp(a, "--max-regression") == 0 && i + 1 < argc) {
+      opts.max_regression = std::atof(argv[++i]);
+    } else if (std::strcmp(a, "--ignore-smoke-mismatch") == 0) {
+      opts.ignore_smoke_mismatch = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_report --baseline OLD.json --fresh NEW.json "
+                   "[--max-regression R] [--ignore-smoke-mismatch]\n");
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || fresh_path.empty()) {
+    std::fprintf(stderr, "perf_report: --baseline and --fresh are required\n");
+    return 2;
+  }
+
+  try {
+    const stob::bench::BenchSnapshot baseline = stob::bench::load_snapshot(baseline_path);
+    const stob::bench::BenchSnapshot fresh = stob::bench::load_snapshot(fresh_path);
+
+    std::printf("baseline %s (git %s, %s)  vs  fresh %s (git %s, %s)\n\n",
+                baseline_path.c_str(), baseline.git_rev.c_str(),
+                baseline.smoke ? "smoke" : "full", fresh_path.c_str(), fresh.git_rev.c_str(),
+                fresh.smoke ? "smoke" : "full");
+    std::printf("%-28s %14s %14s %9s\n", "benchmark", "baseline ev/s", "fresh ev/s", "speedup");
+    for (const stob::bench::Comparison& c : stob::bench::compare(baseline, fresh)) {
+      if (c.fresh_eps > 0.0) {
+        std::printf("%-28s %14.0f %14.0f %8.2fx\n", c.name.c_str(), c.baseline_eps,
+                    c.fresh_eps, c.ratio);
+      } else {
+        std::printf("%-28s %14.0f %14s %9s\n", c.name.c_str(), c.baseline_eps, "MISSING", "-");
+      }
+    }
+
+    const stob::bench::GateResult result = stob::bench::gate(baseline, fresh, opts);
+    std::printf("\n");
+    if (result.ratios_skipped) {
+      std::printf("note: smoke flags differ; throughput gate skipped (coverage gate only)\n");
+    }
+    for (const std::string& name : result.missing) {
+      std::printf("FAIL %s: present in baseline, missing from fresh run\n", name.c_str());
+    }
+    for (const stob::bench::Comparison& c : result.regressions) {
+      std::printf("FAIL %s: %.2fx of baseline (threshold %.2fx)\n", c.name.c_str(), c.ratio,
+                  1.0 - opts.max_regression);
+    }
+    if (result.ok) {
+      std::printf("perf gate OK (%zu benchmarks, max regression %.0f%%)\n",
+                  baseline.entries.size(), opts.max_regression * 100.0);
+      return 0;
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_report: %s\n", e.what());
+    return 2;
+  }
+}

@@ -10,13 +10,19 @@
 //
 // Usage:
 //   perf_suite [--smoke] [--out BENCH_5.json] [--baseline OLD.json]
-//              [--filter substr] [--jobs N]
+//              [--filter substr] [--jobs N] [--emit-manifest]
 //
 //   --smoke      tiny problem sizes (CI smoke job; numbers are not
 //                comparable to full runs and are marked "smoke": true)
 //   --baseline   embed a previous run's JSON verbatim under "baseline" and
 //                report events/sec speedups for benchmarks both runs share
 //   --jobs N     worker count for the _jN grid benchmark (default: hardware)
+//   --emit-manifest  install the span profiler for the whole run and write
+//                run_manifest.json + trace_events.json beside --out. The
+//                profiler adds (small) overhead inside the experiment
+//                engine, so committed BENCH_*.json snapshots are produced
+//                WITHOUT this flag; manifests are for inspecting where a
+//                perf run's time went, not for the trajectory numbers.
 //
 // Output schema, one object per benchmark:
 //   { "name":, "wall_ms":, "cpu_ms":, "events":, "events_per_sec":,
@@ -32,6 +38,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <new>
 #include <sstream>
@@ -41,6 +48,8 @@
 
 #include "defenses/trace_defense.hpp"
 #include "exp/experiment.hpp"
+#include "obs/manifest.hpp"
+#include "obs/prof.hpp"
 #include "exp/worker_pool.hpp"
 #include "fault/fault.hpp"
 #include "net/packet.hpp"
@@ -118,6 +127,7 @@ double cpu_now_ms() {
 /// wall time and alloc count.
 template <typename Body>
 BenchResult run_bench(const std::string& name, int iters, Body&& body) {
+  obs::ProfSpan span(name);  // no-op unless --emit-manifest installed a profiler
   BenchResult r;
   r.name = name;
   r.iters = iters;
@@ -399,21 +409,6 @@ std::uint64_t grid_table2(std::size_t sites, std::size_t samples, std::size_t fo
 
 // ------------------------------------------------------------- reporting
 
-std::string git_rev() {
-  if (const char* env = std::getenv("STOB_GIT_REV")) return env;
-  std::string rev = "unknown";
-  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
-    char buf[64] = {0};
-    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
-      rev.assign(buf);
-      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) rev.pop_back();
-      if (rev.empty()) rev = "unknown";
-    }
-    pclose(p);
-  }
-  return rev;
-}
-
 /// Extract "events_per_sec" for benchmark `name` from a previous run's JSON
 /// (our own emitter's formatting; not a general JSON parser).
 double baseline_events_per_sec(const std::string& json, const std::string& name) {
@@ -431,7 +426,7 @@ void write_json(const std::string& path, const std::vector<BenchResult>& results
   std::ostringstream out;
   out << "{\n";
   out << "  \"schema\": \"stob-bench-v1\",\n";
-  out << "  \"git_rev\": \"" << git_rev() << "\",\n";
+  out << "  \"git_rev\": \"" << obs::git_rev() << "\",\n";
   out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   out << "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -464,13 +459,14 @@ void write_json(const std::string& path, const std::vector<BenchResult>& results
     std::exit(1);
   }
   f << out.str();
-  std::printf("\nwrote %s (git %s)\n", path.c_str(), git_rev().c_str());
+  std::printf("\nwrote %s (git %s)\n", path.c_str(), obs::git_rev().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool emit_manifest = false;
   std::string out_path = "BENCH_5.json";
   std::string baseline_path;
   std::string filter;
@@ -487,10 +483,12 @@ int main(int argc, char** argv) {
       filter = argv[++i];
     } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
       jobs_n = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(a, "--emit-manifest") == 0) {
+      emit_manifest = true;
     } else {
       std::fprintf(stderr,
                    "usage: perf_suite [--smoke] [--out F] [--baseline F] [--filter S] "
-                   "[--jobs N]\n");
+                   "[--jobs N] [--emit-manifest]\n");
       return 2;
     }
   }
@@ -504,6 +502,9 @@ int main(int argc, char** argv) {
   const int page_repeats = smoke ? 1 : 5;
   const std::size_t grid_sites = smoke ? 1 : 3;
   const std::size_t grid_samples = smoke ? 1 : 4;
+
+  stob::obs::Profiler prof;
+  if (emit_manifest) stob::obs::install_profiler(&prof);
 
   std::vector<BenchResult> results;
   auto want = [&](const char* name) {
@@ -598,5 +599,23 @@ int main(int argc, char** argv) {
   }
 
   write_json(out_path, results, smoke, baseline_json);
+
+  if (emit_manifest) {
+    stob::obs::install_profiler(nullptr);
+    // Manifest + timeline land beside the snapshot: BENCH_x.json ->
+    // run_manifest.json / trace_events.json in the same directory.
+    const std::filesystem::path out_dir = std::filesystem::path(out_path).parent_path();
+    stob::obs::RunManifest m =
+        stob::obs::build_manifest("perf_suite", prof, nullptr, jobs_n, 0);
+    m.set_config("smoke", smoke ? "true" : "false");
+    m.set_config("filter", filter);
+    m.set_config("out", out_path);
+    const std::filesystem::path manifest_path = out_dir / "run_manifest.json";
+    const std::filesystem::path trace_path = out_dir / "trace_events.json";
+    m.write(manifest_path);
+    stob::obs::write_trace_event(trace_path, prof.records(), "perf_suite");
+    std::printf("wrote %s and %s\n", manifest_path.string().c_str(),
+                trace_path.string().c_str());
+  }
   return 0;
 }

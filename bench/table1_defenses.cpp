@@ -15,17 +15,22 @@
 // (site x sample) job grid and each defense's overhead + k-FP evaluation is
 // one job, so output is byte-identical for any --jobs value.
 //
-// Flags: --jobs N (default hardware concurrency), --check-determinism.
+// Flags: --jobs N (default hardware concurrency), --check-determinism,
+// --manifest PATH / --trace-events PATH (either turns the span profiler on
+// and exports a run manifest / Chrome trace_event timeline).
 // Environment knobs: STOB_SAMPLES (default 24), STOB_TREES (default 60),
 // STOB_FOLDS (default 3), STOB_SEED, STOB_JOBS.
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "defenses/baselines.hpp"
 #include "exp/experiment.hpp"
 #include "exp/worker_pool.hpp"
+#include "obs/manifest.hpp"
+#include "obs/prof.hpp"
 #include "wf/kfp.hpp"
 #include "workload/page_load.hpp"
 
@@ -54,6 +59,10 @@ int main(int argc, char** argv) {
   const exp::Cli cli = exp::parse_cli(argc, argv);
   const std::size_t jobs = cli.jobs == 0 ? exp::default_jobs() : cli.jobs;
 
+  obs::Profiler prof;
+  std::optional<obs::ScopedProfiler> prof_guard;
+  if (cli.profile()) prof_guard.emplace(prof);
+
   std::printf("=== Table 1: WF defense summary with measured overheads ===\n");
   // Worker count goes to stderr: stdout must be byte-identical for any
   // --jobs value (the determinism contract the engine provides).
@@ -68,8 +77,10 @@ int main(int argc, char** argv) {
   exp::RunOptions run;
   run.jobs = jobs;
   run.check_determinism = cli.check_determinism;
-  const wf::Dataset data =
-      exp::to_dataset(exp::run_grid(grid, run)).sanitized_by_download_size(0.75);
+  const wf::Dataset data = [&] {
+    obs::ProfSpan span("collect");
+    return exp::to_dataset(exp::run_grid(grid, run)).sanitized_by_download_size(0.75);
+  }();
 
   wf::KFingerprint::Config kfp_cfg;
   kfp_cfg.forest.num_trees = trees;
@@ -77,7 +88,9 @@ int main(int argc, char** argv) {
   // One evaluation job per defense (index 0 = undefended baseline); each is
   // seeded exactly as the serial loop was, so the numbers match any --jobs.
   const std::vector<std::unique_ptr<defenses::TraceDefense>> all = defenses::all_defenses();
-  const std::vector<DefenseRow> rows = exp::run_ordered<DefenseRow>(
+  const std::vector<DefenseRow> rows = [&] {
+    obs::ProfSpan span("evaluate");
+    return exp::run_ordered<DefenseRow>(
       all.size() + 1, jobs, [&](std::size_t i) {
         DefenseRow row;
         if (i == 0) {
@@ -98,6 +111,7 @@ int main(int argc, char** argv) {
         row.eval = wf::cross_validate(defended, kfp_cfg, folds, seed);
         return row;
       });
+  }();
 
   std::printf("%-12s %-6s %-15s %-24s %9s %9s %10s\n", "Defense", "Target", "Strategy",
               "Manipulation", "BW-ovh", "Lat-ovh", "kFP-acc");
@@ -114,5 +128,22 @@ int main(int argc, char** argv) {
   std::printf("\nReference points from the literature: FRONT ~80%% bandwidth overhead,\n");
   std::printf("QCSD-style padding ~309%%; timing-only defenses cost 0%% bandwidth (the\n");
   std::printf("paper's case for stack-level timing/sizing control instead of padding).\n");
+
+  if (cli.profile()) {
+    prof_guard.reset();  // all spans closed; stop recording before export
+    if (!cli.manifest_path.empty()) {
+      obs::RunManifest m = obs::build_manifest("table1_defenses", prof, nullptr, jobs, seed);
+      m.set_config("samples", std::to_string(samples));
+      m.set_config("trees", std::to_string(trees));
+      m.set_config("folds", std::to_string(folds));
+      m.set_config("defenses", std::to_string(all.size() + 1));
+      m.write(cli.manifest_path);
+      std::fprintf(stderr, "table1_defenses: wrote %s\n", cli.manifest_path.c_str());
+    }
+    if (!cli.trace_events_path.empty()) {
+      obs::write_trace_event(cli.trace_events_path, prof.records(), "table1_defenses");
+      std::fprintf(stderr, "table1_defenses: wrote %s\n", cli.trace_events_path.c_str());
+    }
+  }
   return 0;
 }

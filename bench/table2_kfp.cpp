@@ -13,17 +13,25 @@
 //  4. evaluate k-FP with stratified cross-validation — one parallel job per
 //     (scope, countermeasure) cell; report mean +- std.
 //
-// Flags: --jobs N (default hardware concurrency), --check-determinism.
+// Flags: --jobs N (default hardware concurrency), --check-determinism,
+// --manifest PATH (run_manifest.json), --trace-events PATH (Chrome
+// trace_event JSON; either output flag turns the span profiler on).
+// --check-determinism additionally re-runs the attack stage under fresh
+// profilers at two worker counts and asserts the run manifests are
+// identical minus timing (deterministic_json).
 // Environment knobs: STOB_SAMPLES (default 100), STOB_FOLDS (default 5),
 // STOB_TREES (default 100), STOB_SEED, STOB_JOBS.
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "defenses/trace_defense.hpp"
 #include "exp/experiment.hpp"
 #include "exp/worker_pool.hpp"
+#include "obs/manifest.hpp"
+#include "obs/prof.hpp"
 #include "wf/features.hpp"
 #include "wf/kfp.hpp"
 #include "workload/page_load.hpp"
@@ -53,6 +61,17 @@ int main(int argc, char** argv) {
   const exp::Cli cli = exp::parse_cli(argc, argv);
   const std::size_t jobs = cli.jobs == 0 ? exp::default_jobs() : cli.jobs;
 
+  obs::Profiler prof;
+  std::optional<obs::ScopedProfiler> prof_guard;
+  if (cli.profile()) prof_guard.emplace(prof);
+  const auto stamp_config = [&](obs::RunManifest& m) {
+    m.set_config("samples", std::to_string(samples));
+    m.set_config("folds", std::to_string(folds));
+    m.set_config("trees", std::to_string(trees));
+    m.set_config("scopes", "15,30,45,all");
+    m.set_config("variants", "Original,Split,Delayed,Combined");
+  };
+
   std::printf("=== Table 2: k-FP Random Forest accuracy (closed world, 9 sites) ===\n");
   // Worker count goes to stderr: stdout must be byte-identical for any
   // --jobs value (the determinism contract the engine provides).
@@ -69,21 +88,26 @@ int main(int argc, char** argv) {
   run.jobs = jobs;
   run.check_determinism = cli.check_determinism;
   std::fflush(stdout);
-  const wf::Dataset raw = exp::to_dataset(exp::run_grid(grid, run));
+  const wf::Dataset raw = [&] {
+    obs::ProfSpan span("collect");
+    return exp::to_dataset(exp::run_grid(grid, run));
+  }();
   std::printf("collected %zu traces\n", raw.size());
 
   // 2. Sanitise (IQR fence on download size) and balance, as in the paper
   //    (they kept 74 of 100 samples per site).
-  const wf::Dataset clean = raw.sanitized_by_download_size(0.75);
-  std::size_t min_per_class = clean.size();
-  {
+  std::size_t min_per_class = 0;
+  const wf::Dataset data = [&] {
+    obs::ProfSpan span("sanitize");
+    const wf::Dataset clean = raw.sanitized_by_download_size(0.75);
+    min_per_class = clean.size();
     std::vector<std::size_t> per_class(clean.num_classes(), 0);
     for (std::size_t i = 0; i < clean.size(); ++i) {
       per_class[static_cast<std::size_t>(clean.label(i))] += 1;
     }
     for (std::size_t c : per_class) min_per_class = std::min(min_per_class, c);
-  }
-  const wf::Dataset data = clean.balanced(min_per_class);
+    return clean.balanced(min_per_class);
+  }();
   std::printf("sanitised to %zu traces (%zu per site)\n\n", data.size(), min_per_class);
 
   // 3. The four countermeasure variants of §3.
@@ -113,16 +137,33 @@ int main(int argc, char** argv) {
     return wf::cross_validate(defended, kfp_cfg, folds, seed);
   };
   const std::size_t cell_count = scopes.size() * variants.size();
-  const std::vector<wf::EvalResult> cells =
-      exp::run_ordered<wf::EvalResult>(cell_count, jobs, eval_cell);
+  const std::vector<wf::EvalResult> cells = [&] {
+    obs::ProfSpan span("attack");
+    return exp::run_ordered<wf::EvalResult>(cell_count, jobs, eval_cell);
+  }();
 
   // --check-determinism also covers the attack stage: re-run every cell at a
   // different worker count and demand identical EvalResults (fold accuracies,
-  // confusion matrices, everything).
+  // confusion matrices, everything) — and, with the profiler on, identical
+  // run manifests minus timing (span structure, metrics digest, cell-spec
+  // digest; jobs and wall/CPU are excluded by deterministic_json).
   if (cli.check_determinism) {
     const std::size_t other_jobs = jobs == 1 ? 2 : 1;
-    const std::vector<wf::EvalResult> again =
-        exp::run_ordered<wf::EvalResult>(cell_count, other_jobs, eval_cell);
+    std::vector<wf::EvalResult> again;
+    const auto attack_manifest = [&](std::size_t j, std::vector<wf::EvalResult>* out) {
+      obs::Profiler p;  // same (default) id domain both runs -> same span ids
+      {
+        obs::ScopedProfiler guard(p);
+        obs::ProfSpan span("attack");
+        std::vector<wf::EvalResult> r = exp::run_ordered<wf::EvalResult>(cell_count, j, eval_cell);
+        if (out != nullptr) *out = std::move(r);
+      }
+      obs::RunManifest m = obs::build_manifest("table2_kfp", p, nullptr, j, seed);
+      stamp_config(m);
+      return m.deterministic_json();
+    };
+    const std::string manifest_a = attack_manifest(jobs, nullptr);
+    const std::string manifest_b = attack_manifest(other_jobs, &again);
     for (std::size_t cell = 0; cell < cell_count; ++cell) {
       if (cells[cell] != again[cell]) {
         std::fprintf(stderr,
@@ -132,8 +173,15 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    std::fprintf(stderr, "table2_kfp: attack stage identical at jobs=%zu and jobs=%zu\n", jobs,
-                 other_jobs);
+    if (manifest_a != manifest_b) {
+      std::fprintf(stderr,
+                   "table2_kfp: manifest determinism violation (jobs=%zu vs jobs=%zu)\n", jobs,
+                   other_jobs);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "table2_kfp: attack stage and manifest identical at jobs=%zu and jobs=%zu\n",
+                 jobs, other_jobs);
   }
 
   std::printf("%-5s", "N");
@@ -154,5 +202,19 @@ int main(int argc, char** argv) {
   std::printf("30    0.884 +- 0.007    0.860 +- 0.013    0.855 +- 0.030    0.850 +- 0.062\n");
   std::printf("45    0.938 +- 0.016    0.897 +- 0.030    0.913 +- 0.021    0.904 +- 0.004\n");
   std::printf("All   0.963 +- 0.002    0.980 +- 0.008    0.980 +- 0.014    0.992 +- 0.009\n");
+
+  if (cli.profile()) {
+    prof_guard.reset();  // all spans closed; stop recording before export
+    if (!cli.manifest_path.empty()) {
+      obs::RunManifest m = obs::build_manifest("table2_kfp", prof, nullptr, jobs, seed);
+      stamp_config(m);
+      m.write(cli.manifest_path);
+      std::fprintf(stderr, "table2_kfp: wrote %s\n", cli.manifest_path.c_str());
+    }
+    if (!cli.trace_events_path.empty()) {
+      obs::write_trace_event(cli.trace_events_path, prof.records(), "table2_kfp");
+      std::fprintf(stderr, "table2_kfp: wrote %s\n", cli.trace_events_path.c_str());
+    }
+  }
   return 0;
 }

@@ -9,14 +9,22 @@
 //     NIC -> wire sequences, and emit the layer-diff report: how much each
 //     layer distorted the sequence above it (the paper's enforcement gap).
 //
+//  4. Re-run the same page load under the span profiler (obs::ProfSpan):
+//     phase wall/CPU timings, a run manifest, and a Chrome trace_event
+//     timeline loadable in Perfetto / chrome://tracing.
+//
 // Build & run:   ./build/examples/observability
 // Artifacts:     observability_events.jsonl (full event trace)
 //                observability_report.csv   (per-layer gap report)
+//                observability_manifest.json (run manifest)
+//                observability_trace.json    (trace_event timeline)
 #include <cstdio>
 
 #include "core/policies.hpp"
 #include "obs/layer_diff.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace_recorder.hpp"
 #include "workload/page_load.hpp"
 #include "workload/website.hpp"
@@ -74,5 +82,29 @@ int main() {
       "the EDT pacing the delay policy injected; qdisc>nic splitting is TSO\n"
       "re-segmentation after the split policy halved the wire MSS. A defense\n"
       "evaluated at a layer above the gap never saw these distortions.\n");
+
+  // --- 5. The same load, self-profiled -------------------------------------
+  // ProfSpan costs one thread-local load when no profiler is installed, so
+  // library code (page_load, the experiment engine, k-FP) is instrumented
+  // unconditionally; installing obs::Profiler turns the spans on.
+  obs::Profiler prof;
+  {
+    obs::ScopedProfiler prof_guard(prof);
+    obs::ProfSpan run_span("example.run");
+    Rng rng2(42);
+    for (int i = 0; i < 3; ++i) {
+      obs::ProfSpan span("example.page_load");
+      (void)workload::run_page_load(site, rng2, opt);
+    }
+  }
+  obs::RunManifest manifest = obs::build_manifest("observability_example", prof,
+                                                  &metrics, /*jobs=*/1, /*base_seed=*/42);
+  manifest.set_config("site", site.name);
+  manifest.set_config("repeats", "3");
+  manifest.write("observability_manifest.json");
+  obs::write_trace_event("observability_trace.json", prof.records(), "observability_example");
+  std::printf("\nprofiled %zu spans; wrote observability_manifest.json and\n"
+              "observability_trace.json (open in Perfetto / chrome://tracing)\n",
+              prof.records().size());
   return 0;
 }

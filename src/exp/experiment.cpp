@@ -9,6 +9,7 @@
 #include "fault/invariants.hpp"
 #include "net/packet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "util/log.hpp"
 
 namespace stob::exp {
@@ -73,7 +74,10 @@ JobResult run_job(const ExperimentGrid& grid, const JobSpec& spec, const RunOpti
   if (opts.trace_capacity > 0) scoped_recorder.emplace(recorder);
   if (opts.check_invariants) scoped_listener.emplace(checker);
 
-  workload::PageLoadResult loaded = workload::run_page_load(grid.sites[spec.site], rng, page);
+  workload::PageLoadResult loaded = [&] {
+    obs::ProfSpan span("page_load");
+    return workload::run_page_load(grid.sites[spec.site], rng, page);
+  }();
 
   JobResult result;
   result.spec = spec;
@@ -85,7 +89,10 @@ JobResult run_job(const ExperimentGrid& grid, const JobSpec& spec, const RunOpti
   result.sim_events = loaded.sim_events;
   if (!grid.defenses.empty()) {
     const DefenseAxis& axis = grid.defenses[spec.defense];
-    if (axis.defense != nullptr) result.trace = axis.defense->apply(result.trace, rng);
+    if (axis.defense != nullptr) {
+      obs::ProfSpan span("defense");
+      result.trace = axis.defense->apply(result.trace, rng);
+    }
   }
   if (opts.collect_metrics) result.metrics = registry.snapshot();
   if (opts.trace_capacity > 0) result.events = recorder.events();
@@ -102,8 +109,12 @@ std::vector<JobResult> run_grid(const ExperimentGrid& grid, const RunOptions& op
     return run_ordered<JobResult>(grid.job_count(), threads,
                                   [&](std::size_t i) { return run_job(grid, grid.job(i), opts); });
   };
-  std::vector<JobResult> results = run_with(opts.jobs);
+  std::vector<JobResult> results = [&] {
+    obs::ProfSpan span("grid.run");
+    return run_with(opts.jobs);
+  }();
   if (opts.check_determinism) {
+    obs::ProfSpan span("grid.verify");
     const std::vector<JobResult> serial = run_with(1);
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (!results_identical(results[i], serial[i])) {
@@ -147,6 +158,14 @@ Cli parse_cli(int argc, char** argv) {
       cli.jobs = static_cast<std::size_t>(std::atoll(arg + 7));
     } else if (std::strcmp(arg, "--check-determinism") == 0) {
       cli.check_determinism = true;
+    } else if (std::strcmp(arg, "--manifest") == 0 && i + 1 < argc) {
+      cli.manifest_path = argv[++i];
+    } else if (std::strncmp(arg, "--manifest=", 11) == 0) {
+      cli.manifest_path = arg + 11;
+    } else if (std::strcmp(arg, "--trace-events") == 0 && i + 1 < argc) {
+      cli.trace_events_path = argv[++i];
+    } else if (std::strncmp(arg, "--trace-events=", 15) == 0) {
+      cli.trace_events_path = arg + 15;
     } else {
       STOB_WARN("exp") << "ignoring unknown flag " << arg;
     }

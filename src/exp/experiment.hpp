@@ -138,10 +138,17 @@ wf::Dataset to_dataset(const std::vector<JobResult>& results);
 // ------------------------------------------------------------------- CLI
 
 /// Flags shared by the bench harnesses: --jobs N (or STOB_JOBS; default
-/// hardware concurrency) and --check-determinism.
+/// hardware concurrency), --check-determinism, and the observability
+/// outputs --manifest PATH (run_manifest.json) / --trace-events PATH
+/// (Chrome trace_event JSON). Either output flag implies profiling: the
+/// driver installs an obs::Profiler for the run.
 struct Cli {
   std::size_t jobs = 0;
   bool check_determinism = false;
+  std::string manifest_path;      ///< empty = no manifest
+  std::string trace_events_path;  ///< empty = no trace_event export
+
+  bool profile() const { return !manifest_path.empty() || !trace_events_path.empty(); }
 };
 
 Cli parse_cli(int argc, char** argv);

@@ -7,4 +7,63 @@ std::size_t default_jobs() {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+namespace detail {
+
+void reduce_profiles(std::vector<JobProfile>& jobs, obs::Profiler& prof,
+                     obs::MetricsRegistry* caller_metrics, std::size_t threads,
+                     std::int64_t pool_start_ns, std::int64_t pool_end_ns) {
+  constexpr double kNsPerMs = 1e6;
+  obs::MetricsRegistry& h = prof.harness();
+  // Busy time per worker lane; lane 0 is the caller thread (serial path),
+  // lanes 1..threads are pool workers.
+  std::vector<double> busy_ms(threads + 1, 0.0);
+  std::size_t ran = 0;
+  double max_end_ms = 0.0;
+  double second_end_ms = 0.0;
+  // Index order throughout: span splicing, metrics merging, and the harness
+  // distributions all reduce over jobs[0..n) in the same order on every
+  // run, so everything derived here except the measured values themselves
+  // is reproducible across worker counts.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    JobProfile& j = jobs[i];
+    if (!j.ran) continue;  // abandoned after a sibling threw
+    ++ran;
+    prof.splice(std::move(j.records), j.start_ns, j.worker);
+    if (caller_metrics != nullptr) caller_metrics->merge(j.metrics);
+    const double wait_ms = static_cast<double>(j.start_ns - pool_start_ns) / kNsPerMs;
+    const double run_ms = static_cast<double>(j.end_ns - j.start_ns) / kNsPerMs;
+    const double end_ms = static_cast<double>(j.end_ns - pool_start_ns) / kNsPerMs;
+    h.observe("exp.pool.queue_wait_ms", wait_ms);
+    h.observe("exp.pool.run_ms", run_ms);
+    h.observe("exp.pool.drain_ms", static_cast<double>(pool_end_ns - j.end_ns) / kNsPerMs);
+    if (j.worker < busy_ms.size()) busy_ms[j.worker] += run_ms;
+    if (end_ms > max_end_ms) {
+      second_end_ms = max_end_ms;
+      max_end_ms = end_ms;
+    } else if (end_ms > second_end_ms) {
+      second_end_ms = end_ms;
+    }
+  }
+  double total_busy_ms = 0.0;
+  for (double b : busy_ms) {
+    if (b > 0.0) h.observe("exp.pool.worker_busy_ms", b);
+    total_busy_ms += b;
+  }
+  const double pool_wall_ms = static_cast<double>(pool_end_ns - pool_start_ns) / kNsPerMs;
+  h.set("exp.pool.workers", static_cast<double>(threads));
+  h.add("exp.pool.jobs", ran);
+  if (pool_wall_ms > 0.0 && threads > 0) {
+    // Utilization: fraction of available worker-time spent inside jobs.
+    h.set("exp.pool.utilization",
+          total_busy_ms / (pool_wall_ms * static_cast<double>(threads)));
+    // Straggler ratio: the tail between the last and second-to-last job
+    // finishing, as a fraction of pool wall time — near 0 is a balanced
+    // finish, near 1 means one job dominated the end of the run.
+    h.set("exp.pool.straggler_ratio",
+          ran > 1 ? (max_end_ms - second_end_ms) / pool_wall_ms : 0.0);
+  }
+}
+
+}  // namespace detail
+
 }  // namespace stob::exp

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "sim/simulator.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace stob::obs {
 
@@ -78,6 +79,28 @@ const MetricsRegistry::Distribution* MetricsRegistry::distribution(std::string_v
   return it == dists_.end() ? nullptr : &it->second;
 }
 
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) add(name, v);
+  for (const auto& [name, v] : other.gauges_) set(name, v);
+  for (const auto& [name, od] : other.dists_) {
+    auto it = dists_.find(name);
+    if (it == dists_.end()) {
+      dists_.emplace(name, od);
+      continue;
+    }
+    Distribution& d = it->second;
+    if (od.welford.count() > 0) {
+      d.min = d.welford.count() == 0 ? od.min : std::min(d.min, od.min);
+      d.max = d.welford.count() == 0 ? od.max : std::max(d.max, od.max);
+    }
+    d.welford.merge(od.welford);
+    for (double v : od.reservoir) {
+      if (d.reservoir.size() >= kReservoirCap) break;
+      d.reservoir.push_back(v);
+    }
+  }
+}
+
 void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();
@@ -124,6 +147,16 @@ void scrape_simulator(const sim::Simulator& sim, MetricsRegistry& m) {
   m.set("sim.events_executed", static_cast<double>(sim.executed()));
   m.set("sim.events_pending", static_cast<double>(sim.pending()));
   m.set("sim.events_cancelled", static_cast<double>(sim.cancelled()));
+  m.set("sim.heap_high_water", static_cast<double>(sim.heap_high_water()));
+}
+
+void scrape_pool(MetricsRegistry& m) {
+  const mem::PoolStats s = mem::pool_stats();
+  m.set("mem.pool_hits", static_cast<double>(s.hits));
+  m.set("mem.pool_misses", static_cast<double>(s.misses));
+  m.set("mem.pool_spills", static_cast<double>(s.spills));
+  m.set("mem.pool_cached", static_cast<double>(s.cached));
+  m.set("mem.pool_outstanding", static_cast<double>(s.outstanding));
 }
 
 }  // namespace stob::obs

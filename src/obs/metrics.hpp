@@ -67,6 +67,14 @@ class MetricsRegistry {
   double gauge(std::string_view name) const;           ///< 0 when absent
   const Distribution* distribution(std::string_view name) const;  ///< nullptr when absent
 
+  /// Fold another registry in: counters add, gauges last-write (the other
+  /// registry's value wins), distributions Welford-merge with min/max and
+  /// the sample reservoir appended up to kReservoirCap. Merging per-worker
+  /// (really per-job) registries in job-index order yields one run-level
+  /// snapshot that is deterministic for any worker count — the experiment
+  /// engine's profiled pool does exactly that.
+  void merge(const MetricsRegistry& other);
+
   bool empty() const { return counters_.empty() && gauges_.empty() && dists_.empty(); }
   void clear();
 
@@ -83,9 +91,18 @@ class MetricsRegistry {
   std::map<std::string, Distribution, std::less<>> dists_;
 };
 
-/// Copy a simulator's internals (events executed / pending / cancelled) into
-/// gauges — call at the end of a run, or periodically from a scheduled probe.
+/// Copy a simulator's internals (events executed / pending / cancelled,
+/// event-heap high-water mark) into gauges — call at the end of a run, or
+/// periodically from a scheduled probe. All values are deterministic for a
+/// deterministic simulation, so per-job snapshots stay --jobs-invariant.
 void scrape_simulator(const sim::Simulator& sim, MetricsRegistry& m);
+
+/// Copy the calling thread's util/buffer_pool counters (hits / misses /
+/// spills / cached / outstanding) into gauges. Freelist warmth depends on
+/// what ran earlier on the thread, so these are *not* deterministic across
+/// worker counts — scrape into a harness registry (Profiler::harness()),
+/// never into a per-job registry that determinism checks compare.
+void scrape_pool(MetricsRegistry& m);
 
 // ---------------------------------------------------------------- install
 

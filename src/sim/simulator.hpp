@@ -75,6 +75,7 @@ class Simulator {
     }
     const Slot slot{when.ns(), (next_seq_++ << kNodeBits) | node};
     heap_.push_back(slot);  // placeholder; sift_up assigns the final position
+    if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
     sift_up(heap_.size() - 1, slot);
     return EventId(node + 1, meta_[node].gen);
   }
@@ -143,6 +144,12 @@ class Simulator {
   /// transport timers rearmed before firing). Counts only events that were
   /// actually pending when cancelled.
   std::uint64_t cancelled() const { return cancelled_total_; }
+
+  /// Largest number of simultaneously pending events ever reached — the
+  /// run's event-memory footprint (nodes, like freed pool chunks, are never
+  /// returned to the allocator). Deterministic for a deterministic run;
+  /// obs::scrape_simulator exports it so manifests capture it per job.
+  std::size_t heap_high_water() const { return heap_high_water_; }
 
  private:
   static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
@@ -270,6 +277,7 @@ class Simulator {
   }
 
   TimePoint now_;
+  std::size_t heap_high_water_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_total_ = 0;

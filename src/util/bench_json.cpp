@@ -1,0 +1,128 @@
+#include "util/bench_json.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stob::bench {
+
+namespace {
+
+/// Value of a `"key": <scalar>` pair inside json[at..limit), or npos.
+std::size_t find_key(std::string_view json, std::string_view key, std::size_t at,
+                     std::size_t limit) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t k = json.find(needle, at);
+  if (k == std::string_view::npos || k >= limit) return std::string_view::npos;
+  std::size_t v = k + needle.size();
+  while (v < limit && (json[v] == ' ' || json[v] == '\t')) ++v;
+  return v < limit ? v : std::string_view::npos;
+}
+
+double number_at(std::string_view json, std::size_t at) {
+  return at == std::string_view::npos ? 0.0 : std::atof(json.data() + at);
+}
+
+std::string string_at(std::string_view json, std::size_t at) {
+  if (at == std::string_view::npos || at >= json.size() || json[at] != '"') return "";
+  const std::size_t end = json.find('"', at + 1);
+  if (end == std::string_view::npos) return "";
+  return std::string(json.substr(at + 1, end - at - 1));
+}
+
+bool is_synthetic(std::string_view name) {
+  return name.find(".speedup_vs_baseline") != std::string_view::npos;
+}
+
+}  // namespace
+
+const BenchEntry* BenchSnapshot::find(std::string_view name) const {
+  for (const BenchEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+BenchSnapshot parse_snapshot(std::string_view json) {
+  BenchSnapshot snap;
+  // A snapshot embedding a baseline holds two complete snapshots; only the
+  // outer one is ours, so everything past the "baseline" key is off limits.
+  std::size_t limit = json.find("\"baseline\":");
+  if (limit == std::string_view::npos) limit = json.size();
+
+  snap.git_rev = string_at(json, find_key(json, "git_rev", 0, limit));
+  const std::size_t smoke_at = find_key(json, "smoke", 0, limit);
+  snap.smoke = smoke_at != std::string_view::npos && json.compare(smoke_at, 4, "true") == 0;
+
+  const std::size_t arr = json.find("\"benchmarks\":");
+  if (arr == std::string_view::npos || arr >= limit) {
+    throw std::runtime_error("bench_json: no \"benchmarks\" array (not a stob-bench-v1 file?)");
+  }
+
+  // Entries are one object each; walk "name" keys and read the scalar
+  // fields up to the next entry (or the array's end).
+  std::size_t at = find_key(json, "name", arr, limit);
+  while (at != std::string_view::npos) {
+    const std::size_t next = find_key(json, "name", at, limit);
+    const std::size_t entry_limit = next == std::string_view::npos ? limit : next;
+    BenchEntry e;
+    e.name = string_at(json, at);
+    e.wall_ms = number_at(json, find_key(json, "wall_ms", at, entry_limit));
+    e.cpu_ms = number_at(json, find_key(json, "cpu_ms", at, entry_limit));
+    e.events = static_cast<std::uint64_t>(
+        number_at(json, find_key(json, "events", at, entry_limit)));
+    e.events_per_sec = number_at(json, find_key(json, "events_per_sec", at, entry_limit));
+    e.allocs = static_cast<std::uint64_t>(
+        number_at(json, find_key(json, "allocs", at, entry_limit)));
+    e.iters = static_cast<int>(number_at(json, find_key(json, "iters", at, entry_limit)));
+    if (!e.name.empty() && !is_synthetic(e.name)) snap.entries.push_back(std::move(e));
+    at = next;
+  }
+  return snap;
+}
+
+BenchSnapshot load_snapshot(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("bench_json: cannot read " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_snapshot(ss.str());
+}
+
+std::vector<Comparison> compare(const BenchSnapshot& baseline, const BenchSnapshot& fresh) {
+  std::vector<Comparison> out;
+  out.reserve(baseline.entries.size());
+  for (const BenchEntry& b : baseline.entries) {
+    Comparison c;
+    c.name = b.name;
+    c.baseline_eps = b.events_per_sec;
+    if (const BenchEntry* f = fresh.find(b.name)) c.fresh_eps = f->events_per_sec;
+    c.ratio = c.baseline_eps > 0.0 ? c.fresh_eps / c.baseline_eps : 0.0;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+GateResult gate(const BenchSnapshot& baseline, const BenchSnapshot& fresh,
+                const GateOptions& opts) {
+  GateResult r;
+  r.ratios_skipped = baseline.smoke != fresh.smoke && !opts.ignore_smoke_mismatch;
+  for (const Comparison& c : compare(baseline, fresh)) {
+    if (fresh.find(c.name) == nullptr) {
+      // Coverage gate: a benchmark silently dropped from the suite would
+      // otherwise let its regressions go unmeasured forever.
+      r.missing.push_back(c.name);
+      r.ok = false;
+      continue;
+    }
+    if (r.ratios_skipped || c.baseline_eps <= 0.0) continue;
+    if (c.ratio < 1.0 - opts.max_regression) {
+      r.regressions.push_back(c);
+      r.ok = false;
+    }
+  }
+  return r;
+}
+
+}  // namespace stob::bench

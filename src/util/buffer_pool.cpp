@@ -86,6 +86,7 @@ void pool_free(void* p, std::size_t bytes) noexcept {
     ++pool.stats.cached;
     return;
   }
+  ++pool.stats.spills;
   ::operator delete(p, std::align_val_t(alignof(std::max_align_t)));
 }
 

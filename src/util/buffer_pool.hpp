@@ -30,6 +30,8 @@ void pool_free(void* p, std::size_t bytes) noexcept;
 struct PoolStats {
   std::uint64_t hits = 0;         ///< allocs served from a freelist
   std::uint64_t misses = 0;       ///< allocs that hit the global allocator
+  std::uint64_t spills = 0;       ///< frees released for real (bucket full
+                                  ///< or buffer above the largest bucket)
   std::uint64_t outstanding = 0;  ///< live pool_alloc'd buffers
   std::uint64_t cached = 0;       ///< buffers currently parked in freelists
 };

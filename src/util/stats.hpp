@@ -42,6 +42,11 @@ std::vector<std::size_t> iqr_inlier_indices(std::span<const double> xs, double k
 class Welford {
  public:
   void add(double x);
+  /// Fold another accumulator in (Chan et al. pairwise update). Merging
+  /// b into a equals streaming a's samples then b's in aggregate moments,
+  /// and merging in a fixed order is deterministic — the experiment
+  /// engine's run-level metric aggregation relies on both.
+  void merge(const Welford& other);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;  // sample variance

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "exp/worker_pool.hpp"
+#include "obs/prof.hpp"
 #include "util/stats.hpp"
 #include "wf/leaf_knn.hpp"
 
@@ -19,6 +20,7 @@ void KFingerprint::fit(const FeatureMatrix& x, const std::vector<int>& labels) {
   if (x.rows() != labels.size() || x.empty()) {
     throw std::invalid_argument("KFingerprint::fit: rows/labels mismatch or empty");
   }
+  obs::ProfSpan span("wf.fit");
   num_classes_ = *std::max_element(labels.begin(), labels.end()) + 1;
   TrainView view{&x, labels, num_classes_};
   forest_ = RandomForest(cfg_.forest);
@@ -26,6 +28,7 @@ void KFingerprint::fit(const FeatureMatrix& x, const std::vector<int>& labels) {
   train_leaves_.clear();
   train_labels_.clear();
   if (cfg_.use_knn) {
+    obs::ProfSpan leaf_span("wf.leaf_index");
     train_leaves_ = forest_.leaf_batch(x);
     train_labels_ = labels;
   }
@@ -67,6 +70,7 @@ int KFingerprint::knn_predict(std::span<const double> features) const {
 
 std::vector<int> KFingerprint::predict_batch(const FeatureMatrix& x) const {
   if (!forest_.trained()) throw std::logic_error("KFingerprint::predict_batch before fit");
+  obs::ProfSpan span("wf.predict");
   if (!cfg_.use_knn) return forest_.predict_batch(x);
 
   const std::size_t n_query = x.rows();
@@ -113,7 +117,11 @@ void ConfusionMatrix::merge(const ConfusionMatrix& other) {
 
 EvalResult cross_validate(const Dataset& data, const KFingerprint::Config& cfg,
                           std::size_t folds, std::uint64_t seed, std::size_t jobs) {
-  return cross_validate(kfp_features(data), data.labels(), cfg, folds, seed, jobs);
+  FeatureMatrix x = [&] {
+    obs::ProfSpan span("wf.features");
+    return kfp_features(data);
+  }();
+  return cross_validate(x, data.labels(), cfg, folds, seed, jobs);
 }
 
 EvalResult cross_validate(const FeatureMatrix& x, const std::vector<int>& labels,
@@ -123,6 +131,7 @@ EvalResult cross_validate(const FeatureMatrix& x, const std::vector<int>& labels
     throw std::invalid_argument("cross_validate: rows/labels mismatch or empty");
   }
   if (folds < 2) throw std::invalid_argument("cross_validate: need >= 2 folds");
+  obs::ProfSpan span("wf.cross_validate");
   const int num_classes = *std::max_element(labels.begin(), labels.end()) + 1;
 
   // Stratified fold assignment: shuffle within each class, deal round-robin.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace stob::workload {
@@ -80,6 +81,10 @@ class Driver {
     }
     result.completed = html_done_ && objects_fetched_ == plan_.object_bytes.size();
     result.sim_events = hp_->sim().executed();
+    // All scraped values (events, heap high-water) are deterministic for a
+    // deterministic load, so this is safe under per-job registries that the
+    // engine's determinism checks compare byte-for-byte.
+    if (obs::MetricsRegistry* m = obs::metrics()) obs::scrape_simulator(hp_->sim(), *m);
     return result;
   }
 

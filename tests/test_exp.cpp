@@ -20,6 +20,7 @@
 #include "exp/worker_pool.hpp"
 #include "net/packet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace_recorder.hpp"
 #include "workload/website.hpp"
 
@@ -268,6 +269,82 @@ TEST(EngineDeterminism, CcaAxisChangesTraffic) {
   // produced traffic; the axis plumbing is what's under test.
   EXPECT_FALSE(results[0].trace.empty());
   EXPECT_FALSE(results[1].trace.empty());
+}
+
+
+// ------------------------------------------------- profiled worker pool
+
+TEST(ProfiledPool, ParallelStructureMatchesSerial) {
+  // With a profiler installed, run_ordered records per-job spans under
+  // deterministic sub-domain ids; the exported structure (ids, parents,
+  // depths, names) must be byte-identical for any worker count.
+  auto capture = [](std::size_t threads) {
+    obs::Profiler prof(99);
+    obs::ScopedProfiler guard(prof);
+    std::vector<int> results;
+    {
+      obs::ProfSpan span("batch");
+      results = run_ordered<int>(6, threads, [](std::size_t i) {
+        obs::ProfSpan outer("work");
+        obs::ProfSpan inner(i % 2 == 0 ? "even" : "odd");
+        return static_cast<int>(i * i);
+      });
+    }
+    return std::make_pair(prof.structure(), results);
+  };
+  const auto serial = capture(1);
+  const auto parallel = capture(4);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+  EXPECT_NE(serial.first.find(" batch\n"), std::string::npos);
+  EXPECT_NE(serial.first.find(" job\n"), std::string::npos);
+  EXPECT_NE(serial.first.find(" even\n"), std::string::npos);
+}
+
+TEST(ProfiledPool, ParallelMetricsMergeDeterministic) {
+  // Jobs observe into per-job registries which the pool merges in index
+  // order into the caller's registry: the final snapshot must not depend on
+  // the worker count. Pool timing metrics go to the profiler's harness
+  // registry instead, so they never pollute the deterministic snapshot.
+  auto run = [](std::size_t threads) {
+    obs::MetricsRegistry metrics;
+    obs::ScopedMetrics mguard(metrics);
+    obs::Profiler prof(7);
+    obs::ScopedProfiler pguard(prof);
+    run_ordered<int>(5, threads, [](std::size_t i) {
+      if (obs::MetricsRegistry* m = obs::metrics()) {
+        m->add("jobs.done", 1);
+        m->observe("jobs.value", static_cast<double>(i));
+      }
+      return 0;
+    });
+    return std::make_pair(metrics.snapshot(), prof.harness().counter("exp.pool.jobs"));
+  };
+  const auto serial = run(1);
+  const auto parallel = run(3);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_NE(serial.first.find("jobs.done"), std::string::npos);
+  EXPECT_EQ(serial.second, 5u);
+  EXPECT_EQ(parallel.second, 5u);
+}
+
+TEST(ProfiledPool, ParallelExceptionKeepsProfilerBalanced) {
+  // A throwing job propagates out of run_ordered; the caller's profiler
+  // must come back with every span closed so the export stays well-formed.
+  obs::Profiler prof;
+  obs::ScopedProfiler guard(prof);
+  EXPECT_THROW(
+      {
+        obs::ProfSpan span("batch");
+        run_ordered<int>(8, 3, [](std::size_t i) -> int {
+          obs::ProfSpan work("job.work");
+          if (i == 4) throw std::runtime_error("boom");
+          return static_cast<int>(i);
+        });
+      },
+      std::runtime_error);
+  EXPECT_EQ(prof.open_depth(), 0u);
+  for (const obs::ProfRecord& r : prof.records()) EXPECT_GE(r.wall_ns, 0);
 }
 
 }  // namespace

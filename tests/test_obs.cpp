@@ -6,11 +6,16 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/policies.hpp"
 #include "obs/layer_diff.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace_recorder.hpp"
 #include "stack/host_pair.hpp"
 #include "tcp/tcp_connection.hpp"
@@ -351,6 +356,269 @@ TEST(LayerDiff, GapsMatchEventTimes) {
   ASSERT_EQ(gaps.size(), 2u);
   EXPECT_DOUBLE_EQ(gaps[0], 3.0);
   EXPECT_DOUBLE_EQ(gaps[1], 5.0);
+}
+
+
+// ------------------------------------------------------------ span profiler
+
+TEST(Profiler, DisabledSpanIsNoop) {
+  ASSERT_EQ(profiler(), nullptr);
+  {
+    ProfSpan span("nothing-listens");
+    ProfSpan nested("still-nothing");
+  }
+  EXPECT_EQ(profiler(), nullptr);
+}
+
+TEST(Profiler, NestingParentsAndDepths) {
+  Profiler prof;
+  ScopedProfiler guard(prof);
+  {
+    ProfSpan outer("outer");
+    {
+      ProfSpan inner("inner");
+      EXPECT_EQ(prof.open_depth(), 2u);
+    }
+    ProfSpan sibling("sibling");
+  }
+  ASSERT_EQ(prof.records().size(), 3u);
+  const auto& recs = prof.records();
+  EXPECT_EQ(recs[0].name, "outer");
+  EXPECT_EQ(recs[0].parent, 0u);
+  EXPECT_EQ(recs[0].depth, 0u);
+  EXPECT_EQ(recs[1].name, "inner");
+  EXPECT_EQ(recs[1].parent, recs[0].id);
+  EXPECT_EQ(recs[1].depth, 1u);
+  EXPECT_EQ(recs[2].parent, recs[0].id);
+  // All closed, with usable timings.
+  for (const ProfRecord& r : recs) EXPECT_GE(r.wall_ns, 0);
+  EXPECT_EQ(prof.open_depth(), 0u);
+}
+
+TEST(Profiler, SpanIdsAreDeterministic) {
+  // Same id domain + same open order => identical ids and structure, no
+  // matter when or where the spans ran.
+  auto capture = [] {
+    Profiler prof(42);
+    ScopedProfiler guard(prof);
+    {
+      ProfSpan a("a");
+      ProfSpan b("b");
+    }
+    ProfSpan c("c");
+    return prof.structure();
+  };
+  const std::string first = capture();
+  const std::string second = capture();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find(" a\n"), std::string::npos);
+  // A different domain yields different ids for the same program.
+  auto first_id = [](std::uint64_t domain) {
+    Profiler p(domain);
+    ScopedProfiler guard(p);
+    { ProfSpan a("a"); }
+    return p.records()[0].id;
+  };
+  EXPECT_EQ(first_id(42), first_id(42));
+  EXPECT_NE(first_id(42), first_id(43));
+}
+
+TEST(Profiler, UnwindOnExceptionClosesSpans) {
+  Profiler prof;
+  ScopedProfiler guard(prof);
+  try {
+    ProfSpan outer("outer");
+    ProfSpan inner("inner");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(prof.open_depth(), 0u);
+  ASSERT_EQ(prof.records().size(), 2u);
+  for (const ProfRecord& r : prof.records()) EXPECT_GE(r.wall_ns, 0);
+}
+
+TEST(Profiler, SpliceReparentsShiftsAndRebasesLanes) {
+  Profiler child(sub_domain(7, 0));
+  {
+    ScopedProfiler guard(child);
+    ProfSpan root("job");
+    ProfSpan nested("work");
+  }
+  std::vector<ProfRecord> captured = child.take_records();
+  ASSERT_EQ(captured.size(), 2u);
+
+  Profiler parent(7);
+  ScopedProfiler guard(parent);
+  const std::size_t pool_span = parent.open("pool");
+  parent.splice(std::move(captured), 1'000'000, /*worker=*/3);
+  parent.close(pool_span);
+
+  ASSERT_EQ(parent.records().size(), 3u);
+  const auto& recs = parent.records();
+  EXPECT_EQ(recs[0].name, "pool");
+  EXPECT_EQ(recs[1].name, "job");
+  EXPECT_EQ(recs[1].parent, recs[0].id);  // re-parented under the open span
+  EXPECT_EQ(recs[1].depth, 1u);
+  EXPECT_EQ(recs[1].worker, 3u);
+  EXPECT_GE(recs[1].start_ns, 1'000'000);
+  EXPECT_EQ(recs[2].name, "work");
+  EXPECT_EQ(recs[2].depth, 2u);
+  EXPECT_EQ(recs[2].worker, 3u);  // child recorded on lane 0 -> this worker's lane
+}
+
+TEST(Profiler, TraceEventGoldenFile) {
+  // Fixed records => the writer's output must match the committed golden
+  // byte for byte (format stability is what Perfetto/chrome://tracing and
+  // the determinism tests rely on).
+  std::vector<ProfRecord> recs;
+  ProfRecord a;
+  a.id = 0x0102030405060708ull;
+  a.parent = 0;
+  a.depth = 0;
+  a.worker = 0;
+  a.name = "alpha";
+  a.start_ns = 1500;
+  a.wall_ns = 250000;
+  a.cpu_ns = 125000;
+  a.pool_hits = 3;
+  a.pool_misses = 1;
+  recs.push_back(a);
+  ProfRecord b;
+  b.id = 0x1112131415161718ull;
+  b.parent = a.id;
+  b.depth = 1;
+  b.worker = 2;
+  b.name = "beta \"quoted\"";
+  b.start_ns = 2500;
+  b.wall_ns = 1000;
+  b.cpu_ns = 500;
+  recs.push_back(b);
+  ProfRecord open_span;
+  open_span.id = 0x2122232425262728ull;
+  open_span.worker = 1;
+  open_span.name = "open";
+  open_span.wall_ns = -1;  // still open: lane is announced, event skipped
+  recs.push_back(open_span);
+
+  const std::string json = trace_event_json(recs, "golden");
+  std::ifstream golden(std::string(STOB_GOLDEN_DIR) + "/trace_event.json");
+  ASSERT_TRUE(golden.good()) << "missing tests/golden/trace_event.json";
+  std::stringstream ss;
+  ss << golden.rdbuf();
+  EXPECT_EQ(json, ss.str());
+}
+
+// ------------------------------------------------------------ run manifest
+
+TEST(Manifest, RollupAggregatesByName) {
+  Profiler prof;
+  ScopedProfiler guard(prof);
+  for (int i = 0; i < 3; ++i) ProfSpan span("phase");
+  { ProfSpan span("other"); }
+  const std::vector<PhaseRollup> phases = rollup_phases(prof.records());
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].name, "other");  // sorted by name
+  EXPECT_EQ(phases[0].count, 1u);
+  EXPECT_EQ(phases[1].name, "phase");
+  EXPECT_EQ(phases[1].count, 3u);
+}
+
+TEST(Manifest, DeterministicJsonExcludesHarnessFields) {
+  Profiler prof;
+  {
+    ScopedProfiler guard(prof);
+    ProfSpan span("stage");
+  }
+  MetricsRegistry metrics;
+  metrics.add("tcp.segments", 12);
+  RunManifest m = build_manifest("tool_x", prof, &metrics, /*jobs=*/4, /*base_seed=*/7);
+  m.set_config("samples", "10");
+
+  const std::string full = m.to_json();
+  const std::string det = m.deterministic_json();
+  // Harness-only fields appear in the full form only.
+  EXPECT_NE(full.find("\"jobs\""), std::string::npos);
+  EXPECT_NE(full.find("\"harness\""), std::string::npos);
+  EXPECT_NE(full.find("\"wall_ms\""), std::string::npos);
+  EXPECT_EQ(det.find("\"jobs\""), std::string::npos);
+  EXPECT_EQ(det.find("\"harness\""), std::string::npos);
+  EXPECT_EQ(det.find("\"wall_ms\""), std::string::npos);
+  EXPECT_EQ(det.find("\"git_rev\""), std::string::npos);
+  // Deterministic fields appear in both.
+  for (const std::string& form : {full, det}) {
+    EXPECT_NE(form.find("\"tool\": \"tool_x\""), std::string::npos);
+    EXPECT_NE(form.find("\"cell_spec_digest\""), std::string::npos);
+    EXPECT_NE(form.find("\"metrics_sha256\""), std::string::npos);
+    EXPECT_NE(form.find("\"name\": \"stage\", \"count\": 1"), std::string::npos);
+  }
+  EXPECT_EQ(m.metrics_lines, 1u);
+  EXPECT_EQ(m.metrics_sha256.size(), 64u);
+}
+
+TEST(Manifest, CellSpecDigestIgnoresJobsAndTimings) {
+  RunManifest a;
+  a.tool = "t";
+  a.base_seed = 5;
+  a.set_config("k", "v");
+  RunManifest b = a;
+  b.jobs = 16;
+  b.total_wall_ms = 123.0;
+  b.git_rev = "deadbee";
+  EXPECT_EQ(a.cell_spec_digest(), b.cell_spec_digest());
+  b.set_config("k", "other");
+  EXPECT_NE(a.cell_spec_digest(), b.cell_spec_digest());
+  RunManifest c = a;
+  c.base_seed = 6;
+  EXPECT_NE(a.cell_spec_digest(), c.cell_spec_digest());
+}
+
+// ---------------------------------------------------------- metrics merge
+
+TEST(MetricsRegistry, MergeCountersGaugesDistributions) {
+  MetricsRegistry a;
+  a.add("c", 2);
+  a.set("g", 1.0);
+  a.observe("d", 1.0);
+  a.observe("d", 3.0);
+  MetricsRegistry b;
+  b.add("c", 3);
+  b.add("only_b", 1);
+  b.set("g", 7.0);
+  b.observe("d", 5.0);
+  b.observe("e", 2.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 5u);
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 7.0);  // last write (the merged-in) wins
+  const MetricsRegistry::Distribution* d = a.distribution("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 3u);
+  EXPECT_DOUBLE_EQ(d->mean(), 3.0);
+  EXPECT_DOUBLE_EQ(d->min, 1.0);
+  EXPECT_DOUBLE_EQ(d->max, 5.0);
+  EXPECT_EQ(d->reservoir.size(), 3u);
+  ASSERT_NE(a.distribution("e"), nullptr);
+  EXPECT_EQ(a.distribution("e")->count(), 1u);
+}
+
+TEST(MetricsRegistry, MergeOrderIndependentSnapshot) {
+  // Merging per-job registries in job order must give one deterministic
+  // snapshot: same inputs => byte-identical text, regardless of which run
+  // produced them.
+  auto job_registry = [](double base) {
+    MetricsRegistry m;
+    m.add("jobs", 1);
+    m.observe("plt", base);
+    m.observe("plt", base * 2);
+    return m;
+  };
+  MetricsRegistry run1;
+  for (int i = 1; i <= 4; ++i) run1.merge(job_registry(i));
+  MetricsRegistry run2;
+  for (int i = 1; i <= 4; ++i) run2.merge(job_registry(i));
+  EXPECT_EQ(run1.snapshot(), run2.snapshot());
+  EXPECT_EQ(run1.counter("jobs"), 4u);
 }
 
 }  // namespace

@@ -271,5 +271,22 @@ TEST(Simulator, CallbackSurvivesPoolGrowthItTriggers) {
   EXPECT_EQ(s.executed(), 1001u);
 }
 
+
+TEST(Simulator, HeapHighWaterTracksMaxSimultaneousPending) {
+  Simulator s;
+  EXPECT_EQ(s.heap_high_water(), 0u);
+  // Phase 1: 3 events pending at once.
+  for (int i = 0; i < 3; ++i) s.schedule_at(TimePoint(100 + i), [] {});
+  s.run();
+  EXPECT_EQ(s.heap_high_water(), 3u);
+  // Phase 2: a wider fan-out raises the mark; draining never lowers it.
+  s.schedule_at(TimePoint(1000), [&s] {
+    for (int i = 0; i < 5; ++i) s.schedule_at(TimePoint(2000 + i), [] {});
+  });
+  s.run();
+  EXPECT_EQ(s.heap_high_water(), 5u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace stob::sim

@@ -4,7 +4,13 @@
 #include <cmath>
 #include <filesystem>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "util/bench_json.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -304,6 +310,173 @@ TEST(Log, LevelFiltering) {
   // Below-threshold writes are silently discarded (no crash, no output).
   STOB_DEBUG("test") << "should not appear";
   log::set_level(prev);
+}
+
+
+// ------------------------------------------------------------------- welford
+
+TEST(Stats, WelfordMergeMatchesSingleStream) {
+  const std::vector<double> xs{1.0, 2.5, -3.0, 4.25, 0.0, 7.5, -1.5};
+  stats::Welford whole;
+  for (double x : xs) whole.add(x);
+  // Split at every point: streaming a then b must equal merge(a, b).
+  for (std::size_t split = 0; split <= xs.size(); ++split) {
+    stats::Welford a, b;
+    for (std::size_t i = 0; i < split; ++i) a.add(xs[i]);
+    for (std::size_t i = split; i < xs.size(); ++i) b.add(xs[i]);
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  }
+  // Merging an empty accumulator is a no-op both ways.
+  stats::Welford empty, copy = whole;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), whole.count());
+  EXPECT_NEAR(copy.mean(), whole.mean(), 1e-12);
+  empty.merge(whole);
+  EXPECT_NEAR(empty.variance(), whole.variance(), 1e-12);
+}
+
+// ---------------------------------------------------------------- bench json
+
+namespace {
+
+std::string snapshot_json(bool smoke, const std::vector<std::pair<std::string, double>>& rows,
+                          bool with_nested_baseline = false) {
+  std::string s = "{\n  \"schema\": \"stob-bench-v1\",\n  \"git_rev\": \"abc1234\",\n";
+  s += std::string("  \"smoke\": ") + (smoke ? "true" : "false") + ",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    s += "    {\"name\": \"" + rows[i].first +
+         "\", \"wall_ms\": 10.0, \"cpu_ms\": 9.0, \"events\": 1000, "
+         "\"events_per_sec\": " +
+         std::to_string(rows[i].second) + ", \"allocs\": 5, \"iters\": 3}";
+    s += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  s += "  ]";
+  if (with_nested_baseline) {
+    s += ",\n  \"baseline\": {\"benchmarks\": [\n"
+         "    {\"name\": \"stale.entry\", \"events_per_sec\": 1.0}\n  ]}";
+  }
+  s += "\n}\n";
+  return s;
+}
+
+}  // namespace
+
+TEST(BenchJson, ParsesEntriesAndStopsAtNestedBaseline) {
+  const std::string json = snapshot_json(
+      false, {{"sim.page_load", 2000.0}, {"wf.kfp.speedup_vs_baseline", 1.5}, {"wf.kfp", 500.0}},
+      /*with_nested_baseline=*/true);
+  const bench::BenchSnapshot snap = bench::parse_snapshot(json);
+  EXPECT_EQ(snap.git_rev, "abc1234");
+  EXPECT_FALSE(snap.smoke);
+  ASSERT_EQ(snap.entries.size(), 2u);  // synthetic row skipped, nested ignored
+  EXPECT_EQ(snap.entries[0].name, "sim.page_load");
+  EXPECT_DOUBLE_EQ(snap.entries[0].events_per_sec, 2000.0);
+  EXPECT_EQ(snap.entries[0].events, 1000u);
+  EXPECT_EQ(snap.entries[0].iters, 3);
+  EXPECT_EQ(snap.entries[1].name, "wf.kfp");
+  EXPECT_EQ(snap.find("wf.kfp"), &snap.entries[1]);
+  EXPECT_EQ(snap.find("stale.entry"), nullptr);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+  EXPECT_THROW(bench::parse_snapshot("{\"not\": \"ours\"}"), std::runtime_error);
+}
+
+TEST(BenchJson, GatePassesOnNoRegression) {
+  const bench::BenchSnapshot base =
+      bench::parse_snapshot(snapshot_json(false, {{"a", 100.0}, {"b", 200.0}}));
+  const bench::BenchSnapshot fresh =
+      bench::parse_snapshot(snapshot_json(false, {{"a", 95.0}, {"b", 240.0}}));
+  const bench::GateResult result = bench::gate(base, fresh);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.missing.empty());
+  EXPECT_TRUE(result.regressions.empty());
+  EXPECT_FALSE(result.ratios_skipped);
+}
+
+TEST(BenchJson, GateFailsOnInjectedRegression) {
+  // Synthetic regression: benchmark "b" drops to half its baseline
+  // throughput, well past the 25% tolerance.
+  const bench::BenchSnapshot base =
+      bench::parse_snapshot(snapshot_json(false, {{"a", 100.0}, {"b", 200.0}}));
+  const bench::BenchSnapshot fresh =
+      bench::parse_snapshot(snapshot_json(false, {{"a", 100.0}, {"b", 100.0}}));
+  const bench::GateResult result = bench::gate(base, fresh);
+  EXPECT_FALSE(result.ok);
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].name, "b");
+  EXPECT_DOUBLE_EQ(result.regressions[0].ratio, 0.5);
+  // A tighter threshold catches smaller slips too.
+  bench::GateOptions tight;
+  tight.max_regression = 0.05;
+  const bench::BenchSnapshot slip =
+      bench::parse_snapshot(snapshot_json(false, {{"a", 90.0}, {"b", 200.0}}));
+  EXPECT_FALSE(bench::gate(base, slip, tight).ok);
+}
+
+TEST(BenchJson, GateFlagsMissingBenchmarks) {
+  const bench::BenchSnapshot base =
+      bench::parse_snapshot(snapshot_json(false, {{"a", 100.0}, {"b", 200.0}}));
+  const bench::BenchSnapshot fresh = bench::parse_snapshot(snapshot_json(false, {{"a", 100.0}}));
+  const bench::GateResult result = bench::gate(base, fresh);
+  EXPECT_FALSE(result.ok);  // coverage gate: every baseline benchmark must run
+  ASSERT_EQ(result.missing.size(), 1u);
+  EXPECT_EQ(result.missing[0], "b");
+}
+
+TEST(BenchJson, SmokeMismatchSkipsThroughputGateOnly) {
+  // Full-run baseline vs smoke fresh: throughput ratios are meaningless, so
+  // the ratio gate is skipped — but coverage is still enforced.
+  const bench::BenchSnapshot base =
+      bench::parse_snapshot(snapshot_json(false, {{"a", 1000.0}}));
+  const bench::BenchSnapshot fresh = bench::parse_snapshot(snapshot_json(true, {{"a", 10.0}}));
+  const bench::GateResult skipped = bench::gate(base, fresh);
+  EXPECT_TRUE(skipped.ok);
+  EXPECT_TRUE(skipped.ratios_skipped);
+  EXPECT_TRUE(skipped.regressions.empty());
+  bench::GateOptions force;
+  force.ignore_smoke_mismatch = true;
+  const bench::GateResult forced = bench::gate(base, fresh, force);
+  EXPECT_FALSE(forced.ok);
+  EXPECT_FALSE(forced.ratios_skipped);
+  ASSERT_EQ(forced.regressions.size(), 1u);
+}
+
+// --------------------------------------------------------------- buffer pool
+
+TEST(BufferPool, SpillsWhenBucketCapExceededAndOnOversize) {
+  mem::pool_purge();
+  const mem::PoolStats before = mem::pool_stats();
+
+  // The 64 KiB bucket caches at most 4 buffers (256 KiB per-bucket cap), so
+  // freeing 6 spills 2 back to the allocator.
+  constexpr std::size_t kBig = 64 * 1024;
+  std::vector<void*> bufs;
+  for (int i = 0; i < 6; ++i) bufs.push_back(mem::pool_alloc(kBig));
+  for (void* p : bufs) mem::pool_free(p, kBig);
+  mem::PoolStats now = mem::pool_stats();
+  EXPECT_EQ(now.spills - before.spills, 2u);
+  EXPECT_EQ(now.cached, 4u + before.cached);
+
+  // Above the largest bucket the pool never caches: alloc is a miss and the
+  // free spills immediately.
+  constexpr std::size_t kHuge = 128 * 1024;
+  void* huge = mem::pool_alloc(kHuge);
+  mem::pool_free(huge, kHuge);
+  now = mem::pool_stats();
+  EXPECT_EQ(now.spills - before.spills, 3u);
+
+  // Re-allocating a cached size is a hit, and the freed buffer re-parks.
+  const std::uint64_t hits_before = now.hits;
+  void* again = mem::pool_alloc(kBig);
+  mem::pool_free(again, kBig);
+  now = mem::pool_stats();
+  EXPECT_EQ(now.hits, hits_before + 1);
+  EXPECT_EQ(now.spills - before.spills, 3u);
+
+  mem::pool_purge();
+  EXPECT_EQ(mem::pool_stats().cached, 0u);
 }
 
 }  // namespace
