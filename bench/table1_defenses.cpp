@@ -18,6 +18,15 @@
 // Flags: --jobs N (default hardware concurrency), --check-determinism,
 // --manifest PATH / --trace-events PATH (either turns the span profiler on
 // and exports a run manifest / Chrome trace_event timeline).
+//
+// Pareto mode: --pareto PATH replaces the single-condition table with a
+// (defense zoo x CCA x fault profile) sweep. Every cell re-collects the
+// dataset under its (CCA, fault) condition, then measures bandwidth /
+// latency overhead and residual k-FP accuracy; PATH receives one CSV row
+// per cell and stdout gets the per-defense aggregate with the Pareto front
+// (min bandwidth overhead vs min accuracy) marked. --smoke shrinks the
+// sweep (3 sites x 3 samples, 2 CCAs x 2 faults, 15 trees) for CI.
+//
 // Environment knobs: STOB_SAMPLES (default 24), STOB_TREES (default 60),
 // STOB_FOLDS (default 3), STOB_SEED, STOB_JOBS.
 #include <cstdio>
@@ -29,8 +38,10 @@
 #include "defenses/baselines.hpp"
 #include "exp/experiment.hpp"
 #include "exp/worker_pool.hpp"
+#include "fault/fault.hpp"
 #include "obs/manifest.hpp"
 #include "obs/prof.hpp"
+#include "util/csv.hpp"
 #include "wf/kfp.hpp"
 #include "workload/page_load.hpp"
 
@@ -49,6 +60,184 @@ struct DefenseRow {
   wf::EvalResult eval;
 };
 
+struct ParetoCell {
+  std::string defense, target, strategy, manipulation, cca, fault;
+  defenses::Overhead overhead;
+  wf::EvalResult eval;
+};
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+// The (defense zoo x CCA x fault) Pareto sweep behind --pareto.
+int run_pareto(const exp::Cli& cli, std::size_t samples, std::size_t trees,
+               std::size_t folds, std::uint64_t seed, std::size_t jobs) {
+  const bool smoke = cli.has("--smoke");
+  if (smoke) {
+    samples = 3;
+    trees = 15;
+    folds = 2;
+  }
+  const std::vector<std::string> ccas =
+      smoke ? std::vector<std::string>{"cubic", "bbr"}
+            : std::vector<std::string>{"reno", "cubic", "bbr"};
+  const std::vector<fault::PathProfile> scenarios = fault::all_scenarios();
+  // clean + bursty loss (+ heavy jitter in full mode): one loss-shaped and
+  // one timing-shaped impairment, the two axes defenses are sensitive to.
+  std::vector<fault::PathProfile> faults = {scenarios[0], scenarios[1]};
+  if (!smoke) faults.push_back(scenarios[5]);
+
+  obs::Profiler prof;
+  std::optional<obs::ScopedProfiler> prof_guard;
+  if (cli.profile()) prof_guard.emplace(prof);
+
+  exp::ExperimentGrid grid;
+  const std::vector<workload::SiteProfile>& nine = workload::nine_sites();
+  grid.sites.assign(nine.begin(), nine.begin() + (smoke ? 3 : nine.size()));
+  grid.samples = samples;
+  grid.ccas = ccas;
+  grid.faults = faults;
+  grid.base_seed = seed;
+
+  const std::size_t C = ccas.size();
+  const std::size_t F = faults.size();
+  std::printf("=== Pareto sweep: defense zoo x CCA x fault profile ===\n");
+  std::printf("dataset: %zu sites x %zu samples per condition; %zu CCAs x %zu faults; "
+              "k-FP %zu trees, %zu folds%s\n\n",
+              grid.sites.size(), samples, C, F, trees, folds, smoke ? " [smoke]" : "");
+  std::fprintf(stderr, "table1_defenses: pareto sweep with %zu jobs\n", jobs);
+
+  exp::RunOptions run;
+  run.jobs = jobs;
+  run.check_determinism = cli.check_determinism;
+  const std::vector<exp::JobResult> results = [&] {
+    obs::ProfSpan span("collect");
+    return exp::run_grid(grid, run);
+  }();
+
+  // Partition the job-ordered results into one dataset per (CCA, fault)
+  // condition; job order makes each partition deterministic at any --jobs.
+  std::vector<wf::Dataset> conditions(C * F);
+  for (const exp::JobResult& r : results) {
+    conditions[r.spec.cca * F + r.spec.fault].add(r.trace, static_cast<int>(r.spec.site));
+  }
+  for (wf::Dataset& d : conditions) d = d.sanitized_by_download_size(0.75);
+
+  wf::KFingerprint::Config kfp_cfg;
+  kfp_cfg.forest.num_trees = trees;
+
+  const std::vector<std::unique_ptr<defenses::TraceDefense>> zoo = defenses::all_defenses();
+  const std::size_t D = zoo.size() + 1;  // index 0 = undefended
+  const std::vector<ParetoCell> cells = [&] {
+    obs::ProfSpan span("evaluate");
+    return exp::run_ordered<ParetoCell>(D * C * F, jobs, [&](std::size_t i) {
+      const std::size_t f = i % F;
+      const std::size_t c = (i / F) % C;
+      const std::size_t d = i / (F * C);
+      const wf::Dataset& base = conditions[c * F + f];
+      ParetoCell cell;
+      cell.cca = ccas[c];
+      cell.fault = faults[f].name;
+      if (d == 0) {
+        cell.defense = "(none)";
+        cell.eval = wf::cross_validate(base, kfp_cfg, folds, exp::job_seed(seed, i));
+        return cell;
+      }
+      const defenses::TraceDefense& defense = *zoo[d - 1];
+      cell.defense = defense.name();
+      cell.target = defense.target();
+      cell.strategy = defense.strategy();
+      cell.manipulation = defense.manipulations().describe();
+      Rng rng(exp::job_seed(seed ^ 0xD3F3ull, i));
+      cell.overhead = defenses::measure_overhead(base, defense, rng);
+      Rng rng2(exp::job_seed(seed ^ 0xD3F3ull, i));
+      const wf::Dataset defended =
+          base.transformed([&](const wf::Trace& t) { return defense.apply(t, rng2); });
+      cell.eval = wf::cross_validate(defended, kfp_cfg, folds, exp::job_seed(seed, i));
+      return cell;
+    });
+  }();
+
+  // CSV: one row per (defense, CCA, fault) cell.
+  std::vector<csv::Row> rows;
+  rows.push_back({"defense", "target", "strategy", "manipulation", "cca", "fault",
+                  "bw_overhead", "lat_overhead", "kfp_accuracy", "kfp_std"});
+  for (const ParetoCell& cell : cells) {
+    rows.push_back({cell.defense, cell.target, cell.strategy, cell.manipulation, cell.cca,
+                    cell.fault, fmt(cell.overhead.bandwidth), fmt(cell.overhead.latency),
+                    fmt(cell.eval.mean_accuracy), fmt(cell.eval.std_accuracy)});
+  }
+  const std::string csv_path = cli.get("--pareto");
+  csv::write_file(csv_path, rows);
+  std::fprintf(stderr, "table1_defenses: wrote %s (%zu cells)\n", csv_path.c_str(),
+               cells.size());
+
+  // Per-defense aggregate across conditions, with the Pareto front over
+  // (bandwidth overhead, residual accuracy) marked — both minimised.
+  struct Agg {
+    std::string name;
+    double bw = 0.0, lat = 0.0, acc = 0.0;
+    bool front = false;
+  };
+  std::vector<Agg> aggs(D);
+  for (std::size_t d = 0; d < D; ++d) {
+    aggs[d].name = d == 0 ? "(none)" : zoo[d - 1]->name();
+    for (std::size_t cf = 0; cf < C * F; ++cf) {
+      const ParetoCell& cell = cells[d * C * F + cf];
+      aggs[d].bw += cell.overhead.bandwidth;
+      aggs[d].lat += cell.overhead.latency;
+      aggs[d].acc += cell.eval.mean_accuracy;
+    }
+    aggs[d].bw /= static_cast<double>(C * F);
+    aggs[d].lat /= static_cast<double>(C * F);
+    aggs[d].acc /= static_cast<double>(C * F);
+  }
+  for (Agg& a : aggs) {
+    a.front = true;
+    for (const Agg& b : aggs) {
+      const bool no_worse = b.bw <= a.bw && b.acc <= a.acc;
+      const bool better = b.bw < a.bw || b.acc < a.acc;
+      if (no_worse && better) {
+        a.front = false;
+        break;
+      }
+    }
+  }
+
+  std::printf("%-12s %9s %9s %10s %7s\n", "Defense", "BW-ovh", "Lat-ovh", "kFP-acc",
+              "front");
+  for (const Agg& a : aggs) {
+    std::printf("%-12s %8.1f%% %8.1f%% %10.3f %7s\n", a.name.c_str(), a.bw * 100.0,
+                a.lat * 100.0, a.acc, a.front ? "*" : "");
+  }
+  std::printf("\nFull per-cell data (defense x CCA x fault) in %s.\n", csv_path.c_str());
+
+  if (cli.profile()) {
+    prof_guard.reset();
+    if (!cli.manifest_path.empty()) {
+      obs::RunManifest m = obs::build_manifest("table1_defenses", prof, nullptr, jobs, seed);
+      m.set_config("mode", smoke ? "pareto-smoke" : "pareto");
+      m.set_config("samples", std::to_string(samples));
+      m.set_config("trees", std::to_string(trees));
+      m.set_config("folds", std::to_string(folds));
+      m.set_config("defenses", std::to_string(D));
+      m.set_config("ccas", std::to_string(C));
+      m.set_config("faults", std::to_string(F));
+      m.set_config("pareto_csv", csv_path);
+      m.write(cli.manifest_path);
+      std::fprintf(stderr, "table1_defenses: wrote %s\n", cli.manifest_path.c_str());
+    }
+    if (!cli.trace_events_path.empty()) {
+      obs::write_trace_event(cli.trace_events_path, prof.records(), "table1_defenses");
+      std::fprintf(stderr, "table1_defenses: wrote %s\n", cli.trace_events_path.c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,8 +245,11 @@ int main(int argc, char** argv) {
   const auto trees = static_cast<std::size_t>(env_int("STOB_TREES", 60));
   const auto folds = static_cast<std::size_t>(env_int("STOB_FOLDS", 3));
   const auto seed = static_cast<std::uint64_t>(env_int("STOB_SEED", 20251117));
-  const exp::Cli cli = exp::parse_cli(argc, argv);
+  const exp::Cli cli =
+      exp::parse_cli(argc, argv, {{"--pareto", true}, {"--smoke", false}});
   const std::size_t jobs = cli.jobs == 0 ? exp::default_jobs() : cli.jobs;
+
+  if (cli.has("--pareto")) return run_pareto(cli, samples, trees, folds, seed, jobs);
 
   obs::Profiler prof;
   std::optional<obs::ScopedProfiler> prof_guard;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "defenses/policy.hpp"
+
 namespace stob::defenses {
 
 // ------------------------------------------------------------ FrontDefense
@@ -196,6 +198,11 @@ std::vector<std::unique_ptr<TraceDefense>> all_defenses() {
   v.push_back(std::make_unique<WtfPadDefense>());
   v.push_back(std::make_unique<RegulatorDefense>());
   v.push_back(std::make_unique<PadToConstantDefense>());
+  // Streaming-policy ports (defenses/policy.hpp): the *full* RegulaTor and
+  // adaptive-padding WTF-PAD state machines, lowercase to distinguish them
+  // from the capitalised trace-level sketches above.
+  v.push_back(make_policy_defense("regulator"));
+  v.push_back(make_policy_defense("wtfpad"));
   return v;
 }
 

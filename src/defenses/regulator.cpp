@@ -1,0 +1,108 @@
+#include "defenses/regulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace stob::defenses {
+
+void RegulatorPolicy::begin(Rng& /*rng*/) {
+  down_queue_.clear();
+  up_queue_.clear();
+  surge_start_ = 0.0;
+  next_slot_ = 0.0;
+  idle_ = true;
+  scheduled_downloads_ = 0;
+  upload_credit_ = 0.0;
+  dummies_sent_ = 0;
+}
+
+double RegulatorPolicy::rate_at(double t) const {
+  const double decayed = cfg_.initial_rate * std::pow(cfg_.decay, t - surge_start_);
+  return std::max(decayed, cfg_.min_rate);
+}
+
+void RegulatorPolicy::emit_upload(double t, std::vector<PacketOut>& out) {
+  if (!up_queue_.empty()) {
+    const std::int64_t size = up_queue_.front();
+    up_queue_.pop_front();
+    out.push_back({t, +1, std::max(size, cfg_.packet_size), false});
+  } else if (dummies_sent_ < cfg_.padding_budget) {
+    ++dummies_sent_;
+    out.push_back({t, +1, cfg_.packet_size, true});
+  }
+}
+
+void RegulatorPolicy::run_schedule(double until, bool draining, std::vector<PacketOut>& out) {
+  while (!idle_ && next_slot_ <= until) {
+    const double t = next_slot_;
+    const double rate = rate_at(t);
+    if (!down_queue_.empty()) {
+      const std::int64_t size = down_queue_.front();
+      down_queue_.pop_front();
+      out.push_back({t, -1, std::max(size, cfg_.packet_size), false});
+    } else if (!draining && dummies_sent_ < cfg_.padding_budget) {
+      ++dummies_sent_;
+      out.push_back({t, -1, cfg_.packet_size, true});
+    } else if (draining && !up_queue_.empty()) {
+      // Tail drain with no downloads left: flush uploads on the schedule.
+      emit_upload(t, out);
+      next_slot_ = t + 1.0 / rate;
+      continue;
+    } else {
+      // Nothing to send and no budget: the schedule sleeps until the next
+      // real download arrival starts a fresh surge.
+      idle_ = true;
+      break;
+    }
+    ++scheduled_downloads_;
+
+    // Upload rate-coupling: one token per `upload_ratio` scheduled downloads.
+    upload_credit_ += 1.0 / std::max(cfg_.upload_ratio, 1.0);
+    if (upload_credit_ >= 1.0) {
+      upload_credit_ -= 1.0;
+      emit_upload(t, out);
+    }
+
+    // Surge detection: a backlog burst restarts the schedule at full rate.
+    if (static_cast<double>(down_queue_.size()) > cfg_.surge_threshold * rate_at(t)) {
+      surge_start_ = t;
+    }
+    next_slot_ = t + 1.0 / rate_at(t);
+  }
+}
+
+void RegulatorPolicy::on_packet(const PacketEvent& ev, std::vector<PacketOut>& out) {
+  run_schedule(ev.time, /*draining=*/false, out);
+  if (ev.direction < 0) {
+    if (idle_) {
+      // First download of a quiet period: new surge starting now.
+      idle_ = false;
+      surge_start_ = ev.time;
+      next_slot_ = ev.time;
+    }
+    down_queue_.push_back(ev.size);
+  } else {
+    up_queue_.push_back(ev.size);
+  }
+}
+
+void RegulatorPolicy::finish(double /*end_time*/, std::vector<PacketOut>& out) {
+  // Drain every queued real packet on the decaying schedule; min_rate keeps
+  // the slot gap bounded so this terminates.
+  if (idle_ && (!down_queue_.empty() || !up_queue_.empty())) {
+    idle_ = false;
+    surge_start_ = next_slot_;
+  }
+  while (!down_queue_.empty() || !up_queue_.empty()) {
+    run_schedule(std::numeric_limits<double>::infinity(), /*draining=*/true, out);
+    if (idle_ && (!down_queue_.empty() || !up_queue_.empty())) {
+      // Schedule went idle with payload left (e.g. uploads but no download
+      // slots): restart to flush the rest.
+      idle_ = false;
+      surge_start_ = next_slot_;
+    }
+  }
+}
+
+}  // namespace stob::defenses

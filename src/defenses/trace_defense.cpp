@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "defenses/baseline_policies.hpp"
+#include "defenses/policy.hpp"
+
 namespace stob::defenses {
 
 std::string Manipulations::describe() const {
@@ -41,52 +44,32 @@ Overhead measure_overhead(const wf::Dataset& data, const TraceDefense& defense, 
 }
 
 // ------------------------------------------------------------ SplitDefense
+//
+// The §3 emulation primitives are implemented as streaming policies
+// (baseline_policies.hpp) and replayed here through the policy driver; the
+// parity suite pins this path byte-identical to the original inline
+// transforms.
 
-wf::Trace SplitDefense::apply(const wf::Trace& trace, Rng& /*rng*/) const {
-  wf::Trace out;
-  for (const wf::PacketRecord& p : trace.packets()) {
-    const bool in_scope = !cfg_.incoming_only || p.direction < 0;
-    if (in_scope && p.size > cfg_.threshold) {
-      const std::int64_t first = p.size / 2;
-      const std::int64_t second = p.size - first;
-      out.add(p.time, p.direction, first);
-      // The second half leaves after the first half's serialisation time.
-      const double gap = static_cast<double>(first) * 8.0 /
-                         static_cast<double>(cfg_.link_rate.bits_per_sec());
-      out.add(p.time + gap, p.direction, second);
-    } else {
-      out.add(p.time, p.direction, p.size);
-    }
-  }
-  out.normalize();
-  return out;
+wf::Trace SplitDefense::apply(const wf::Trace& trace, Rng& rng) const {
+  SplitStreamPolicy policy(cfg_);
+  return run_policy(policy, trace, rng);
 }
 
 // ------------------------------------------------------------ DelayDefense
 
 wf::Trace DelayDefense::apply(const wf::Trace& trace, Rng& rng) const {
-  wf::Trace out;
-  const auto& pkts = trace.packets();
-  double shift = 0.0;  // accumulated extra delay pushed onto later packets
-  double prev_original = pkts.empty() ? 0.0 : pkts.front().time;
-  for (std::size_t i = 0; i < pkts.size(); ++i) {
-    const wf::PacketRecord& p = pkts[i];
-    const bool in_scope = !cfg_.incoming_only || p.direction < 0;
-    if (i > 0 && in_scope) {
-      const double gap = p.time - prev_original;
-      if (gap > 0) shift += gap * rng.uniform(cfg_.lo, cfg_.hi);
-    }
-    out.add(p.time + shift, p.direction, p.size);
-    prev_original = p.time;
-  }
-  out.normalize();
-  return out;
+  DelayStreamPolicy policy(cfg_);
+  return run_policy(policy, trace, rng);
 }
 
 // --------------------------------------------------------- CombinedDefense
 
 wf::Trace CombinedDefense::apply(const wf::Trace& trace, Rng& rng) const {
-  return delay_.apply(split_.apply(trace, rng), rng);
+  std::vector<std::unique_ptr<Policy>> stages;
+  stages.push_back(std::make_unique<SplitStreamPolicy>(split_cfg_));
+  stages.push_back(std::make_unique<DelayStreamPolicy>(delay_cfg_));
+  ChainPolicy chain(std::move(stages));
+  return run_policy(chain, trace, rng);
 }
 
 // ---------------------------------------------------------- prefix scoping

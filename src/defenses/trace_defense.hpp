@@ -109,7 +109,7 @@ class CombinedDefense final : public TraceDefense {
  public:
   CombinedDefense() = default;
   CombinedDefense(SplitDefense::Config split, DelayDefense::Config delay)
-      : split_(split), delay_(delay) {}
+      : split_cfg_(split), delay_cfg_(delay) {}
 
   wf::Trace apply(const wf::Trace& trace, Rng& rng) const override;
   std::string name() const override { return "combined"; }
@@ -120,8 +120,8 @@ class CombinedDefense final : public TraceDefense {
   }
 
  private:
-  SplitDefense split_;
-  DelayDefense delay_;
+  SplitDefense::Config split_cfg_;
+  DelayDefense::Config delay_cfg_;
 };
 
 /// Applies `defense` to the first `prefix_packets` packets only; the rest of

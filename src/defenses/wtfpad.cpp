@@ -1,0 +1,142 @@
+#include "defenses/wtfpad.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace stob::defenses {
+
+// -------------------------------------------------------------- PadHistogram
+
+PadHistogram::PadHistogram(Spec spec) : spec_(spec) {
+  const std::size_t bins = std::max<std::size_t>(spec_.bins, 1);
+  edges_.resize(bins + 1);
+  if (spec_.log_bins) {
+    const double llo = std::log(std::max(spec_.lo, 1e-9));
+    const double lhi = std::log(std::max(spec_.hi, spec_.lo * 2.0));
+    for (std::size_t i = 0; i <= bins; ++i) {
+      edges_[i] = std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                                     static_cast<double>(bins));
+    }
+  } else {
+    for (std::size_t i = 0; i <= bins; ++i) {
+      edges_[i] = spec_.lo + (spec_.hi - spec_.lo) * static_cast<double>(i) /
+                                 static_cast<double>(bins);
+    }
+  }
+
+  // Token mass: geometric decay across finite bins, then the infinity share
+  // carved out of the total. Every bin keeps at least one token so the
+  // support never collapses.
+  std::vector<double> weight(bins);
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    weight[i] = std::pow(spec_.decay, static_cast<double>(i));
+    wsum += weight[i];
+  }
+  const double inf_share = std::clamp(spec_.infinity_weight, 0.0, 0.95);
+  const auto total = static_cast<double>(std::max<std::uint64_t>(spec_.tokens, bins + 1));
+  const double finite_mass = total * (1.0 - inf_share);
+  initial_.assign(bins + 1, 0);
+  for (std::size_t i = 0; i < bins; ++i) {
+    initial_[i] = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(finite_mass * weight[i] / wsum)));
+  }
+  initial_[bins] = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(total * inf_share)));
+  counts_ = initial_;
+  total_ = 0;
+  for (std::uint64_t c : counts_) total_ += c;
+}
+
+double PadHistogram::sample(Rng& rng) {
+  if (total_ == 0) {
+    counts_ = initial_;
+    for (std::uint64_t c : counts_) total_ += c;
+    ++refills_;
+  }
+  std::uint64_t target = static_cast<std::uint64_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(total_)));
+  std::size_t bin = 0;
+  for (; bin < counts_.size(); ++bin) {
+    if (target <= counts_[bin]) break;
+    target -= counts_[bin];
+  }
+  --counts_[bin];
+  --total_;
+  if (bin == counts_.size() - 1) return std::numeric_limits<double>::infinity();
+  // Uniform within the bin keeps sampled delays off the bin edges.
+  return rng.uniform(edges_[bin], edges_[bin + 1]);
+}
+
+// -------------------------------------------------------------- WtfPadPolicy
+
+void WtfPadPolicy::begin(Rng& rng) {
+  rng_ = rng.fork();
+  machines_[0] = Machine{+1, Mode::Idle, 0.0, false, PadHistogram(cfg_.client_burst),
+                         PadHistogram(cfg_.client_gap)};
+  machines_[1] = Machine{-1, Mode::Idle, 0.0, false, PadHistogram(cfg_.server_burst),
+                         PadHistogram(cfg_.server_gap)};
+}
+
+void WtfPadPolicy::arm(Machine& m, double now, Mode source) {
+  // Draw from the histogram the target mode prescribes; infinity ends the
+  // mode (Gap falls back to Burst, Burst falls back to Idle).
+  Mode mode = source;
+  while (true) {
+    PadHistogram& h = mode == Mode::Gap ? m.gap : m.burst;
+    const double delay = h.sample(rng_);
+    if (std::isfinite(delay)) {
+      m.mode = mode;
+      m.timeout = now + delay;
+      m.armed = true;
+      return;
+    }
+    if (mode == Mode::Gap) {
+      mode = Mode::Burst;  // fake burst over; maybe start another
+      continue;
+    }
+    m.mode = Mode::Idle;
+    m.armed = false;
+    return;
+  }
+}
+
+void WtfPadPolicy::fire_until(Machine& m, double until, std::vector<PacketOut>& out) {
+  while (m.armed && m.timeout <= until) {
+    const double t = m.timeout;
+    out.push_back({t, m.direction, cfg_.dummy_size, true});
+    // Burst timeout = real burst ended: fabricate a gap-mode burst. Gap
+    // timeout = continue the fake burst.
+    arm(m, t, Mode::Gap);
+  }
+}
+
+void WtfPadPolicy::on_packet(const PacketEvent& ev, std::vector<PacketOut>& out) {
+  // Deterministic interleaving: fire every timer due before this packet, in
+  // global time order across both machines.
+  while (true) {
+    Machine* next = nullptr;
+    for (Machine& m : machines_) {
+      if (m.armed && m.timeout <= ev.time && (next == nullptr || m.timeout < next->timeout)) {
+        next = &m;
+      }
+    }
+    if (next == nullptr) break;
+    const double t = next->timeout;
+    out.push_back({t, next->direction, cfg_.dummy_size, true});
+    arm(*next, t, Mode::Gap);
+  }
+
+  out.push_back({ev.time, ev.direction, ev.size, false});  // zero-delay forward
+  Machine& m = machines_[ev.direction > 0 ? 0 : 1];
+  arm(m, ev.time, Mode::Burst);  // real packet always re-enters burst mode
+}
+
+void WtfPadPolicy::finish(double end_time, std::vector<PacketOut>& out) {
+  // Pad only while there is real traffic to hide: timers past the last real
+  // packet are dropped, as the other padding baselines do with stragglers.
+  for (Machine& m : machines_) fire_until(m, end_time, out);
+}
+
+}  // namespace stob::defenses

@@ -145,29 +145,94 @@ wf::Dataset to_dataset(const std::vector<JobResult>& results) {
   return data;
 }
 
-Cli parse_cli(int argc, char** argv) {
+namespace {
+
+std::size_t parse_jobs(const std::string& flag, const std::string& value) {
+  // Digits only: stoull would silently accept (and wrap) "-2", and "4x"
+  // must not parse as 4.
+  const bool all_digits =
+      !value.empty() && value.find_first_not_of("0123456789") == std::string::npos;
+  unsigned long long n = 0;
+  if (all_digits) {
+    try {
+      n = std::stoull(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("exp: " + flag + " value '" + value + "' out of range");
+    }
+  } else {
+    throw std::invalid_argument("exp: " + flag + " expects a non-negative integer, got '" +
+                                value + "'");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags) {
   Cli cli;
   if (const char* env = std::getenv("STOB_JOBS")) {
-    cli.jobs = static_cast<std::size_t>(std::atoll(env));
+    cli.jobs = parse_jobs("STOB_JOBS", env);
   }
+
+  // Shared flags first, then the harness-specific ones.
+  std::vector<FlagSpec> known = {{"--jobs", true},
+                                 {"--check-determinism", false},
+                                 {"--manifest", true},
+                                 {"--trace-events", true}};
+  known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+
+  std::map<std::string, int> seen;
   for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
-      cli.jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      cli.jobs = static_cast<std::size_t>(std::atoll(arg + 7));
-    } else if (std::strcmp(arg, "--check-determinism") == 0) {
+    const std::string arg = argv[i];
+    // Split "--flag=value" spellings; "--flag value" takes the next argv.
+    std::string name = arg;
+    std::optional<std::string> value;
+    if (const auto eq = arg.find('='); eq != std::string::npos && arg.rfind("--", 0) == 0) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& f : known) {
+      if (f.name == name) {
+        spec = &f;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      throw std::invalid_argument("exp: unknown flag '" + arg +
+                                  "' (use --flag or --flag=value; known flags: --jobs, "
+                                  "--check-determinism, --manifest, --trace-events" +
+                                  [&] {
+                                    std::string s;
+                                    for (const FlagSpec& f : extra_flags) s += ", " + f.name;
+                                    return s;
+                                  }() +
+                                  ")");
+    }
+    if (spec->takes_value && !value.has_value()) {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("exp: flag '" + name + "' expects a value");
+      }
+      value = argv[++i];
+    }
+    if (!spec->takes_value && value.has_value()) {
+      throw std::invalid_argument("exp: flag '" + name + "' does not take a value");
+    }
+    if (++seen[name] > 1) {
+      STOB_WARN("exp") << "flag " << name << " given more than once; last value wins";
+    }
+
+    if (name == "--jobs") {
+      cli.jobs = parse_jobs(name, *value);
+    } else if (name == "--check-determinism") {
       cli.check_determinism = true;
-    } else if (std::strcmp(arg, "--manifest") == 0 && i + 1 < argc) {
-      cli.manifest_path = argv[++i];
-    } else if (std::strncmp(arg, "--manifest=", 11) == 0) {
-      cli.manifest_path = arg + 11;
-    } else if (std::strcmp(arg, "--trace-events") == 0 && i + 1 < argc) {
-      cli.trace_events_path = argv[++i];
-    } else if (std::strncmp(arg, "--trace-events=", 15) == 0) {
-      cli.trace_events_path = arg + 15;
+    } else if (name == "--manifest") {
+      cli.manifest_path = *value;
+    } else if (name == "--trace-events") {
+      cli.trace_events_path = *value;
     } else {
-      STOB_WARN("exp") << "ignoring unknown flag " << arg;
+      cli.extra[name] = spec->takes_value ? *value : "1";
     }
   }
   return cli;

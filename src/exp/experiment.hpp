@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -147,10 +148,33 @@ struct Cli {
   bool check_determinism = false;
   std::string manifest_path;      ///< empty = no manifest
   std::string trace_events_path;  ///< empty = no trace_event export
+  /// Values of harness-specific flags registered through FlagSpec. Boolean
+  /// flags map to "1"; value flags map to the (last) supplied value.
+  std::map<std::string, std::string> extra;
 
   bool profile() const { return !manifest_path.empty() || !trace_events_path.empty(); }
+  bool has(const std::string& flag) const { return extra.count(flag) != 0; }
+  std::string get(const std::string& flag, const std::string& fallback = "") const {
+    auto it = extra.find(flag);
+    return it == extra.end() ? fallback : it->second;
+  }
 };
 
-Cli parse_cli(int argc, char** argv);
+/// A harness-specific flag parse_cli should accept in addition to the
+/// shared set, e.g. {"--pareto", true} or {"--smoke", false}.
+struct FlagSpec {
+  std::string name;         ///< including leading dashes
+  bool takes_value = false;
+};
+
+/// Parse the shared flag set plus any `extra_flags`. Contract (pinned by
+/// tests/test_exp.cpp):
+///  * an unrecognised flag is a hard error (std::invalid_argument) — typos
+///    must not silently degrade a benchmark run;
+///  * a value flag with no value is a hard error;
+///  * non-numeric --jobs is a hard error;
+///  * a flag given twice warns and the last occurrence wins.
+/// Both "--flag value" and "--flag=value" spellings are accepted.
+Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags = {});
 
 }  // namespace stob::exp

@@ -19,14 +19,24 @@ void append_escaped(std::string& out, std::string_view s) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: {
+        // Escape every remaining control character AND all non-ASCII bytes:
+        // config strings can carry arbitrary user input (paths, site names),
+        // and emitting raw bytes >= 0x7f would make the manifest's encoding
+        // depend on the input being valid UTF-8. The unsigned cast matters —
+        // a negative char formatted with %04x sign-extends to 8 hex digits
+        // and overflows the \uXXXX form.
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u >= 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
           out += buf;
         } else {
           out += c;
         }
+      }
     }
   }
 }

@@ -6,36 +6,108 @@
 
 namespace stob::csv {
 
-Row split_line(std::string_view line, char sep) {
-  Row cells;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t pos = line.find(sep, start);
-    if (pos == std::string_view::npos) {
-      cells.emplace_back(line.substr(start));
-      break;
-    }
-    cells.emplace_back(line.substr(start, pos - start));
-    start = pos + 1;
+namespace {
+
+bool needs_quoting(std::string_view cell, char sep) {
+  for (char c : cell) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
   }
-  return cells;
+  return false;
 }
 
-std::vector<Row> read_file(const std::filesystem::path& path, char sep) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("csv: cannot open " + path.string());
+// Shared scanner: parses `content` into records, honouring quoted cells.
+// `single_record` restricts the input to one logical line (split_line).
+std::vector<Row> scan(std::string_view content, char sep, bool single_record) {
   std::vector<Row> rows;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    rows.push_back(split_line(line, sep));
+  Row row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;  // distinguishes "" (one empty cell) from a blank line
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_record = [&] {
+    // A record with content always flushes its last cell; a completely blank
+    // line produces no cells and is skipped (legacy read_file behaviour).
+    if (cell_started || !cell.empty() || !row.empty()) end_cell();
+    if (!row.empty()) rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          cell += '"';  // doubled quote = literal quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;  // separators and newlines are literal inside quotes
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      cell_started = true;
+    } else if (c == sep) {
+      cell_started = true;  // "a," ends with an (empty) second cell
+      end_cell();
+    } else if (c == '\r' && !single_record && i + 1 < content.size() &&
+               content[i + 1] == '\n') {
+      // CRLF line ending: the CR belongs to the terminator, not the cell
+      // (so a "\r\n" blank line stays blank); consumed with the LF below.
+    } else if (c == '\n' && !single_record) {
+      end_record();
+    } else {
+      cell += c;
+      cell_started = true;
+    }
   }
+  if (in_quotes) throw std::runtime_error("csv: unterminated quoted cell");
+  end_record();
   return rows;
 }
 
+}  // namespace
+
+std::string quote_cell(std::string_view cell, char sep) {
+  if (!needs_quoting(cell, sep)) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Row split_line(std::string_view line, char sep) {
+  const std::vector<Row> rows = scan(line, sep, /*single_record=*/true);
+  return rows.empty() ? Row{""} : rows.front();  // "" splits to one empty cell
+}
+
+std::vector<Row> parse_content(std::string_view content, char sep) {
+  return scan(content, sep, /*single_record=*/false);
+}
+
+std::vector<Row> read_file(const std::filesystem::path& path, char sep) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("csv: cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_content(buf.str(), sep);
+}
+
 void write_file(const std::filesystem::path& path, const std::vector<Row>& rows, char sep) {
-  std::ofstream out(path, std::ios::trunc);
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
   if (!out) throw std::runtime_error("csv: cannot open for write " + path.string());
   for (const Row& row : rows) out << join(row, sep) << '\n';
   if (!out) throw std::runtime_error("csv: write failed for " + path.string());
@@ -45,7 +117,7 @@ std::string join(const Row& row, char sep) {
   std::ostringstream os;
   for (std::size_t i = 0; i < row.size(); ++i) {
     if (i) os << sep;
-    os << row[i];
+    os << quote_cell(row[i], sep);
   }
   return os.str();
 }

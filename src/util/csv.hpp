@@ -1,6 +1,8 @@
-// Minimal CSV reader/writer for trace datasets and benchmark output. Handles
-// the unquoted numeric/identifier cells this project produces; it is not a
-// general RFC 4180 parser.
+// Minimal CSV reader/writer for trace datasets and benchmark output.
+// Implements the RFC 4180 quoting rules: cells containing the separator,
+// double quotes, or newlines are written quoted (embedded quotes doubled),
+// and the reader understands quoted cells — including embedded newlines —
+// so write_file / read_file round-trip arbitrary cell content.
 #pragma once
 
 #include <filesystem>
@@ -12,8 +14,19 @@ namespace stob::csv {
 
 using Row = std::vector<std::string>;
 
-/// Split one CSV line on commas (no quoting).
+/// Quote `cell` for CSV output if (and only if) it needs it: contains the
+/// separator, a double quote, or a CR/LF. Embedded quotes are doubled.
+std::string quote_cell(std::string_view cell, char sep = ',');
+
+/// Split one CSV line on commas, honouring RFC 4180 quoting. A quoted cell
+/// must not contain an embedded newline here (use parse_content for that —
+/// a lone line has already lost the information).
 Row split_line(std::string_view line, char sep = ',');
+
+/// Parse a whole CSV document, honouring quoted cells with embedded
+/// newlines. Records are separated by LF or CRLF; empty records (blank
+/// lines) are skipped.
+std::vector<Row> parse_content(std::string_view content, char sep = ',');
 
 /// Read all rows of a CSV file. Throws std::runtime_error on I/O failure.
 std::vector<Row> read_file(const std::filesystem::path& path, char sep = ',');
@@ -22,7 +35,7 @@ std::vector<Row> read_file(const std::filesystem::path& path, char sep = ',');
 void write_file(const std::filesystem::path& path, const std::vector<Row>& rows,
                 char sep = ',');
 
-/// Join cells into one line.
+/// Join cells into one line, quoting cells that need it.
 std::string join(const Row& row, char sep = ',');
 
 }  // namespace stob::csv

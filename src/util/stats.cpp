@@ -36,11 +36,16 @@ double percentile(std::span<const double> xs, double p) {
 
 double percentile_sorted(std::span<const double> xs, double p) {
   if (xs.empty()) return 0.0;
+  // std::clamp with a NaN p is UB, and a NaN rank cast to size_t is UB too;
+  // make the convention explicit: a non-finite p propagates NaN.
+  if (std::isnan(p)) return std::numeric_limits<double>::quiet_NaN();
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const auto hi = std::min(lo + 1, xs.size() - 1);
   const double frac = rank - static_cast<double>(lo);
+  // lo == hi at p == 100 (and for single-element inputs); the blend below
+  // then returns xs[lo] exactly, with no 0 * inf pitfalls since frac == 0.
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
@@ -56,13 +61,20 @@ double max(std::span<const double> xs) {
   return *std::max_element(xs.begin(), xs.end());
 }
 
-double iqr(std::span<const double> xs) { return percentile(xs, 75.0) - percentile(xs, 25.0); }
+double iqr(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());  // one sort for both quartiles
+  return percentile_sorted(sorted, 75.0) - percentile_sorted(sorted, 25.0);
+}
 
 std::vector<std::size_t> iqr_inlier_indices(std::span<const double> xs, double k) {
   std::vector<std::size_t> keep;
   if (xs.empty()) return keep;
-  const double q1 = percentile(xs, 25.0);
-  const double q3 = percentile(xs, 75.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double q1 = percentile_sorted(sorted, 25.0);
+  const double q3 = percentile_sorted(sorted, 75.0);
   const double fence = k * (q3 - q1);
   const double lo = q1 - fence;
   const double hi = q3 + fence;

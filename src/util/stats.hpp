@@ -18,6 +18,10 @@ double variance(std::span<const double> xs);
 double stddev(std::span<const double> xs);
 
 /// Linear-interpolated percentile, p in [0, 100]. Input need not be sorted.
+/// Convention (pinned by tests/test_util.cpp): empty input -> 0; p outside
+/// [0, 100] clamps; NaN p -> NaN; p == 0 / p == 100 return the exact min /
+/// max element; the interpolation is the "linear" (type 7 / numpy default)
+/// rule over rank p/100 * (n-1).
 double percentile(std::span<const double> xs, double p);
 
 /// Same interpolation as percentile(), but the input must already be

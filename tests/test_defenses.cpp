@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "defenses/baselines.hpp"
+#include "defenses/policy.hpp"
+#include "defenses/regulator.hpp"
 #include "defenses/trace_defense.hpp"
+#include "defenses/wtfpad.hpp"
 
 namespace stob::defenses {
 namespace {
@@ -316,6 +320,149 @@ TEST(Overhead, MeasuresRelativeCosts) {
   const Overhead o = measure_overhead(a, b);
   EXPECT_DOUBLE_EQ(o.bandwidth, 0.5);
   EXPECT_DOUBLE_EQ(o.latency, 1.0);
+}
+
+// ------------------------------------------------------------ PadHistogram
+
+TEST(PadHistogram, SamplesWithinRangeOrInfinity) {
+  PadHistogram::Spec spec;
+  spec.lo = 0.001;
+  spec.hi = 0.02;
+  spec.infinity_weight = 0.2;
+  PadHistogram hist(spec);
+  Rng rng(4);
+  bool saw_infinity = false;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = hist.sample(rng);
+    if (std::isinf(d)) {
+      saw_infinity = true;
+    } else {
+      EXPECT_GE(d, spec.lo);
+      EXPECT_LE(d, spec.hi);
+    }
+  }
+  EXPECT_TRUE(saw_infinity);  // 20% infinity mass must show up in 2000 draws
+}
+
+TEST(PadHistogram, ConsumesTokensAndRefills) {
+  PadHistogram::Spec spec;
+  spec.tokens = 50;
+  PadHistogram hist(spec);
+  const std::uint64_t initial = hist.tokens_left();
+  EXPECT_GT(initial, 0u);
+  Rng rng(1);
+  hist.sample(rng);
+  EXPECT_EQ(hist.tokens_left(), initial - 1);
+  for (std::uint64_t i = 1; i < initial + 1; ++i) hist.sample(rng);
+  // Drained past the initial supply: the histogram must have replenished.
+  EXPECT_GE(hist.refills(), 1u);
+  EXPECT_GT(hist.tokens_left(), 0u);
+}
+
+TEST(PadHistogram, DeterministicGivenRngState) {
+  PadHistogram a, b;
+  Rng ra(77), rb(77);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.sample(ra), b.sample(rb));
+}
+
+// -------------------------------------------------------- RegulatorPolicy
+
+TEST(RegulatorPolicy, PadsEveryDownloadToConstantSize) {
+  RegulatorPolicy policy;
+  Rng rng(5);
+  const wf::Trace out = run_policy(policy, web_like_trace(), rng);
+  for (const auto& p : out.packets()) {
+    if (p.direction < 0) EXPECT_EQ(p.size, 1514);
+  }
+}
+
+TEST(RegulatorPolicy, DeliversAllPayloadWithinBudget) {
+  RegulatorPolicy::Config cfg;
+  cfg.padding_budget = 40;
+  RegulatorPolicy policy(cfg);
+  Rng rng(5);
+  const wf::Trace original = web_like_trace();
+  const wf::Trace out = run_policy(policy, original, rng);
+  EXPECT_GE(out.total_bytes(), original.total_bytes());
+  // Download slot count = real downloads + at most `padding_budget` dummies.
+  std::size_t real_down = 0, out_down = 0;
+  for (const auto& p : original.packets()) real_down += p.direction < 0;
+  for (const auto& p : out.packets()) out_down += p.direction < 0;
+  EXPECT_GE(out_down, real_down);
+  EXPECT_LE(out_down, real_down + static_cast<std::size_t>(cfg.padding_budget));
+}
+
+TEST(RegulatorPolicy, DrawsNothingFromJobRng) {
+  RegulatorPolicy policy;
+  Rng rng(123), probe(123);
+  run_policy(policy, web_like_trace(), rng);
+  EXPECT_EQ(rng.uniform(0.0, 1.0), probe.uniform(0.0, 1.0));
+}
+
+TEST(RegulatorPolicy, SurgeScheduleDecays) {
+  // A single early burst: with no later arrivals the schedule's slot gaps
+  // must widen (the decaying rate) until the queue drains.
+  wf::Trace t;
+  for (int i = 0; i < 60; ++i) t.add(0.001 * i, -1, 1000);
+  t.normalize();
+  RegulatorPolicy::Config cfg;
+  cfg.padding_budget = 0;  // payload slots only, so gaps show the schedule
+  RegulatorPolicy policy(cfg);
+  Rng rng(1);
+  const wf::Trace out = run_policy(policy, t, rng);
+  std::vector<double> down_times;
+  for (const auto& p : out.packets()) {
+    if (p.direction < 0) down_times.push_back(p.time);
+  }
+  ASSERT_GT(down_times.size(), 10u);
+  const double early = down_times[5] - down_times[4];
+  const double late = down_times[down_times.size() - 1] - down_times[down_times.size() - 2];
+  EXPECT_GT(late, early);  // rate decayed => slots spread out
+}
+
+// ----------------------------------------------------------- WtfPadPolicy
+
+TEST(WtfPadPolicy, NeverDelaysRealPackets) {
+  WtfPadPolicy policy;
+  Rng rng(5);
+  const wf::Trace original = web_like_trace();
+  const wf::Trace out = run_policy(policy, original, rng);
+  // Every original (time, direction, size) triple survives untouched.
+  std::multimap<std::pair<double, int>, std::int64_t> remaining;
+  for (const auto& p : out.packets()) {
+    remaining.insert({{p.time, p.direction}, p.size});
+  }
+  for (const auto& p : original.packets()) {
+    auto range = remaining.equal_range({p.time, p.direction});
+    bool found = false;
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == p.size) {
+        remaining.erase(it);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "real packet at t=" << p.time << " was altered";
+  }
+}
+
+TEST(WtfPadPolicy, InjectsDummiesIntoGapsButNotPastEnd) {
+  WtfPadPolicy policy;
+  Rng rng(5);
+  const wf::Trace original = web_like_trace(7, 300);
+  const wf::Trace out = run_policy(policy, original, rng);
+  EXPECT_GT(out.size(), original.size());  // adaptive padding fired
+  const double end = original.packets().back().time;
+  for (const auto& p : out.packets()) EXPECT_LE(p.time, end);
+}
+
+TEST(WtfPadPolicy, OutputIsPureFunctionOfSeedAndInput) {
+  const wf::Trace original = web_like_trace();
+  Rng a(9), b(9), c(10);
+  WtfPadPolicy p1, p2, p3;
+  const wf::Trace out_a = run_policy(p1, original, a);
+  EXPECT_EQ(out_a, run_policy(p2, original, b));
+  EXPECT_NE(out_a, run_policy(p3, original, c));  // padding follows the fork
 }
 
 }  // namespace

@@ -347,5 +347,67 @@ TEST(ProfiledPool, ParallelExceptionKeepsProfilerBalanced) {
   for (const obs::ProfRecord& r : prof.records()) EXPECT_GE(r.wall_ns, 0);
 }
 
+// ---------------------------------------------------------------- parse_cli
+//
+// The CLI contract: unknown flags are hard errors (a typo must not silently
+// run a benchmark with default settings), value flags demand a value,
+// --jobs must be numeric, duplicates take the last value, and harnesses can
+// register extra flags.
+
+namespace {
+Cli parse(std::vector<const char*> argv, const std::vector<FlagSpec>& extra = {}) {
+  argv.insert(argv.begin(), "prog");
+  return parse_cli(static_cast<int>(argv.size()),
+                   const_cast<char**>(const_cast<const char**>(argv.data())), extra);
+}
+}  // namespace
+
+TEST(ParseCli, ParsesSharedFlagsBothSpellings) {
+  const Cli a = parse({"--jobs", "4", "--check-determinism", "--manifest", "m.json"});
+  EXPECT_EQ(a.jobs, 4u);
+  EXPECT_TRUE(a.check_determinism);
+  EXPECT_EQ(a.manifest_path, "m.json");
+  EXPECT_TRUE(a.profile());
+
+  const Cli b = parse({"--jobs=8", "--trace-events=t.json"});
+  EXPECT_EQ(b.jobs, 8u);
+  EXPECT_EQ(b.trace_events_path, "t.json");
+}
+
+TEST(ParseCli, UnknownFlagIsHardError) {
+  EXPECT_THROW(parse({"--job", "4"}), std::invalid_argument);       // typo
+  EXPECT_THROW(parse({"--frobnicate"}), std::invalid_argument);
+  EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+}
+
+TEST(ParseCli, MissingOrForbiddenValueIsHardError) {
+  EXPECT_THROW(parse({"--jobs"}), std::invalid_argument);           // no value
+  EXPECT_THROW(parse({"--manifest"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--check-determinism=yes"}), std::invalid_argument);
+}
+
+TEST(ParseCli, NonNumericJobsIsHardError) {
+  EXPECT_THROW(parse({"--jobs", "four"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--jobs", "4x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--jobs", ""}), std::invalid_argument);
+  EXPECT_THROW(parse({"--jobs", "-2"}), std::invalid_argument);
+}
+
+TEST(ParseCli, DuplicateFlagLastWins) {
+  const Cli cli = parse({"--jobs", "2", "--jobs", "6", "--manifest=a", "--manifest=b"});
+  EXPECT_EQ(cli.jobs, 6u);
+  EXPECT_EQ(cli.manifest_path, "b");
+}
+
+TEST(ParseCli, ExtraFlagsRegisterAndParse) {
+  const std::vector<FlagSpec> extra = {{"--pareto", true}, {"--smoke", false}};
+  const Cli cli = parse({"--smoke", "--pareto", "out.csv"}, extra);
+  EXPECT_TRUE(cli.has("--smoke"));
+  EXPECT_EQ(cli.get("--pareto"), "out.csv");
+  EXPECT_EQ(cli.get("--absent", "fallback"), "fallback");
+  // Extra flags are only known when registered.
+  EXPECT_THROW(parse({"--pareto", "out.csv"}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace stob::exp

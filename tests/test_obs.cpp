@@ -555,6 +555,33 @@ TEST(Manifest, DeterministicJsonExcludesHarnessFields) {
   EXPECT_EQ(m.metrics_sha256.size(), 64u);
 }
 
+// Golden test for the JSON string escaper with hostile config values:
+// quotes, backslashes, every flavour of control character, and non-ASCII
+// bytes. Control characters AND bytes >= 0x7f must come out as \u00XX
+// (with an unsigned value — a sign-extended char would emit \uffXX...),
+// so the manifest is pure ASCII regardless of input encoding.
+TEST(Manifest, JsonEscapesControlAndNonAsciiBytes) {
+  RunManifest m;
+  m.tool = "esc";
+  m.set_config("quotes", "say \"hi\" \\ done");
+  // Split literals: "\x01e" would parse as the single byte 0x1e.
+  m.set_config("ctl", std::string("a\nb\rc\td\x01") + "e\x1f" + "f");
+  m.set_config("high", "caf\xc3\xa9 \xff\x80");  // UTF-8 é, then raw bytes
+  m.set_config("del", "x\x7fy");
+  const std::string json = m.to_json();
+
+  EXPECT_NE(json.find(R"(say \"hi\" \\ done)"), std::string::npos);
+  EXPECT_NE(json.find("a\\nb\\rc\\td\\u0001e\\u001ff"), std::string::npos);
+  EXPECT_NE(json.find("caf\\u00c3\\u00a9 \\u00ff\\u0080"), std::string::npos);
+  EXPECT_NE(json.find("x\\u007fy"), std::string::npos);
+  // The whole manifest is 7-bit ASCII with no raw control characters
+  // outside the structural newlines.
+  for (char c : json) {
+    const auto u = static_cast<unsigned char>(c);
+    EXPECT_TRUE(u == '\n' || (u >= 0x20 && u < 0x7f)) << "raw byte " << static_cast<int>(u);
+  }
+}
+
 TEST(Manifest, CellSpecDigestIgnoresJobsAndTimings) {
   RunManifest a;
   a.tool = "t";

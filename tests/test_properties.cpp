@@ -116,7 +116,7 @@ TEST_P(DefenseInvariants, WellFormedOutput) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, DefenseInvariants,
-                         ::testing::Combine(::testing::Range(0, 9),
+                         ::testing::Combine(::testing::Range(0, 11),
                                             ::testing::Values(1, 2, 3)));
 
 // ------------------------------------------------- guarded policy safety

@@ -272,6 +272,75 @@ TEST(Stats, MinMaxSum) {
   EXPECT_DOUBLE_EQ(stats::sum(xs), 11.0);
 }
 
+// ------------------------------------------------- percentile edge cases
+//
+// These pin the documented convention (type-7 linear interpolation over
+// rank p/100 * (n-1)) and the edge cases that used to be UB: a NaN p hit
+// std::clamp (UB) and then a NaN -> size_t cast (UB again).
+
+TEST(Stats, PercentileEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(stats::percentile({}, 50.0), 0.0);
+  const std::vector<double> one{42.0};
+  for (double p : {0.0, 37.5, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(stats::percentile(one, p), 42.0) << p;
+  }
+}
+
+TEST(Stats, PercentileEndpointsAreExactMinMax) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.uniform(-1e6, 1e6));
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 0.0), stats::min(xs));
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 100.0), stats::max(xs));
+  // Out-of-range p clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, -50.0), stats::min(xs));
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 250.0), stats::max(xs));
+}
+
+TEST(Stats, PercentileAllEqualIsConstant) {
+  const std::vector<double> xs(64, 3.25);
+  for (double p : {0.0, 10.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, p), 3.25) << p;
+  }
+}
+
+TEST(Stats, PercentileNanPropagatesInsteadOfUb) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_TRUE(std::isnan(stats::percentile(xs, std::nan(""))));
+  EXPECT_TRUE(std::isnan(stats::percentile_sorted(xs, std::nan(""))));
+}
+
+TEST(Stats, PercentilePinsLinearInterpolation) {
+  // rank = p/100 * (n-1); n = 5 => p=25 lands exactly on index 1, p=30 is
+  // 0.2 of the way from index 1 to 2 (the numpy 'linear' / R type-7 rule).
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 30.0), 22.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 87.5), 45.0);
+}
+
+TEST(Stats, PercentileMonotoneInP) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform(0, 1000));
+  double prev = stats::percentile(xs, 0.0);
+  for (double p = 1.0; p <= 100.0; p += 1.0) {
+    const double cur = stats::percentile(xs, p);
+    EXPECT_GE(cur, prev) << p;
+    prev = cur;
+  }
+}
+
+TEST(Stats, IqrMatchesQuartileDifference) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 321; ++i) xs.push_back(rng.uniform(-50, 50));
+  EXPECT_DOUBLE_EQ(stats::iqr(xs),
+                   stats::percentile(xs, 75.0) - stats::percentile(xs, 25.0));
+  EXPECT_DOUBLE_EQ(stats::iqr({}), 0.0);
+}
+
 // --------------------------------------------------------------------- csv
 
 TEST(Csv, SplitBasic) {
@@ -299,6 +368,53 @@ TEST(Csv, ReadMissingFileThrows) {
 TEST(Csv, JoinInverseOfSplit) {
   const csv::Row row{"x", "y", "z"};
   EXPECT_EQ(csv::split_line(csv::join(row)), row);
+}
+
+TEST(Csv, QuotesOnlyCellsThatNeedIt) {
+  EXPECT_EQ(csv::quote_cell("plain"), "plain");
+  EXPECT_EQ(csv::quote_cell("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv::quote_cell("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(csv::quote_cell("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(csv::quote_cell("semi;colon", ';'), "\"semi;colon\"");
+  EXPECT_EQ(csv::quote_cell("semi;colon", ','), "semi;colon");
+}
+
+TEST(Csv, SplitLineHonoursQuoting) {
+  const auto cells = csv::split_line(R"(a,"b,c","d""e",f)");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[1], "b,c");
+  EXPECT_EQ(cells[2], "d\"e");
+  EXPECT_EQ(cells[3], "f");
+}
+
+// The RFC 4180 regression: commas, quotes, and newlines inside cells must
+// survive write_file -> read_file unchanged (the Pareto CSV carries
+// free-form defense and fault names).
+TEST(Csv, RoundTripsHostileCells) {
+  const auto path = std::filesystem::temp_directory_path() / "stob_csv_hostile.csv";
+  const std::vector<csv::Row> rows{
+      {"name", "note"},
+      {"plain", "no quoting needed"},
+      {"comma,inside", "quote\"inside"},
+      {"multi\nline", "both,\"and\nmore"},
+      {"", "trailing-empty-next"},
+      {"crlf\r\ninside", "end"},
+  };
+  csv::write_file(path, rows);
+  EXPECT_EQ(csv::read_file(path), rows);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ParseContentSkipsBlankLinesAndHandlesCrlf) {
+  const auto rows = csv::parse_content("a,b\r\n\r\n\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (csv::Row{"a", "b"}));
+  EXPECT_EQ(rows[1], (csv::Row{"c", "d"}));
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(csv::parse_content("a,\"unclosed\n"), std::runtime_error);
 }
 
 // --------------------------------------------------------------------- log
