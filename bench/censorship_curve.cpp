@@ -54,8 +54,14 @@ int main(int argc, char** argv) {
   exp::RunOptions run;
   run.jobs = jobs;
   run.check_determinism = cli.check_determinism;
+  run.proc = exp::proc_options_from_cli(cli);
+  exp::ProcReport proc_report;
+  run.proc_report = &proc_report;
   const wf::Dataset data =
       exp::to_dataset(exp::run_grid(grid, run)).sanitized_by_download_size(0.75);
+  if (run.proc.workers > 0) {
+    exp::print_proc_summary("censorship_curve", run.proc, proc_report);
+  }
 
   defenses::SplitDefense split;
   defenses::DelayDefense delay;

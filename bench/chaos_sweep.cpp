@@ -18,7 +18,10 @@
 // it. Exit status is 1 if any stack invariant was violated.
 //
 // Flags: --jobs N (or STOB_JOBS), --check-determinism, --manifest PATH /
-// --trace-events PATH (either turns the span profiler on).
+// --trace-events PATH (either turns the span profiler on), --smoke (1 site
+// x 1 sample — the CI grid), and the out-of-process runner set:
+// --proc-workers N, --job-timeout S, --retries N, --journal PATH, --resume,
+// --inject-worker-fault crash|hang|exit[:rate].
 // Environment knobs: STOB_SITES (default 2), STOB_SAMPLES (default 2),
 // STOB_SEED.
 #include <cstdio>
@@ -59,10 +62,11 @@ struct ScenarioRow {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto sites = static_cast<std::size_t>(env_int("STOB_SITES", 2));
-  const auto samples = static_cast<std::size_t>(env_int("STOB_SAMPLES", 2));
+  const exp::Cli cli = exp::parse_cli(argc, argv, {{"--smoke", false}});
+  const bool smoke = cli.has("--smoke");
+  const auto sites = smoke ? 1 : static_cast<std::size_t>(env_int("STOB_SITES", 2));
+  const auto samples = smoke ? 1 : static_cast<std::size_t>(env_int("STOB_SAMPLES", 2));
   const auto seed = static_cast<std::uint64_t>(env_int("STOB_SEED", 20251117));
-  const exp::Cli cli = exp::parse_cli(argc, argv);
   const std::size_t jobs = cli.jobs == 0 ? exp::default_jobs() : cli.jobs;
 
   exp::ExperimentGrid grid;
@@ -93,10 +97,14 @@ int main(int argc, char** argv) {
   run.jobs = jobs;
   run.check_invariants = true;
   run.check_determinism = cli.check_determinism;
+  run.proc = exp::proc_options_from_cli(cli);
+  exp::ProcReport proc_report;
+  run.proc_report = &proc_report;
   const std::vector<exp::JobResult> results = [&] {
     obs::ProfSpan span("sweep");
     return exp::run_grid(grid, run);
   }();
+  if (run.proc.workers > 0) exp::print_proc_summary("chaos_sweep", run.proc, proc_report);
 
   // Reduce in job order. The undefended (defense 0) twin of every defended
   // job precedes it within the same (fault, site, sample) block, so the
@@ -184,5 +192,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nAll stack invariants held across every scenario.\n");
-  return 0;
+  // Quarantined cells mean the table above is missing data: report success
+  // on stdout determinism but fail the invocation.
+  return proc_report.quarantined > 0 ? 2 : 0;
 }

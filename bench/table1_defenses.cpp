@@ -113,10 +113,18 @@ int run_pareto(const exp::Cli& cli, std::size_t samples, std::size_t trees,
   exp::RunOptions run;
   run.jobs = jobs;
   run.check_determinism = cli.check_determinism;
+  // Out-of-process collection: workers re-exec this binary and _exit inside
+  // run_grid, so they never reach the k-FP evaluation stage below.
+  run.proc = exp::proc_options_from_cli(cli);
+  exp::ProcReport proc_report;
+  run.proc_report = &proc_report;
   const std::vector<exp::JobResult> results = [&] {
     obs::ProfSpan span("collect");
     return exp::run_grid(grid, run);
   }();
+  if (run.proc.workers > 0) {
+    exp::print_proc_summary("table1_defenses", run.proc, proc_report);
+  }
 
   // Partition the job-ordered results into one dataset per (CCA, fault)
   // condition; job order makes each partition deterministic at any --jobs.
@@ -269,10 +277,16 @@ int main(int argc, char** argv) {
   exp::RunOptions run;
   run.jobs = jobs;
   run.check_determinism = cli.check_determinism;
+  run.proc = exp::proc_options_from_cli(cli);
+  exp::ProcReport proc_report;
+  run.proc_report = &proc_report;
   const wf::Dataset data = [&] {
     obs::ProfSpan span("collect");
     return exp::to_dataset(exp::run_grid(grid, run)).sanitized_by_download_size(0.75);
   }();
+  if (run.proc.workers > 0) {
+    exp::print_proc_summary("table1_defenses", run.proc, proc_report);
+  }
 
   wf::KFingerprint::Config kfp_cfg;
   kfp_cfg.forest.num_trees = trees;

@@ -87,11 +87,17 @@ int main(int argc, char** argv) {
   exp::RunOptions run;
   run.jobs = jobs;
   run.check_determinism = cli.check_determinism;
+  // Out-of-process collection: a worker re-execs this binary and _exits
+  // inside run_grid, so it never reaches the attack stage below.
+  run.proc = exp::proc_options_from_cli(cli);
+  exp::ProcReport proc_report;
+  run.proc_report = &proc_report;
   std::fflush(stdout);
   const wf::Dataset raw = [&] {
     obs::ProfSpan span("collect");
     return exp::to_dataset(exp::run_grid(grid, run));
   }();
+  if (run.proc.workers > 0) exp::print_proc_summary("table2_kfp", run.proc, proc_report);
   std::printf("collected %zu traces\n", raw.size());
 
   // 2. Sanitise (IQR fence on download size) and balance, as in the paper

@@ -1,16 +1,24 @@
 #include "exp/experiment.hpp"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+#include <set>
 #include <stdexcept>
+#include <utility>
 
+#include "exp/job_codec.hpp"
 #include "exp/worker_pool.hpp"
 #include "fault/invariants.hpp"
 #include "net/packet.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
 #include "util/log.hpp"
+#include "util/subprocess.hpp"
 
 namespace stob::exp {
 
@@ -104,19 +112,168 @@ JobResult run_job(const ExperimentGrid& grid, const JobSpec& spec, const RunOpti
   return result;
 }
 
+std::string cell_digest(const ExperimentGrid& grid, std::size_t index, const RunOptions& opts) {
+  const JobSpec spec = grid.job(index);
+  // Reuse the run-manifest digest machinery: set_config keeps the entries
+  // sorted by key, so the digest is independent of the order fields are
+  // added here (pinned by tests/test_proc.cpp).
+  obs::RunManifest m;
+  m.tool = "cell";
+  m.base_seed = spec.seed;
+  m.set_config("site", grid.sites.empty() ? std::to_string(spec.site) : grid.sites[spec.site].name);
+  m.set_config("sample", std::to_string(spec.sample));
+  m.set_config("defense",
+               grid.defenses.empty() ? std::string("none") : grid.defenses[spec.defense].name);
+  m.set_config("cca", grid.ccas.empty() ? std::string("default") : grid.ccas[spec.cca]);
+  m.set_config("fault",
+               grid.faults.empty() ? std::string("none") : grid.faults[spec.fault].name);
+  // Everything that shapes the payload bytes beyond the coordinates: the
+  // requested sinks and the codec rev the payload is encoded with.
+  m.set_config("collect_metrics", opts.collect_metrics ? "1" : "0");
+  m.set_config("trace_capacity", std::to_string(opts.trace_capacity));
+  m.set_config("check_invariants", opts.check_invariants ? "1" : "0");
+  m.set_config("codec", std::to_string(kWorkerPayloadVersion));
+  return m.cell_spec_digest();
+}
+
+namespace {
+
+/// Human-readable grid coordinates for error messages and crash reports.
+std::string describe_cell(const ExperimentGrid& grid, const JobSpec& spec) {
+  std::string out =
+      "site=" + (grid.sites.empty() ? std::to_string(spec.site) : grid.sites[spec.site].name);
+  out += " sample=" + std::to_string(spec.sample);
+  out +=
+      " defense=" + (grid.defenses.empty() ? std::string("none") : grid.defenses[spec.defense].name);
+  out += " cca=" + (grid.ccas.empty() ? std::string("default") : grid.ccas[spec.cca]);
+  out += " fault=" + (grid.faults.empty() ? std::string("none") : grid.faults[spec.fault].name);
+  out += " seed=" + std::to_string(spec.seed);
+  return out;
+}
+
+/// Run one cell and encode the worker payload, capturing per-job profiler
+/// records exactly the way run_ordered_profiled does (a "job" span wrapping
+/// the cell, span-id domain derived from the job index) so the supervisor's
+/// splice reproduces the in-process span structure byte for byte.
+std::string run_cell_payload(const ExperimentGrid& grid, std::size_t index,
+                             const RunOptions& opts, bool capture_prof,
+                             std::uint64_t prof_domain) {
+  WorkerPayload payload;
+  if (capture_prof) {
+    obs::Profiler job_prof(obs::sub_domain(prof_domain, index));
+    {
+      obs::ScopedProfiler guard(job_prof);
+      obs::ProfSpan span("job");
+      payload.result = run_job(grid, grid.job(index), opts);
+    }
+    payload.prof_records = job_prof.take_records();
+  } else {
+    payload.result = run_job(grid, grid.job(index), opts);
+  }
+  return encode_worker_payload(payload);
+}
+
+/// Worker-process entry: run the one assigned cell, ship the result frame,
+/// and _exit without ever returning into the driver's reporting code.
+[[noreturn]] void run_worker_and_exit(const ExperimentGrid& grid, const RunOptions& opts) {
+  const std::size_t index = *opts.proc.worker_job;
+  // The deterministic self-fault hook fires before any real work so a
+  // "crash" can never have half-written observable state.
+  execute_worker_fault(opts.proc.worker_fault);
+  if (index >= grid.job_count()) {
+    std::fprintf(stderr, "worker: job index %zu out of range (grid has %zu cells)\n", index,
+                 grid.job_count());
+    ::_exit(2);
+  }
+  int code = 0;
+  try {
+    const std::string payload = run_cell_payload(grid, index, opts, opts.proc.worker_profile,
+                                                 opts.proc.worker_prof_domain);
+    if (!util::write_frame(opts.proc.worker_fd, payload)) code = 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker: job %zu threw: %s\n", index, e.what());
+    code = 1;
+  }
+  std::fflush(nullptr);
+  ::_exit(code);
+}
+
+/// Supervisor path of run_grid: fan the grid out to worker processes and
+/// decode the payloads back into ordered JobResults. Quarantined cells get
+/// a placeholder result (completed = false) so downstream reductions keep
+/// their shape instead of the whole sweep dying with the cell.
+std::vector<JobResult> run_grid_proc(const ExperimentGrid& grid, const RunOptions& opts,
+                                     ProcReport* report) {
+  obs::Profiler* prof = obs::profiler();
+  ProcOptions proc = opts.proc;
+  if (prof != nullptr) {
+    proc.worker_profile = true;
+    proc.worker_prof_domain = prof->id_domain();
+  }
+  const bool capture_prof = prof != nullptr;
+  const std::uint64_t prof_domain = capture_prof ? prof->id_domain() : 0;
+
+  const std::size_t count = grid.job_count();
+  const auto payloads = run_cells(
+      count, proc, [&](std::size_t i) { return cell_digest(grid, i, opts); },
+      [&](std::size_t i) { return run_cell_payload(grid, i, opts, capture_prof, prof_domain); },
+      report);
+
+  std::vector<JobResult> results(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!payloads[i].has_value()) {
+      results[i].spec = grid.job(i);  // quarantined placeholder
+      continue;
+    }
+    WorkerPayload payload;
+    try {
+      payload = decode_worker_payload(*payloads[i]);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("exp: undecodable worker payload for job " + std::to_string(i) +
+                               " [cell " + describe_cell(grid, grid.job(i)) + "]: " + e.what());
+    }
+    if (prof != nullptr) prof->splice(std::move(payload.prof_records), 0, 0);
+    results[i] = std::move(payload.result);
+  }
+  return results;
+}
+
+}  // namespace
+
 std::vector<JobResult> run_grid(const ExperimentGrid& grid, const RunOptions& opts) {
+  // Worker mode first: the worker's argv still carries the supervisor's
+  // --proc-workers flag, so checking workers > 0 before this would fork
+  // grandchildren forever.
+  if (opts.proc.worker_job.has_value()) run_worker_and_exit(grid, opts);
+
   auto run_with = [&](std::size_t threads) {
-    return run_ordered<JobResult>(grid.job_count(), threads,
-                                  [&](std::size_t i) { return run_job(grid, grid.job(i), opts); });
+    try {
+      return run_ordered<JobResult>(
+          grid.job_count(), threads,
+          [&](std::size_t i) { return run_job(grid, grid.job(i), opts); });
+    } catch (const JobError& e) {
+      throw JobError(e.job_index(), std::string(e.what()) + " [cell " +
+                                        describe_cell(grid, grid.job(e.job_index())) + "]");
+    }
   };
+  ProcReport report;
   std::vector<JobResult> results = [&] {
     obs::ProfSpan span("grid.run");
+    if (opts.proc.workers > 0) return run_grid_proc(grid, opts, &report);
     return run_with(opts.jobs);
   }();
+  if (opts.proc.workers > 0 && opts.proc_report != nullptr) *opts.proc_report = report;
   if (opts.check_determinism) {
+    // The reference run is serial *and in-process*, so in proc mode this
+    // directly asserts out-of-process == in-process, byte for byte.
     obs::ProfSpan span("grid.verify");
+    std::set<std::size_t> quarantined;
+    for (const obs::CrashRecord& f : report.failures) {
+      quarantined.insert(static_cast<std::size_t>(f.job));
+    }
     const std::vector<JobResult> serial = run_with(1);
     for (std::size_t i = 0; i < results.size(); ++i) {
+      if (quarantined.count(i) != 0) continue;  // placeholder, nothing to compare
       if (!results_identical(results[i], serial[i])) {
         throw std::runtime_error("experiment engine determinism violation at job " +
                                  std::to_string(i));
@@ -147,6 +304,32 @@ wf::Dataset to_dataset(const std::vector<JobResult>& results) {
 
 namespace {
 
+double parse_seconds(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size() || v < 0.0) throw std::invalid_argument("bad");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("exp: " + flag + " expects a non-negative number of seconds, got '" +
+                                value + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  const bool all_digits =
+      !value.empty() && value.find_first_not_of("0123456789") == std::string::npos;
+  if (!all_digits) {
+    throw std::invalid_argument("exp: " + flag + " expects a non-negative integer, got '" +
+                                value + "'");
+  }
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("exp: " + flag + " value '" + value + "' out of range");
+  }
+}
+
 std::size_t parse_jobs(const std::string& flag, const std::string& value) {
   // Digits only: stoull would silently accept (and wrap) "-2", and "4x"
   // must not parse as 4.
@@ -174,11 +357,26 @@ Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags) {
     cli.jobs = parse_jobs("STOB_JOBS", env);
   }
 
-  // Shared flags first, then the harness-specific ones.
+  cli.argv.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) cli.argv.emplace_back(argv[i]);
+
+  // Shared flags first, then the harness-specific ones. The --worker-*
+  // flags are appended by the proc supervisor when it re-execs the driver;
+  // users never pass them directly.
   std::vector<FlagSpec> known = {{"--jobs", true},
                                  {"--check-determinism", false},
                                  {"--manifest", true},
-                                 {"--trace-events", true}};
+                                 {"--trace-events", true},
+                                 {"--proc-workers", true},
+                                 {"--job-timeout", true},
+                                 {"--retries", true},
+                                 {"--journal", true},
+                                 {"--resume", false},
+                                 {"--inject-worker-fault", true},
+                                 {"--worker-job", true},
+                                 {"--worker-fd", true},
+                                 {"--worker-fault", true},
+                                 {"--worker-prof-domain", true}};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
 
   std::map<std::string, int> seen;
@@ -202,7 +400,9 @@ Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags) {
     if (spec == nullptr) {
       throw std::invalid_argument("exp: unknown flag '" + arg +
                                   "' (use --flag or --flag=value; known flags: --jobs, "
-                                  "--check-determinism, --manifest, --trace-events" +
+                                  "--check-determinism, --manifest, --trace-events, "
+                                  "--proc-workers, --job-timeout, --retries, --journal, "
+                                  "--resume, --inject-worker-fault" +
                                   [&] {
                                     std::string s;
                                     for (const FlagSpec& f : extra_flags) s += ", " + f.name;
@@ -231,11 +431,54 @@ Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags) {
       cli.manifest_path = *value;
     } else if (name == "--trace-events") {
       cli.trace_events_path = *value;
+    } else if (name == "--proc-workers") {
+      cli.proc_workers = parse_jobs(name, *value);
+    } else if (name == "--job-timeout") {
+      cli.job_timeout_s = parse_seconds(name, *value);
+    } else if (name == "--retries") {
+      cli.retries = static_cast<std::size_t>(parse_u64(name, *value));
+    } else if (name == "--journal") {
+      cli.journal_path = *value;
+    } else if (name == "--resume") {
+      cli.resume = true;
+    } else if (name == "--inject-worker-fault") {
+      WorkerFaultPlan::parse(*value);  // reject malformed specs at the CLI
+      cli.inject_worker_fault = *value;
+    } else if (name == "--worker-job") {
+      cli.worker_mode = true;
+      cli.worker_job = static_cast<std::size_t>(parse_u64(name, *value));
+    } else if (name == "--worker-fd") {
+      cli.worker_fd = static_cast<int>(parse_u64(name, *value));
+    } else if (name == "--worker-fault") {
+      cli.worker_fault = *value;
+    } else if (name == "--worker-prof-domain") {
+      cli.worker_profile = true;
+      cli.worker_prof_domain = parse_u64(name, *value);
     } else {
       cli.extra[name] = spec->takes_value ? *value : "1";
     }
   }
+  if (cli.resume && cli.journal_path.empty()) {
+    throw std::invalid_argument("exp: --resume needs --journal PATH (the journal to replay)");
+  }
   return cli;
+}
+
+ProcOptions proc_options_from_cli(const Cli& cli) {
+  ProcOptions proc;
+  proc.workers = cli.proc_workers;
+  proc.job_timeout = Duration::seconds_f(cli.job_timeout_s);
+  proc.retries = cli.retries;
+  proc.journal_path = cli.journal_path;
+  proc.resume = cli.resume;
+  proc.fault_spec = cli.inject_worker_fault;
+  if (cli.proc_workers > 0) proc.worker_argv = cli.argv;
+  if (cli.worker_mode) proc.worker_job = cli.worker_job;
+  proc.worker_fd = cli.worker_fd;
+  proc.worker_fault = cli.worker_fault;
+  proc.worker_profile = cli.worker_profile;
+  proc.worker_prof_domain = cli.worker_prof_domain;
+  return proc;
 }
 
 }  // namespace stob::exp

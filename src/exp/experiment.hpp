@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "defenses/trace_defense.hpp"
+#include "exp/proc_runner.hpp"
 #include "fault/fault.hpp"
 #include "obs/trace_recorder.hpp"
 #include "util/units.hpp"
@@ -120,6 +121,13 @@ struct RunOptions {
   /// thread and throw std::runtime_error unless every job's output is
   /// byte-identical.
   bool check_determinism = false;
+  /// Out-of-process execution (crash isolation; see exp/proc_runner.hpp).
+  /// proc.workers > 0 routes run_grid through the process supervisor;
+  /// proc.worker_job set means *this process is a worker*: run that one
+  /// cell, write the result frame to proc.worker_fd, and _exit.
+  ProcOptions proc;
+  /// When non-null and proc mode ran, filled with the supervisor's report.
+  ProcReport* proc_report = nullptr;
 };
 
 /// Run a single job (always safe to call from any thread).
@@ -132,6 +140,16 @@ std::vector<JobResult> run_grid(const ExperimentGrid& grid, const RunOptions& op
 /// byte-equivalent: trace, counters, metrics snapshot and captured events.
 bool results_identical(const JobResult& a, const JobResult& b);
 
+/// Content-addressed journal key for cell `index` of `grid`: SHA-256 (via
+/// obs::RunManifest::cell_spec_digest) over the cell's full coordinates —
+/// seed, site name, sample, defense name, CCA, fault-profile name — plus
+/// every RunOptions field that shapes the result payload (metrics /
+/// flight-recorder / invariant sinks) and the worker-payload codec version.
+/// Stable across --jobs, worker mode and field-declaration order; changes
+/// whenever anything that could change the cell's bytes changes, so a
+/// resumed journal can never replay a stale or mismatched payload.
+std::string cell_digest(const ExperimentGrid& grid, std::size_t index, const RunOptions& opts);
+
 /// Labeled dataset from ordered results (label = site index), the engine's
 /// standard reduction for WF evaluation.
 wf::Dataset to_dataset(const std::vector<JobResult>& results);
@@ -143,11 +161,37 @@ wf::Dataset to_dataset(const std::vector<JobResult>& results);
 /// outputs --manifest PATH (run_manifest.json) / --trace-events PATH
 /// (Chrome trace_event JSON). Either output flag implies profiling: the
 /// driver installs an obs::Profiler for the run.
+///
+/// Out-of-process runner flags (see exp/proc_runner.hpp): --proc-workers N
+/// (0 = in-process, the default), --job-timeout SECONDS, --retries N,
+/// --journal PATH, --resume, --inject-worker-fault crash|hang|exit[:rate].
+/// The supervisor re-execs the driver binary with --worker-job N
+/// --worker-fd FD [--worker-fault KIND] [--worker-prof-domain D] appended;
+/// those worker flags are parsed here too but are never user-facing.
 struct Cli {
   std::size_t jobs = 0;
   bool check_determinism = false;
   std::string manifest_path;      ///< empty = no manifest
   std::string trace_events_path;  ///< empty = no trace_event export
+
+  // Out-of-process runner (supervisor side).
+  std::size_t proc_workers = 0;        ///< 0 = run the grid in-process
+  double job_timeout_s = 120.0;        ///< per-attempt watchdog, seconds
+  std::size_t retries = 2;             ///< attempts = retries + 1
+  std::string journal_path;            ///< results journal (empty = none)
+  bool resume = false;                 ///< replay journaled cells
+  std::string inject_worker_fault;     ///< self-fault spec (tests/CI)
+  /// Verbatim copy of argv: the supervisor's worker re-exec base.
+  std::vector<std::string> argv;
+
+  // Out-of-process runner (worker side; set only in spawned workers).
+  bool worker_mode = false;            ///< --worker-job was given
+  std::size_t worker_job = 0;          ///< cell index to run, then _exit
+  int worker_fd = 3;                   ///< result-frame descriptor
+  std::string worker_fault;            ///< fault to execute before the job
+  bool worker_profile = false;         ///< --worker-prof-domain was given
+  std::uint64_t worker_prof_domain = 0;
+
   /// Values of harness-specific flags registered through FlagSpec. Boolean
   /// flags map to "1"; value flags map to the (last) supplied value.
   std::map<std::string, std::string> extra;
@@ -176,5 +220,11 @@ struct FlagSpec {
 ///  * a flag given twice warns and the last occurrence wins.
 /// Both "--flag value" and "--flag=value" spellings are accepted.
 Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags = {});
+
+/// Map the CLI's out-of-process flags onto supervisor options. Sets
+/// worker_argv to the CLI's verbatim argv (the driver re-execs itself) and
+/// forwards the worker-side fields, so a driver only needs
+/// `run.proc = proc_options_from_cli(cli)` to support every runner flag.
+ProcOptions proc_options_from_cli(const Cli& cli);
 
 }  // namespace stob::exp

@@ -1,0 +1,231 @@
+#include "exp/job_codec.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+namespace stob::exp {
+
+namespace {
+
+constexpr std::uint8_t kVersion = kWorkerPayloadVersion;
+
+// ---------------------------------------------------------------- writer
+
+struct Writer {
+  std::string out;
+
+  void u8(std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+  void raw(const void* p, std::size_t n) { out.append(static_cast<const char*>(p), n); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void i32(std::int32_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));  // bit-exact round trip, NaNs included
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+};
+
+// ---------------------------------------------------------------- reader
+
+struct Reader {
+  std::string_view in;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > in.size()) throw std::runtime_error("job_codec: truncated payload");
+  }
+  void raw(void* p, std::size_t n) {
+    need(n);
+    std::memcpy(p, in.data() + pos, n);
+    pos += n;
+  }
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(in[pos++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(in.substr(pos, n));
+    pos += n;
+    return s;
+  }
+  std::size_t count(std::uint64_t n) const {
+    // A hostile/torn length prefix must not drive a giant allocation.
+    if (n > in.size()) throw std::runtime_error("job_codec: implausible element count");
+    return static_cast<std::size_t>(n);
+  }
+};
+
+}  // namespace
+
+std::string encode_worker_payload(const WorkerPayload& payload) {
+  const JobResult& r = payload.result;
+  Writer w;
+  w.u8(kVersion);
+
+  w.u64(r.spec.index);
+  w.u64(r.spec.site);
+  w.u64(r.spec.sample);
+  w.u64(r.spec.defense);
+  w.u64(r.spec.cca);
+  w.u64(r.spec.fault);
+  w.u64(r.spec.seed);
+
+  w.u64(r.trace.size());
+  for (const wf::PacketRecord& p : r.trace.packets()) {
+    w.f64(p.time);
+    w.i32(p.direction);
+    w.i64(p.size);
+  }
+
+  w.i64(r.page_load_time.ns());
+  w.i64(r.response_bytes);
+  w.u64(r.objects_fetched);
+  w.u8(r.completed ? 1 : 0);
+  w.u64(r.sim_events);
+  w.str(r.metrics);
+
+  w.u64(r.events.size());
+  for (const obs::PacketEvent& e : r.events) {
+    w.i64(e.time.ns());
+    w.u64(e.flow.src_host);
+    w.u64(e.flow.dst_host);
+    w.u32(e.flow.src_port);
+    w.u32(e.flow.dst_port);
+    w.u8(static_cast<std::uint8_t>(e.flow.proto));
+    w.u8(static_cast<std::uint8_t>(e.layer));
+    w.u8(static_cast<std::uint8_t>(e.dir));
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.i64(e.bytes);
+    w.u64(e.seq);
+    w.u64(e.packet_id);
+  }
+
+  w.u64(r.invariant_checks);
+  w.u64(r.invariant_violations);
+  w.str(r.first_violation);
+
+  w.u64(payload.prof_records.size());
+  for (const obs::ProfRecord& rec : payload.prof_records) {
+    w.u64(rec.id);
+    w.u64(rec.parent);
+    w.u32(rec.depth);
+    w.u32(rec.worker);
+    w.str(rec.name);
+    w.i64(rec.start_ns);
+    w.i64(rec.wall_ns);
+    w.i64(rec.cpu_ns);
+    w.u64(rec.pool_hits);
+    w.u64(rec.pool_misses);
+  }
+  return std::move(w.out);
+}
+
+WorkerPayload decode_worker_payload(std::string_view bytes) {
+  Reader rd{bytes};
+  if (rd.u8() != kVersion) throw std::runtime_error("job_codec: payload version mismatch");
+
+  WorkerPayload payload;
+  JobResult& r = payload.result;
+  r.spec.index = static_cast<std::size_t>(rd.u64());
+  r.spec.site = static_cast<std::size_t>(rd.u64());
+  r.spec.sample = static_cast<std::size_t>(rd.u64());
+  r.spec.defense = static_cast<std::size_t>(rd.u64());
+  r.spec.cca = static_cast<std::size_t>(rd.u64());
+  r.spec.fault = static_cast<std::size_t>(rd.u64());
+  r.spec.seed = rd.u64();
+
+  const std::size_t packets = rd.count(rd.u64());
+  r.trace.packets().reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    const double time = rd.f64();
+    const int dir = rd.i32();
+    const std::int64_t size = rd.i64();
+    r.trace.packets().push_back({time, dir, size});
+  }
+
+  r.page_load_time = Duration(rd.i64());
+  r.response_bytes = rd.i64();
+  r.objects_fetched = static_cast<std::size_t>(rd.u64());
+  r.completed = rd.u8() != 0;
+  r.sim_events = rd.u64();
+  r.metrics = rd.str();
+
+  const std::size_t events = rd.count(rd.u64());
+  r.events.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    obs::PacketEvent e;
+    e.time = TimePoint(rd.i64());
+    e.flow.src_host = static_cast<net::HostId>(rd.u64());
+    e.flow.dst_host = static_cast<net::HostId>(rd.u64());
+    e.flow.src_port = static_cast<decltype(e.flow.src_port)>(rd.u32());
+    e.flow.dst_port = static_cast<decltype(e.flow.dst_port)>(rd.u32());
+    e.flow.proto = static_cast<decltype(e.flow.proto)>(rd.u8());
+    e.layer = static_cast<obs::Layer>(rd.u8());
+    e.dir = static_cast<obs::Direction>(rd.u8());
+    e.kind = static_cast<obs::EventKind>(rd.u8());
+    e.bytes = rd.i64();
+    e.seq = rd.u64();
+    e.packet_id = rd.u64();
+    r.events.push_back(e);
+  }
+
+  r.invariant_checks = rd.u64();
+  r.invariant_violations = rd.u64();
+  r.first_violation = rd.str();
+
+  const std::size_t records = rd.count(rd.u64());
+  payload.prof_records.reserve(records);
+  for (std::size_t i = 0; i < records; ++i) {
+    obs::ProfRecord rec;
+    rec.id = rd.u64();
+    rec.parent = rd.u64();
+    rec.depth = rd.u32();
+    rec.worker = rd.u32();
+    rec.name = rd.str();
+    rec.start_ns = rd.i64();
+    rec.wall_ns = rd.i64();
+    rec.cpu_ns = rd.i64();
+    rec.pool_hits = rd.u64();
+    rec.pool_misses = rd.u64();
+    payload.prof_records.push_back(std::move(rec));
+  }
+  if (rd.pos != bytes.size()) throw std::runtime_error("job_codec: trailing bytes");
+  return payload;
+}
+
+}  // namespace stob::exp

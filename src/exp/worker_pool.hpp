@@ -27,6 +27,8 @@
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -39,7 +41,46 @@ namespace stob::exp {
 /// concurrency, clamped to at least 1 (hw_concurrency may report 0).
 std::size_t default_jobs();
 
+/// Thrown by run_ordered when a job function throws. Carries the failing
+/// job's index so callers (run_grid) can attach grid-cell coordinates.
+/// Derives from std::runtime_error, so pre-existing catch sites keep
+/// working unchanged. When several jobs throw concurrently, the *lowest*
+/// index among them is reported — a deterministic choice, where "whichever
+/// worker locked the mutex first" would vary run to run.
+class JobError : public std::runtime_error {
+ public:
+  JobError(std::size_t job_index, const std::string& message)
+      : std::runtime_error(message), job_index_(job_index) {}
+  std::size_t job_index() const { return job_index_; }
+
+ private:
+  std::size_t job_index_;
+};
+
 namespace detail {
+
+/// Shared failure slot for a pool run: keeps the lowest-index failure seen.
+/// Workers park the job counter on first failure, so siblings wind down
+/// promptly; any lower-index job already in flight can still replace the
+/// slot before the join.
+struct FirstError {
+  std::mutex mu;
+  bool set = false;
+  std::size_t index = 0;
+  std::string what;
+
+  void record(std::size_t i, const char* message) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!set || i < index) {
+      set = true;
+      index = i;
+      what = message;
+    }
+  }
+  [[noreturn]] void rethrow() {
+    throw JobError(index, "exp: job " + std::to_string(index) + " failed: " + what);
+  }
+};
 
 /// Per-job capture of the profiled path, filled by whichever worker ran the
 /// job (disjoint indices — no locking) and reduced in index order after the
@@ -84,11 +125,18 @@ std::vector<R> run_ordered_profiled(std::size_t count, std::size_t threads, Fn& 
   };
 
   if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) run_one(i, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        run_one(i, 0);
+      } catch (const std::exception& e) {
+        throw JobError(i, "exp: job " + std::to_string(i) + " failed: " + e.what());
+      } catch (...) {
+        throw JobError(i, "exp: job " + std::to_string(i) + " failed: unknown exception");
+      }
+    }
   } else {
     std::atomic<std::size_t> next{0};
-    std::exception_ptr error;
-    std::mutex error_mu;
+    FirstError error;
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
@@ -98,11 +146,12 @@ std::vector<R> run_ordered_profiled(std::size_t count, std::size_t threads, Fn& 
           if (i >= count) return;
           try {
             run_one(i, static_cast<std::uint32_t>(t + 1));
+          } catch (const std::exception& e) {
+            error.record(i, e.what());
+            next.store(count, std::memory_order_relaxed);
+            return;
           } catch (...) {
-            {
-              std::lock_guard<std::mutex> lock(error_mu);
-              if (!error) error = std::current_exception();
-            }
+            error.record(i, "unknown exception");
             next.store(count, std::memory_order_relaxed);
             return;
           }
@@ -110,7 +159,7 @@ std::vector<R> run_ordered_profiled(std::size_t count, std::size_t threads, Fn& 
       });
     }
     for (std::thread& w : workers) w.join();
-    if (error) std::rethrow_exception(error);
+    if (error.set) error.rethrow();
   }
 
   reduce_profiles(jobs, prof, caller_metrics, std::max<std::size_t>(threads, 1), pool_start,
@@ -122,8 +171,9 @@ std::vector<R> run_ordered_profiled(std::size_t count, std::size_t threads, Fn& 
 
 /// Run fn(0) .. fn(count-1) on `threads` workers (0 = default_jobs()) and
 /// return the results in index order. R must be default-constructible and
-/// movable. If any job throws, the remaining indices are abandoned, all
-/// workers are joined, and the first exception is rethrown.
+/// movable. If any job throws, remaining indices are abandoned, all workers
+/// are joined (the pool can never deadlock on a throw), and a JobError
+/// carrying the lowest failing index and the original what() is thrown.
 template <typename R, typename Fn>
 std::vector<R> run_ordered(std::size_t count, std::size_t threads, Fn&& fn) {
   if (count == 0) return std::vector<R>(0);
@@ -136,13 +186,20 @@ std::vector<R> run_ordered(std::size_t count, std::size_t threads, Fn&& fn) {
 
   std::vector<R> results(count);
   if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        results[i] = fn(i);
+      } catch (const std::exception& e) {
+        throw JobError(i, "exp: job " + std::to_string(i) + " failed: " + e.what());
+      } catch (...) {
+        throw JobError(i, "exp: job " + std::to_string(i) + " failed: unknown exception");
+      }
+    }
     return results;
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mu;
+  detail::FirstError error;
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
@@ -152,12 +209,13 @@ std::vector<R> run_ordered(std::size_t count, std::size_t threads, Fn&& fn) {
         if (i >= count) return;
         try {
           results[i] = fn(i);
-        } catch (...) {
-          {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (!error) error = std::current_exception();
-          }
+        } catch (const std::exception& e) {
+          error.record(i, e.what());
           // Park the counter past the end so siblings wind down promptly.
+          next.store(count, std::memory_order_relaxed);
+          return;
+        } catch (...) {
+          error.record(i, "unknown exception");
           next.store(count, std::memory_order_relaxed);
           return;
         }
@@ -165,7 +223,7 @@ std::vector<R> run_ordered(std::size_t count, std::size_t threads, Fn&& fn) {
     });
   }
   for (std::thread& w : workers) w.join();
-  if (error) std::rethrow_exception(error);
+  if (error.set) error.rethrow();
   return results;
 }
 

@@ -1,0 +1,249 @@
+#include "obs/journal.hpp"
+
+#include <fcntl.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace stob::obs {
+
+namespace {
+
+const char kHex[] = "0123456789abcdef";
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// ------------------------------------------------------- field extraction
+//
+// Not a general JSON parser: it reads back exactly the dialect to_json_line
+// emits (fixed key order, keys always before the free-form stderr_tail, all
+// strings escaped by obs::json_escape). The first occurrence of `"key":` in
+// a line is therefore always the real field.
+
+bool find_raw_string(std::string_view line, std::string_view key, std::string* out) {
+  const std::string needle = "\"" + std::string(key) + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  std::size_t i = pos + needle.size();
+  std::string raw;
+  for (; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\') {
+      if (i + 1 >= line.size()) return false;  // torn mid-escape
+      raw += c;
+      raw += line[++i];
+      continue;
+    }
+    if (c == '"') {
+      *out = raw;
+      return true;
+    }
+    raw += c;
+  }
+  return false;  // no closing quote: torn line
+}
+
+bool find_string(std::string_view line, std::string_view key, std::string* out) {
+  std::string raw;
+  if (!find_raw_string(line, key, &raw)) return false;
+  *out = json_unescape(raw);
+  return true;
+}
+
+bool find_u64(std::string_view line, std::string_view key, std::uint64_t* out) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  std::size_t i = pos + needle.size();
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return false;
+  std::uint64_t v = 0;
+  for (; i < line.size() && line[i] >= '0' && line[i] <= '9'; ++i) {
+    v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool find_int(std::string_view line, std::string_view key, int* out) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  std::size_t i = pos + needle.size();
+  bool neg = false;
+  if (i < line.size() && line[i] == '-') {
+    neg = true;
+    ++i;
+  }
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return false;
+  int v = 0;
+  for (; i < line.size() && line[i] >= '0' && line[i] <= '9'; ++i) {
+    v = v * 10 + (line[i] - '0');
+  }
+  *out = neg ? -v : v;
+  return true;
+}
+
+/// Parse one line into whichever record kind it declares. Returns false
+/// when the line is torn or not one of ours.
+bool parse_line(std::string_view line, Journal::Loaded* out) {
+  // Fast sanity: a complete record is a one-line object.
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos) return true;  // blank line: not an error
+  if (line[first] != '{' || line.find('}') == std::string_view::npos) return false;
+
+  std::string kind;
+  if (!find_string(line, "kind", &kind)) return false;
+  if (kind == "cell") {
+    JournalCell cell;
+    std::uint64_t attempts = 0;
+    std::string payload_hex;
+    if (!find_string(line, "digest", &cell.digest) || !find_u64(line, "job", &cell.job) ||
+        !find_u64(line, "attempts", &attempts) ||
+        !find_raw_string(line, "payload", &payload_hex)) {
+      return false;
+    }
+    if (payload_hex.size() % 2 != 0) return false;  // torn mid-byte
+    cell.attempts = static_cast<std::uint32_t>(attempts);
+    cell.payload = hex_decode(payload_hex);
+    out->cells.push_back(std::move(cell));
+    return true;
+  }
+  if (kind == "crash") {
+    CrashRecord crash;
+    std::uint64_t attempts = 0;
+    if (!find_string(line, "digest", &crash.digest) || !find_u64(line, "job", &crash.job) ||
+        !find_u64(line, "attempts", &attempts) ||
+        !find_string(line, "outcome", &crash.outcome) ||
+        !find_int(line, "signal", &crash.signal_no) ||
+        !find_int(line, "exit", &crash.exit_code) ||
+        !find_string(line, "stderr_tail", &crash.stderr_tail)) {
+      return false;
+    }
+    crash.attempts = static_cast<std::uint32_t>(attempts);
+    out->crashes.push_back(std::move(crash));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string hex_encode(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (char c : bytes) {
+    const auto u = static_cast<unsigned char>(c);
+    out += kHex[u >> 4];
+    out += kHex[u & 0xf];
+  }
+  return out;
+}
+
+std::string hex_decode(std::string_view hex) {
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    const int hi = hex_val(hex[i]);
+    const int lo = hex_val(hex[i + 1]);
+    if (hi < 0 || lo < 0) break;
+    out += static_cast<char>((hi << 4) | lo);
+  }
+  return out;
+}
+
+std::string to_json_line(const JournalCell& cell) {
+  std::string out = "{\"kind\":\"cell\",\"digest\":\"";
+  json_escape(out, cell.digest);
+  out += "\",\"job\":" + std::to_string(cell.job);
+  out += ",\"attempts\":" + std::to_string(cell.attempts);
+  out += ",\"payload\":\"" + hex_encode(cell.payload) + "\"}";
+  return out;
+}
+
+std::string to_json_line(const CrashRecord& crash) {
+  std::string out = "{\"kind\":\"crash\",\"digest\":\"";
+  json_escape(out, crash.digest);
+  out += "\",\"job\":" + std::to_string(crash.job);
+  out += ",\"attempts\":" + std::to_string(crash.attempts);
+  out += ",\"outcome\":\"";
+  json_escape(out, crash.outcome);
+  out += "\",\"signal\":" + std::to_string(crash.signal_no);
+  out += ",\"exit\":" + std::to_string(crash.exit_code);
+  out += ",\"stderr_tail\":\"";
+  json_escape(out, crash.stderr_tail);
+  out += "\"}";
+  return out;
+}
+
+Journal::Journal(const std::filesystem::path& path) {
+  f_ = std::fopen(path.string().c_str(), "ab");
+  if (f_ == nullptr) {
+    throw std::runtime_error("journal: cannot open '" + path.string() + "' for append");
+  }
+  // Workers must not inherit the journal descriptor across exec: only the
+  // supervisor appends.
+  ::fcntl(::fileno(f_), F_SETFD, FD_CLOEXEC);
+}
+
+Journal::~Journal() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+Journal::Journal(Journal&& o) noexcept : f_(std::exchange(o.f_, nullptr)) {}
+
+Journal& Journal::operator=(Journal&& o) noexcept {
+  if (this != &o) {
+    if (f_ != nullptr) std::fclose(f_);
+    f_ = std::exchange(o.f_, nullptr);
+  }
+  return *this;
+}
+
+namespace {
+void append_line(std::FILE* f, const std::string& line) {
+  if (f == nullptr) return;
+  // One fwrite per record (line + newline) keeps a concurrent reader's view
+  // line-atomic in practice; the flush makes the record durable against the
+  // supervisor being killed right after the append returns.
+  const std::string full = line + "\n";
+  std::fwrite(full.data(), 1, full.size(), f);
+  std::fflush(f);
+}
+}  // namespace
+
+void Journal::append(const JournalCell& cell) { append_line(f_, to_json_line(cell)); }
+void Journal::append(const CrashRecord& crash) { append_line(f_, to_json_line(crash)); }
+
+Journal::Loaded Journal::load(const std::filesystem::path& path) {
+  Loaded out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return out;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    const bool last = end == std::string::npos;
+    if (last) end = text.size();
+    if (end > start) {
+      const std::string_view line(text.data() + start, end - start);
+      if (!parse_line(line, &out)) out.malformed_lines += 1;
+    }
+    if (last) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace stob::obs

@@ -1,0 +1,101 @@
+// Results journal for crash-safe, resumable sweeps.
+//
+// The out-of-process experiment runner appends one JSONL record per
+// *finished* grid cell, keyed by the cell's content-addressed
+// cell_spec_digest (PR 6). Because the file is append-only and every
+// record is self-contained, the journal survives anything up to and
+// including SIGKILL of the supervisor: `--resume` reloads it, skips every
+// cell whose digest matches the current grid, and re-runs only the rest.
+//
+// Two record kinds share the file:
+//
+//   {"kind":"cell","digest":"…","job":N,"attempts":K,"payload":"<hex>"}
+//   {"kind":"crash","digest":"…","job":N,"attempts":K,"outcome":"signal",
+//    "signal":11,"exit":0,"stderr_tail":"…"}
+//
+// `payload` is the worker's length-prefixed result frame, hex-encoded so a
+// line is always one self-delimiting text record. Crash records are the
+// structured quarantine report for cells that failed every attempt; on
+// resume they are *not* treated as finished — a quarantined cell gets a
+// fresh chance (the condition that killed it may have been transient).
+//
+// Loading tolerates a torn final line (the supervisor may die mid-append):
+// the valid prefix of the file is returned and the tail is ignored. The
+// same leniency applies to any malformed interior line, so a journal can
+// only ever under-approximate the finished set — never replay a bad cell.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace stob::obs {
+
+/// One finished cell: the journal's unit of resumable work.
+struct JournalCell {
+  std::string digest;          ///< cell_spec_digest hex (the replay key)
+  std::uint64_t job = 0;       ///< job index in the grid that produced it
+  std::uint32_t attempts = 1;  ///< worker attempts it took (1 = first try)
+  std::string payload;         ///< raw result frame bytes (hex on disk)
+
+  friend bool operator==(const JournalCell&, const JournalCell&) = default;
+};
+
+/// Structured crash report for a quarantined cell (failed all attempts).
+struct CrashRecord {
+  std::uint64_t job = 0;
+  std::string digest;
+  std::uint32_t attempts = 0;
+  /// "signal" (killed by a signal), "exit" (nonzero exit code), "timeout"
+  /// (watchdog SIGKILL), or "frame" (exited 0 but the result frame was
+  /// missing/torn).
+  std::string outcome;
+  int signal_no = 0;
+  int exit_code = 0;
+  std::string stderr_tail;  ///< last bytes of the worker's captured stderr
+
+  friend bool operator==(const CrashRecord&, const CrashRecord&) = default;
+};
+
+/// Exact JSONL forms (golden-tested): one line, no trailing newline.
+std::string to_json_line(const JournalCell& cell);
+std::string to_json_line(const CrashRecord& crash);
+
+std::string hex_encode(std::string_view bytes);
+std::string hex_decode(std::string_view hex);  ///< ignores a torn trailing nibble
+
+class Journal {
+ public:
+  Journal() = default;
+  /// Open `path` for appending (created if absent). Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit Journal(const std::filesystem::path& path);
+  ~Journal();
+  Journal(Journal&&) noexcept;
+  Journal& operator=(Journal&&) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  bool is_open() const { return f_ != nullptr; }
+
+  /// Append one record and flush, so a record is durable as soon as the
+  /// call returns (a SIGKILL can tear at most the line being written).
+  void append(const JournalCell& cell);
+  void append(const CrashRecord& crash);
+
+  struct Loaded {
+    std::vector<JournalCell> cells;
+    std::vector<CrashRecord> crashes;
+    std::size_t malformed_lines = 0;  ///< torn/garbage lines skipped
+  };
+
+  /// Parse every intact record of `path` (missing file = empty result).
+  static Loaded load(const std::filesystem::path& path);
+
+ private:
+  std::FILE* f_ = nullptr;
+};
+
+}  // namespace stob::obs

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <map>
 
+#include "obs/json.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/sha256.hpp"
 
@@ -13,33 +14,11 @@ namespace stob::obs {
 
 namespace {
 
-void append_escaped(std::string& out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default: {
-        // Escape every remaining control character AND all non-ASCII bytes:
-        // config strings can carry arbitrary user input (paths, site names),
-        // and emitting raw bytes >= 0x7f would make the manifest's encoding
-        // depend on the input being valid UTF-8. The unsigned cast matters —
-        // a negative char formatted with %04x sign-extends to 8 hex digits
-        // and overflows the \uXXXX form.
-        const auto u = static_cast<unsigned char>(c);
-        if (u < 0x20 || u >= 0x7f) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
-          out += buf;
-        } else {
-          out += c;
-        }
-      }
-    }
-  }
-}
+// The manifest's escaping dialect (all control + non-ASCII bytes as
+// \uXXXX, so output is provably 7-bit) now lives in obs/json.hpp, shared
+// with the results journal; the hostile-string golden test in test_obs
+// pins that the shared escaper matches the historical manifest output.
+void append_escaped(std::string& out, std::string_view s) { json_escape(out, s); }
 
 std::string fmt(double v) {
   char buf[64];

@@ -1,0 +1,259 @@
+#include "util/subprocess.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <stdio.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace stob::util {
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ssize_t read_some(int fd, void* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+namespace {
+
+constexpr char kFrameMagic[4] = {'S', 'F', '0', '1'};
+
+void set_nonblock_cloexec(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+void close_quietly(int& fd) {
+  if (fd >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd);
+    } while (rc < 0 && errno == EINTR);
+    fd = -1;
+  }
+}
+
+ExitStatus decode_status(int raw) {
+  ExitStatus st;
+  if (WIFEXITED(raw)) {
+    st.exited = true;
+    st.exit_code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    st.signaled = true;
+    st.term_signal = WTERMSIG(raw);
+  }
+  return st;
+}
+
+/// Move `fd` onto `target` in the child, clearing FD_CLOEXEC (dup2 does,
+/// except for the fd==target case which keeps the old flags).
+void child_dup_onto(int fd, int target) {
+  if (fd == target) {
+    ::fcntl(fd, F_SETFD, 0);
+    return;
+  }
+  ::dup2(fd, target);
+  ::close(fd);
+}
+
+}  // namespace
+
+void append_frame(std::string& out, std::string_view payload) {
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  char lenbuf[4] = {static_cast<char>(len & 0xff), static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 24) & 0xff)};
+  out.append(lenbuf, sizeof(lenbuf));
+  out.append(payload);
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  std::string framed;
+  framed.reserve(payload.size() + 8);
+  append_frame(framed, payload);
+  return write_all(fd, framed.data(), framed.size());
+}
+
+std::optional<std::string> parse_frame(std::string_view bytes) {
+  if (bytes.size() < 8) return std::nullopt;
+  if (::memcmp(bytes.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) return std::nullopt;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[4 + i]));
+  };
+  const std::uint32_t len = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (bytes.size() < 8 + static_cast<std::size_t>(len)) return std::nullopt;
+  return std::string(bytes.substr(8, len));
+}
+
+Subprocess Subprocess::spawn(const Options& opts) {
+  const bool exec_mode = !opts.argv.empty();
+  if (!exec_mode && !opts.child_fn) {
+    throw std::runtime_error("Subprocess::spawn: neither argv nor child_fn given");
+  }
+
+  int result_pipe[2] = {-1, -1};
+  int err_pipe[2] = {-1, -1};
+  if (opts.result_fd >= 0 && ::pipe(result_pipe) != 0) {
+    throw std::runtime_error("Subprocess::spawn: pipe() failed");
+  }
+  if (opts.capture_stderr && ::pipe(err_pipe) != 0) {
+    close_quietly(result_pipe[0]);
+    close_quietly(result_pipe[1]);
+    throw std::runtime_error("Subprocess::spawn: pipe() failed");
+  }
+
+  // Keep pending stdio out of the child: a fork()'d copy of a partially
+  // filled stdout buffer would otherwise be flushed twice.
+  ::fflush(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    close_quietly(result_pipe[0]);
+    close_quietly(result_pipe[1]);
+    close_quietly(err_pipe[0]);
+    close_quietly(err_pipe[1]);
+    throw std::runtime_error("Subprocess::spawn: fork() failed");
+  }
+
+  if (pid == 0) {
+    // ---- child ----
+    close_quietly(result_pipe[0]);
+    close_quietly(err_pipe[0]);
+    const int devnull = ::open("/dev/null", O_RDWR);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDIN_FILENO);
+      ::dup2(devnull, STDOUT_FILENO);
+      if (devnull > STDERR_FILENO) ::close(devnull);
+    }
+    if (opts.capture_stderr) child_dup_onto(err_pipe[1], STDERR_FILENO);
+    if (result_pipe[1] >= 0) child_dup_onto(result_pipe[1], opts.result_fd);
+
+    if (exec_mode) {
+      std::vector<char*> argv;
+      argv.reserve(opts.argv.size() + 1);
+      for (const std::string& a : opts.argv) argv.push_back(const_cast<char*>(a.c_str()));
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      // exec failed: report on the captured stderr and die with the
+      // conventional shell "command not found" code.
+      ::dprintf(STDERR_FILENO, "Subprocess: execv(%s) failed: %s\n", argv[0],
+                ::strerror(errno));
+      ::_exit(127);
+    }
+    int code = 125;
+    try {
+      code = opts.child_fn(opts.result_fd);
+    } catch (...) {
+      ::dprintf(STDERR_FILENO, "Subprocess: child_fn threw\n");
+      code = 125;
+    }
+    ::fflush(nullptr);
+    ::_exit(code);
+  }
+
+  // ---- parent ----
+  Subprocess p;
+  p.pid_ = pid;
+  close_quietly(result_pipe[1]);
+  close_quietly(err_pipe[1]);
+  p.result_fd_ = result_pipe[0];
+  p.stderr_fd_ = err_pipe[0];
+  if (p.result_fd_ >= 0) set_nonblock_cloexec(p.result_fd_);
+  if (p.stderr_fd_ >= 0) set_nonblock_cloexec(p.stderr_fd_);
+  return p;
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& o) noexcept {
+  if (this != &o) {
+    if (running()) {
+      kill(SIGKILL);
+      wait();
+    }
+    close_quietly(result_fd_);
+    close_quietly(stderr_fd_);
+    pid_ = o.pid_;
+    result_fd_ = o.result_fd_;
+    stderr_fd_ = o.stderr_fd_;
+    reaped_ = o.reaped_;
+    status_ = o.status_;
+    o.pid_ = -1;
+    o.result_fd_ = -1;
+    o.stderr_fd_ = -1;
+    o.reaped_ = false;
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (running()) {
+    kill(SIGKILL);
+    wait();
+  }
+  close_quietly(result_fd_);
+  close_quietly(stderr_fd_);
+}
+
+void Subprocess::close_result_fd() { close_quietly(result_fd_); }
+void Subprocess::close_stderr_fd() { close_quietly(stderr_fd_); }
+
+void Subprocess::kill(int sig) {
+  if (running()) ::kill(pid_, sig);
+}
+
+ExitStatus Subprocess::wait() {
+  if (reaped_ || pid_ <= 0) return status_;
+  int raw = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid_, &raw, 0);
+  } while (rc < 0 && errno == EINTR);
+  if (rc == pid_) status_ = decode_status(raw);
+  reaped_ = true;
+  return status_;
+}
+
+std::optional<ExitStatus> Subprocess::try_wait() {
+  if (reaped_) return status_;
+  if (pid_ <= 0) return std::nullopt;
+  int raw = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid_, &raw, WNOHANG);
+  } while (rc < 0 && errno == EINTR);
+  if (rc == 0) return std::nullopt;
+  if (rc == pid_) status_ = decode_status(raw);
+  reaped_ = true;
+  return status_;
+}
+
+std::string self_exe_path(const std::string& fallback) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return fallback;
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace stob::util

@@ -1,0 +1,138 @@
+// RAII child-process primitive for the out-of-process experiment runner.
+//
+// A Subprocess is one fork()'d — and usually exec()'d — worker with three
+// plumbed file descriptors:
+//
+//   * stdin and stdout are pointed at /dev/null: workers re-run a bench
+//     driver's main() up to the job dispatch point, and anything they print
+//     must not interleave with the supervisor's (determinism-checked)
+//     stdout;
+//   * stderr is captured through a pipe so the supervisor can keep a tail
+//     for crash reports;
+//   * a dedicated *result* descriptor carries the job's output back as a
+//     length-prefixed frame (see write_frame / parse_frame) — results never
+//     share a stream with logging.
+//
+// Two spawn modes share the plumbing:
+//
+//   * exec mode (`Options::argv` non-empty): fork + execv. The worker gets
+//     a fresh address space, so heap corruption in one cell cannot leak
+//     into its siblings or the supervisor — the crash-isolation property
+//     the proc runner is built on.
+//   * callback mode (`Options::child_fn` set): fork only; the child runs
+//     the callback and _exit()s with its return value. Used by tests and
+//     by library callers that have no binary to re-exec.
+//
+// All pipe I/O helpers retry EINTR; parent-side descriptors are
+// O_NONBLOCK + O_CLOEXEC so a poll()-driven supervisor can multiplex many
+// children from one thread without leaking descriptors into later workers.
+// The destructor SIGKILLs and reaps a still-running child: a Subprocess
+// can never outlive its owner as a zombie or an orphan.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stob::util {
+
+// ------------------------------------------------------- EINTR-safe I/O
+
+/// write(2) the whole buffer, retrying EINTR and short writes. Returns
+/// false on any other error (EPIPE included) — callers on the child side
+/// are about to _exit and just give up.
+bool write_all(int fd, const void* data, std::size_t len);
+
+/// read(2) retrying EINTR. Returns bytes read (0 = EOF), or -1 with errno
+/// set (EAGAIN means "no data right now" on nonblocking descriptors).
+ssize_t read_some(int fd, void* buf, std::size_t len);
+
+// ------------------------------------------------------------ result frame
+
+/// Length-prefixed result frame: 4-byte magic "SF01", 4-byte little-endian
+/// payload length, payload bytes. A crashed worker leaves a missing or
+/// truncated frame, which parse_frame reports as "no frame" rather than
+/// garbage data.
+void append_frame(std::string& out, std::string_view payload);
+bool write_frame(int fd, std::string_view payload);
+
+/// Parse a complete frame from `bytes` (the full pipe capture). Returns
+/// nullopt when the magic is wrong or the frame is truncated.
+std::optional<std::string> parse_frame(std::string_view bytes);
+
+// -------------------------------------------------------------- Subprocess
+
+/// Decoded wait(2) status.
+struct ExitStatus {
+  bool exited = false;
+  int exit_code = 0;
+  bool signaled = false;
+  int term_signal = 0;
+
+  bool clean() const { return exited && exit_code == 0; }
+};
+
+class Subprocess {
+ public:
+  struct Options {
+    /// exec mode: argv[0] is the executable path. Empty = callback mode.
+    std::vector<std::string> argv;
+    /// callback mode: run in the forked child; its return value becomes the
+    /// child's exit code. The argument is the child-side result descriptor.
+    std::function<int(int result_fd)> child_fn;
+    /// Child-side descriptor number the result pipe is dup2()'d onto (exec
+    /// mode workers learn it via a flag). < 0 disables the result pipe.
+    int result_fd = 3;
+    bool capture_stderr = true;
+  };
+
+  /// Fork (and exec) the child. Throws std::runtime_error when fork or the
+  /// pipe plumbing fails; exec failure surfaces as exit code 127 with a
+  /// message on the captured stderr.
+  static Subprocess spawn(const Options& opts);
+
+  Subprocess() = default;
+  Subprocess(Subprocess&& o) noexcept { *this = std::move(o); }
+  Subprocess& operator=(Subprocess&& o) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  ~Subprocess();  ///< SIGKILL + reap if still running; closes descriptors
+
+  pid_t pid() const { return pid_; }
+  bool running() const { return pid_ > 0 && !reaped_; }
+
+  /// Parent ends of the result / stderr pipes (nonblocking), -1 when absent
+  /// or already drained+closed.
+  int result_fd() const { return result_fd_; }
+  int stderr_fd() const { return stderr_fd_; }
+  void close_result_fd();
+  void close_stderr_fd();
+
+  /// Send `sig` (no-op once reaped).
+  void kill(int sig);
+
+  /// Blocking, EINTR-safe waitpid. Idempotent: the first call reaps, later
+  /// calls return the cached status.
+  ExitStatus wait();
+
+  /// Nonblocking reap; nullopt while the child is still running.
+  std::optional<ExitStatus> try_wait();
+
+ private:
+  pid_t pid_ = -1;
+  int result_fd_ = -1;
+  int stderr_fd_ = -1;
+  bool reaped_ = false;
+  ExitStatus status_;
+};
+
+/// Absolute path of the running executable (/proc/self/exe), or `fallback`
+/// when it cannot be resolved. The proc runner re-execs this binary for
+/// its workers.
+std::string self_exe_path(const std::string& fallback);
+
+}  // namespace stob::util

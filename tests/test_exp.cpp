@@ -93,6 +93,19 @@ TEST(JobSeed, KeyedByIndexNotWorker) {
   EXPECT_NE(job_seed(41, 1), job_seed(42, 0));  // no (base, index) aliasing
 }
 
+TEST(JobSeed, NoCollisionsAcrossLargeIndexSpace) {
+  // A colliding pair of jobs would silently produce duplicated samples, so
+  // sweep a realistically large index space (far above any grid we run).
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 200000; ++i) seeds.insert(job_seed(20260808, i));
+  EXPECT_EQ(seeds.size(), 200000u);
+  // And across neighbouring bases at the same indices: resuming a sweep
+  // under a tweaked base seed must not replay any old job's stream.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(seeds.count(job_seed(20260809, i))) << "base/index aliasing at " << i;
+  }
+}
+
 // ------------------------------------------------------------ worker pool
 
 TEST(WorkerPool, OrderedResultsForAnyThreadCount) {
@@ -110,6 +123,85 @@ TEST(WorkerPool, PropagatesFirstException) {
                                   return static_cast<int>(i);
                                 }),
                std::runtime_error);
+}
+
+TEST(WorkerPool, JobErrorCarriesLowestFailingIndex) {
+  // Failure semantics pinned for every execution path: the pool rethrows a
+  // JobError for the *lowest* failing job index (deterministic across
+  // scheduling), whose message names the index and the original error.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    try {
+      run_ordered<int>(64, threads, [](std::size_t) -> int {
+        throw std::runtime_error("boom");
+      });
+      FAIL() << "expected JobError at threads=" << threads;
+    } catch (const JobError& e) {
+      EXPECT_EQ(e.job_index(), 0u);
+      const std::string what = e.what();
+      EXPECT_NE(what.find("job 0"), std::string::npos) << what;
+      EXPECT_NE(what.find("boom"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(WorkerPool, NonStdExceptionsAreWrappedToo) {
+  try {
+    run_ordered<int>(4, 2, [](std::size_t i) -> int {
+      if (i == 2) throw 42;  // not derived from std::exception
+      return static_cast<int>(i);
+    });
+    FAIL() << "expected JobError";
+  } catch (const JobError& e) {
+    EXPECT_EQ(e.job_index(), 2u);
+    EXPECT_NE(std::string(e.what()).find("unknown exception"), std::string::npos);
+  }
+}
+
+TEST(WorkerPool, ExceptionNeverDeadlocksEvenWithManyThreads) {
+  // More threads than jobs and a late-index failure: every worker must be
+  // released and joined (the test finishing at all is the assertion).
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_THROW(run_ordered<int>(8, 16,
+                                  [](std::size_t i) -> int {
+                                    if (i >= 6) throw std::runtime_error("late");
+                                    return static_cast<int>(i);
+                                  }),
+                 JobError);
+  }
+}
+
+TEST(WorkerPool, RunGridNamesTheFailingCell) {
+  // run_grid decorates the pool's JobError with the failing cell's grid
+  // coordinates, so a crashing sweep names the exact (site, defense, ...)
+  // combination instead of just an opaque index.
+  class ThrowingDefense final : public defenses::TraceDefense {
+   public:
+    wf::Trace apply(const wf::Trace&, Rng&) const override {
+      throw std::runtime_error("defense exploded");
+    }
+    std::string name() const override { return "thrower"; }
+    std::string target() const override { return "TLS"; }
+    std::string strategy() const override { return "Obfuscation"; }
+    defenses::Manipulations manipulations() const override { return {}; }
+  };
+  ThrowingDefense thrower;
+  ExperimentGrid grid;
+  grid.sites = tiny_sites(2);
+  grid.samples = 1;
+  grid.defenses = {{"none", nullptr}, {"thrower", &thrower}};
+  grid.base_seed = 5;
+  RunOptions opts;
+  opts.jobs = 2;
+  try {
+    run_grid(grid, opts);
+    FAIL() << "expected the throwing defense to surface";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("defense exploded"), std::string::npos) << what;
+    EXPECT_NE(what.find("cell"), std::string::npos) << what;
+    EXPECT_NE(what.find("defense=thrower"), std::string::npos) << what;
+    EXPECT_NE(what.find("site=tiny0"), std::string::npos) << what;
+  }
 }
 
 TEST(WorkerPool, ZeroJobsAndMoreThreadsThanJobs) {
