@@ -57,11 +57,14 @@ int main(int argc, char** argv) {
   run.proc = exp::proc_options_from_cli(cli);
   exp::ProcReport proc_report;
   run.proc_report = &proc_report;
+  const exp::CacheSession cache = exp::CacheSession::from_cli(cli);
+  run.cache = cache.cache();
   const wf::Dataset data =
       exp::to_dataset(exp::run_grid(grid, run)).sanitized_by_download_size(0.75);
   if (run.proc.workers > 0) {
     exp::print_proc_summary("censorship_curve", run.proc, proc_report);
   }
+  cache.finish("censorship_curve");
 
   defenses::SplitDefense split;
   defenses::DelayDefense delay;

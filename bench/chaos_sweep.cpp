@@ -21,7 +21,8 @@
 // --trace-events PATH (either turns the span profiler on), --smoke (1 site
 // x 1 sample — the CI grid), and the out-of-process runner set:
 // --proc-workers N, --job-timeout S, --retries N, --journal PATH, --resume,
-// --inject-worker-fault crash|hang|exit[:rate].
+// --inject-worker-fault crash|hang|exit[:rate]. Result cache: --cache DIR
+// (or STOB_CACHE), --no-cache, --cache-stats, --cache-gc BYTES.
 // Environment knobs: STOB_SITES (default 2), STOB_SAMPLES (default 2),
 // STOB_SEED.
 #include <cstdio>
@@ -100,11 +101,14 @@ int main(int argc, char** argv) {
   run.proc = exp::proc_options_from_cli(cli);
   exp::ProcReport proc_report;
   run.proc_report = &proc_report;
+  const exp::CacheSession cache = exp::CacheSession::from_cli(cli);
+  run.cache = cache.cache();
   const std::vector<exp::JobResult> results = [&] {
     obs::ProfSpan span("sweep");
     return exp::run_grid(grid, run);
   }();
   if (run.proc.workers > 0) exp::print_proc_summary("chaos_sweep", run.proc, proc_report);
+  cache.finish("chaos_sweep");
 
   // Reduce in job order. The undefended (defense 0) twin of every defended
   // job precedes it within the same (fault, site, sample) block, so the

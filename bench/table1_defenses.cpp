@@ -17,7 +17,11 @@
 //
 // Flags: --jobs N (default hardware concurrency), --check-determinism,
 // --manifest PATH / --trace-events PATH (either turns the span profiler on
-// and exports a run manifest / Chrome trace_event timeline).
+// and exports a run manifest / Chrome trace_event timeline), and the result
+// cache set: --cache DIR (or STOB_CACHE), --no-cache, --cache-stats,
+// --cache-gc BYTES. With both --check-determinism and a cache, the driver
+// additionally asserts a warm-cache re-run's deterministic manifest is
+// byte-identical to a cold (cache-bypassing) one.
 //
 // Pareto mode: --pareto PATH replaces the single-condition table with a
 // (defense zoo x CCA x fault profile) sweep. Every cell re-collects the
@@ -72,6 +76,52 @@ std::string fmt(double v) {
   return buf;
 }
 
+// With --check-determinism and a cache, assert the warm-cache re-run of the
+// collection grid produces a deterministic manifest (tool/config/seed/span
+// structure; harness timing facts excluded) byte-identical to a cache-
+// bypassing re-run. CI drives this at --proc-workers 0/1/4, so the check
+// covers the in-process cached path and the supervisor's probe/commit hooks
+// alike. Returns nonzero on mismatch.
+int verify_warm_manifest(const exp::ExperimentGrid& grid, exp::RunOptions run,
+                         exp::ResultCache* cache, std::size_t jobs, std::uint64_t seed) {
+  run.check_determinism = false;
+  run.proc_report = nullptr;
+  run.proc.journal_path.clear();
+  run.proc.resume = false;
+  const auto manifest_of = [&](exp::ResultCache* c) {
+    obs::Profiler p;
+    {
+      obs::ScopedProfiler guard(p);
+      obs::ProfSpan span("collect");
+      exp::RunOptions r = run;
+      r.cache = c;
+      exp::run_grid(grid, r);
+    }
+    return obs::build_manifest("table1_defenses", p, nullptr, jobs, seed).deterministic_json();
+  };
+  // The manifest runs are profiled, which keys a separate entry space
+  // (payloads carry span records): populate it first so the "warm" manifest
+  // below is genuinely served from the cache, not quietly recomputed.
+  manifest_of(cache);
+  const exp::ResultCache::Stats before = cache->stats();
+  const std::string warm = manifest_of(cache);
+  const exp::ResultCache::Stats served = cache->stats();
+  const std::string cold = manifest_of(nullptr);
+  if (served.hits - before.hits != grid.job_count()) {
+    std::fprintf(stderr,
+                 "table1_defenses: warm manifest run recomputed cells (%llu of %zu served)\n",
+                 static_cast<unsigned long long>(served.hits - before.hits), grid.job_count());
+    return 1;
+  }
+  if (warm != cold) {
+    std::fprintf(stderr,
+                 "table1_defenses: warm-cache deterministic manifest differs from cold run\n");
+    return 1;
+  }
+  std::fprintf(stderr, "table1_defenses: warm-cache manifest identical to cold run\n");
+  return 0;
+}
+
 // The (defense zoo x CCA x fault) Pareto sweep behind --pareto.
 int run_pareto(const exp::Cli& cli, std::size_t samples, std::size_t trees,
                std::size_t folds, std::uint64_t seed, std::size_t jobs) {
@@ -118,6 +168,8 @@ int run_pareto(const exp::Cli& cli, std::size_t samples, std::size_t trees,
   run.proc = exp::proc_options_from_cli(cli);
   exp::ProcReport proc_report;
   run.proc_report = &proc_report;
+  const exp::CacheSession cache = exp::CacheSession::from_cli(cli);
+  run.cache = cache.cache();
   const std::vector<exp::JobResult> results = [&] {
     obs::ProfSpan span("collect");
     return exp::run_grid(grid, run);
@@ -125,6 +177,11 @@ int run_pareto(const exp::Cli& cli, std::size_t samples, std::size_t trees,
   if (run.proc.workers > 0) {
     exp::print_proc_summary("table1_defenses", run.proc, proc_report);
   }
+  if (cli.check_determinism && cache.cache() != nullptr) {
+    const int rc = verify_warm_manifest(grid, run, cache.cache(), jobs, seed);
+    if (rc != 0) return rc;
+  }
+  cache.finish("table1_defenses");
 
   // Partition the job-ordered results into one dataset per (CCA, fault)
   // condition; job order makes each partition deterministic at any --jobs.
@@ -280,6 +337,8 @@ int main(int argc, char** argv) {
   run.proc = exp::proc_options_from_cli(cli);
   exp::ProcReport proc_report;
   run.proc_report = &proc_report;
+  const exp::CacheSession cache = exp::CacheSession::from_cli(cli);
+  run.cache = cache.cache();
   const wf::Dataset data = [&] {
     obs::ProfSpan span("collect");
     return exp::to_dataset(exp::run_grid(grid, run)).sanitized_by_download_size(0.75);
@@ -287,6 +346,11 @@ int main(int argc, char** argv) {
   if (run.proc.workers > 0) {
     exp::print_proc_summary("table1_defenses", run.proc, proc_report);
   }
+  if (cli.check_determinism && cache.cache() != nullptr) {
+    const int rc = verify_warm_manifest(grid, run, cache.cache(), jobs, seed);
+    if (rc != 0) return rc;
+  }
+  cache.finish("table1_defenses");
 
   wf::KFingerprint::Config kfp_cfg;
   kfp_cfg.forest.num_trees = trees;

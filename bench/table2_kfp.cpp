@@ -92,12 +92,15 @@ int main(int argc, char** argv) {
   run.proc = exp::proc_options_from_cli(cli);
   exp::ProcReport proc_report;
   run.proc_report = &proc_report;
+  const exp::CacheSession cache = exp::CacheSession::from_cli(cli);
+  run.cache = cache.cache();
   std::fflush(stdout);
   const wf::Dataset raw = [&] {
     obs::ProfSpan span("collect");
     return exp::to_dataset(exp::run_grid(grid, run));
   }();
   if (run.proc.workers > 0) exp::print_proc_summary("table2_kfp", run.proc, proc_report);
+  cache.finish("table2_kfp");
   std::printf("collected %zu traces\n", raw.size());
 
   // 2. Sanitise (IQR fence on download size) and balance, as in the paper

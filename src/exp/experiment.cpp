@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -112,6 +113,58 @@ JobResult run_job(const ExperimentGrid& grid, const JobSpec& spec, const RunOpti
   return result;
 }
 
+std::string run_config_salt(const RunOptions& opts) {
+  const workload::PageLoadOptions& p = opts.page;
+  std::string out = "config:v1";
+  const auto add = [&out](const std::string& key, const std::string& value) {
+    out += '|';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  // Doubles go in as exact bit patterns: formatting them would alias
+  // nearby configs, and the salt needs equality, not readability.
+  const auto bits = [](double d) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &d, sizeof u);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(u));
+    return std::string(buf);
+  };
+  const auto conn = [&](const std::string& side, const tcp::TcpConnection::Config& c) {
+    add(side + ".send_buffer", std::to_string(c.send_buffer.count()));
+    add(side + ".recv_buffer", std::to_string(c.recv_buffer.count()));
+    add(side + ".mss", std::to_string(c.mss));
+    add(side + ".tso", c.tso_enabled ? "1" : "0");
+    add(side + ".tso_max", std::to_string(c.tso_max.count()));
+    add(side + ".pacing", c.pacing_enabled ? "1" : "0");
+    add(side + ".nagle", c.nagle ? "1" : "0");
+    add(side + ".cca", c.cca);
+    add(side + ".initial_cwnd", std::to_string(c.initial_cwnd_segments));
+    add(side + ".delack_segments", std::to_string(c.delack_segments));
+    add(side + ".delack_timeout", std::to_string(c.delack_timeout.ns()));
+    add(side + ".quickack", std::to_string(c.quickack_segments));
+    add(side + ".min_rto", std::to_string(c.rtt.min_rto.ns()));
+    add(side + ".max_rto", std::to_string(c.rtt.max_rto.ns()));
+    add(side + ".initial_rto", std::to_string(c.rtt.initial_rto.ns()));
+    add(side + ".tsq_limit", std::to_string(c.tsq_limit.count()));
+    add(side + ".policy", c.policy != nullptr ? c.policy->name() : "stock");
+    add(side + ".auto_consume", c.auto_consume ? "1" : "0");
+  };
+  conn("client", p.client_conn);
+  conn("server", p.server_conn);
+  add("rate_sigma", bits(p.rate_sigma));
+  add("delay_jitter", bits(p.delay_jitter));
+  add("tls_records", p.tls_records ? "1" : "0");
+  add("tls.max_record", std::to_string(p.tls.max_record));
+  add("tls.overhead", std::to_string(p.tls.overhead));
+  add("tls.pad_to", std::to_string(p.tls.pad_to));
+  add("path_faults", p.path_faults.name);
+  add("timeout", std::to_string(p.timeout.ns()));
+  if (const char* env = std::getenv("STOB_CACHE_SALT")) add("env_salt", env);
+  return out;
+}
+
 std::string cell_digest(const ExperimentGrid& grid, std::size_t index, const RunOptions& opts) {
   const JobSpec spec = grid.job(index);
   // Reuse the run-manifest digest machinery: set_config keeps the entries
@@ -214,10 +267,28 @@ std::vector<JobResult> run_grid_proc(const ExperimentGrid& grid, const RunOption
   const std::uint64_t prof_domain = capture_prof ? prof->id_domain() : 0;
 
   const std::size_t count = grid.job_count();
+
+  // Cache hooks: the supervisor probes before scheduling a worker and
+  // commits every worker-produced frame. Keyed exactly like the in-process
+  // cached path, so in-process and proc sweeps share entries.
+  CellCache hooks;
+  std::vector<std::string> keys;
+  if (opts.cache != nullptr) {
+    const std::string salt = run_config_salt(opts);
+    keys.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      keys[i] = ResultCache::entry_key(cell_digest(grid, i, opts), capture_prof, salt);
+    }
+    hooks.probe = [&](std::size_t i) { return opts.cache->load(keys[i]); };
+    hooks.commit = [&](std::size_t i, const std::string& payload) {
+      opts.cache->store(keys[i], payload);
+    };
+  }
+
   const auto payloads = run_cells(
       count, proc, [&](std::size_t i) { return cell_digest(grid, i, opts); },
       [&](std::size_t i) { return run_cell_payload(grid, i, opts, capture_prof, prof_domain); },
-      report);
+      report, opts.cache != nullptr ? &hooks : nullptr);
 
   std::vector<JobResult> results(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -230,6 +301,82 @@ std::vector<JobResult> run_grid_proc(const ExperimentGrid& grid, const RunOption
       payload = decode_worker_payload(*payloads[i]);
     } catch (const std::exception& e) {
       throw std::runtime_error("exp: undecodable worker payload for job " + std::to_string(i) +
+                               " [cell " + describe_cell(grid, grid.job(i)) + "]: " + e.what());
+    }
+    if (prof != nullptr) prof->splice(std::move(payload.prof_records), 0, 0);
+    results[i] = std::move(payload.result);
+  }
+  return results;
+}
+
+/// Uninstall the calling thread's profiler for a scope. The cached path
+/// captures per-job spans explicitly (run_cell_payload, true grid index),
+/// so the worker pool must take its unprofiled path — the profiled pool
+/// would wrap each *miss-list* index in a second "job" span under a
+/// compacted sub-domain, breaking cold-vs-warm span identity.
+class ProfilerSuppression {
+ public:
+  ProfilerSuppression() : saved_(obs::profiler()) { obs::install_profiler(nullptr); }
+  ~ProfilerSuppression() { obs::install_profiler(saved_); }
+  ProfilerSuppression(const ProfilerSuppression&) = delete;
+  ProfilerSuppression& operator=(const ProfilerSuppression&) = delete;
+
+ private:
+  obs::Profiler* saved_;
+};
+
+/// In-process cached path of run_grid: probe every cell, run only the
+/// misses (worker pool, payload capture identical to proc workers), commit
+/// each miss as soon as it finishes, then decode hits and misses alike in
+/// job order — so the reduction, the spliced span structure and therefore
+/// stdout/CSV/manifests cannot depend on which cells were cached.
+std::vector<JobResult> run_grid_cached(const ExperimentGrid& grid, const RunOptions& opts) {
+  obs::Profiler* prof = obs::profiler();
+  const bool capture_prof = prof != nullptr;
+  const std::uint64_t prof_domain = capture_prof ? prof->id_domain() : 0;
+  ResultCache& cache = *opts.cache;
+  const std::string salt = run_config_salt(opts);
+  const std::size_t count = grid.job_count();
+
+  std::vector<std::string> payloads(count);
+  std::vector<std::size_t> misses;
+  std::vector<std::string> keys(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys[i] = ResultCache::entry_key(cell_digest(grid, i, opts), capture_prof, salt);
+    if (std::optional<std::string> hit = cache.load(keys[i])) {
+      payloads[i] = std::move(*hit);
+    } else {
+      misses.push_back(i);
+    }
+  }
+
+  if (!misses.empty()) {
+    ProfilerSuppression quiet;
+    std::vector<std::string> fresh;
+    try {
+      fresh = run_ordered<std::string>(misses.size(), opts.jobs, [&](std::size_t k) {
+        const std::size_t i = misses[k];
+        std::string payload = run_cell_payload(grid, i, opts, capture_prof, prof_domain);
+        // Commit per cell, not per sweep: a killed run keeps every finished
+        // cell, which is what makes crashed sweeps incremental.
+        cache.store(keys[i], payload);
+        return payload;
+      });
+    } catch (const JobError& e) {
+      const std::size_t i = misses[e.job_index()];
+      throw JobError(i, std::string(e.what()) + " [cell " + describe_cell(grid, grid.job(i)) +
+                            "]");
+    }
+    for (std::size_t k = 0; k < misses.size(); ++k) payloads[misses[k]] = std::move(fresh[k]);
+  }
+
+  std::vector<JobResult> results(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    WorkerPayload payload;
+    try {
+      payload = decode_worker_payload(payloads[i]);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("exp: undecodable cached payload for job " + std::to_string(i) +
                                " [cell " + describe_cell(grid, grid.job(i)) + "]: " + e.what());
     }
     if (prof != nullptr) prof->splice(std::move(payload.prof_records), 0, 0);
@@ -260,6 +407,7 @@ std::vector<JobResult> run_grid(const ExperimentGrid& grid, const RunOptions& op
   std::vector<JobResult> results = [&] {
     obs::ProfSpan span("grid.run");
     if (opts.proc.workers > 0) return run_grid_proc(grid, opts, &report);
+    if (opts.cache != nullptr) return run_grid_cached(grid, opts);
     return run_with(opts.jobs);
   }();
   if (opts.proc.workers > 0 && opts.proc_report != nullptr) *opts.proc_report = report;
@@ -330,6 +478,36 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
   }
 }
 
+/// Byte budget with an optional K/M/G suffix (powers of 1024): "512M".
+std::uint64_t parse_byte_size(const std::string& flag, const std::string& value) {
+  std::string digits = value;
+  std::uint64_t mult = 1;
+  if (!digits.empty()) {
+    switch (digits.back()) {
+      case 'K': case 'k': mult = 1ull << 10; digits.pop_back(); break;
+      case 'M': case 'm': mult = 1ull << 20; digits.pop_back(); break;
+      case 'G': case 'g': mult = 1ull << 30; digits.pop_back(); break;
+      default: break;
+    }
+  }
+  const bool all_digits =
+      !digits.empty() && digits.find_first_not_of("0123456789") == std::string::npos;
+  if (!all_digits) {
+    throw std::invalid_argument("exp: " + flag + " expects BYTES with optional K/M/G suffix, got '" +
+                                value + "'");
+  }
+  std::uint64_t n = 0;
+  try {
+    n = std::stoull(digits);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("exp: " + flag + " value '" + value + "' out of range");
+  }
+  if (mult != 1 && n > std::numeric_limits<std::uint64_t>::max() / mult) {
+    throw std::invalid_argument("exp: " + flag + " value '" + value + "' out of range");
+  }
+  return n * mult;
+}
+
 std::size_t parse_jobs(const std::string& flag, const std::string& value) {
   // Digits only: stoull would silently accept (and wrap) "-2", and "4x"
   // must not parse as 4.
@@ -356,6 +534,10 @@ Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags) {
   if (const char* env = std::getenv("STOB_JOBS")) {
     cli.jobs = parse_jobs("STOB_JOBS", env);
   }
+  // Environment default for the cache directory; --cache overrides it and
+  // --no-cache clears it (a CI job must be able to force a cold run).
+  if (const char* env = std::getenv("STOB_CACHE")) cli.cache_dir = env;
+  bool no_cache = false;
 
   cli.argv.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) cli.argv.emplace_back(argv[i]);
@@ -367,6 +549,10 @@ Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags) {
                                  {"--check-determinism", false},
                                  {"--manifest", true},
                                  {"--trace-events", true},
+                                 {"--cache", true},
+                                 {"--no-cache", false},
+                                 {"--cache-stats", false},
+                                 {"--cache-gc", true},
                                  {"--proc-workers", true},
                                  {"--job-timeout", true},
                                  {"--retries", true},
@@ -401,6 +587,7 @@ Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags) {
       throw std::invalid_argument("exp: unknown flag '" + arg +
                                   "' (use --flag or --flag=value; known flags: --jobs, "
                                   "--check-determinism, --manifest, --trace-events, "
+                                  "--cache, --no-cache, --cache-stats, --cache-gc, "
                                   "--proc-workers, --job-timeout, --retries, --journal, "
                                   "--resume, --inject-worker-fault" +
                                   [&] {
@@ -420,7 +607,10 @@ Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags) {
       throw std::invalid_argument("exp: flag '" + name + "' does not take a value");
     }
     if (++seen[name] > 1) {
-      STOB_WARN("exp") << "flag " << name << " given more than once; last value wins";
+      // Unconditionally on stderr: stdout is under the byte-identity
+      // contract the drivers' diff checks rely on, and the log threshold
+      // must not be able to swallow a user-facing CLI diagnostic.
+      std::fprintf(stderr, "exp: flag %s given more than once; last value wins\n", name.c_str());
     }
 
     if (name == "--jobs") {
@@ -431,6 +621,15 @@ Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags) {
       cli.manifest_path = *value;
     } else if (name == "--trace-events") {
       cli.trace_events_path = *value;
+    } else if (name == "--cache") {
+      cli.cache_dir = *value;
+    } else if (name == "--no-cache") {
+      no_cache = true;
+    } else if (name == "--cache-stats") {
+      cli.cache_stats = true;
+    } else if (name == "--cache-gc") {
+      cli.cache_gc = true;
+      cli.cache_gc_limit = parse_byte_size(name, *value);
     } else if (name == "--proc-workers") {
       cli.proc_workers = parse_jobs(name, *value);
     } else if (name == "--job-timeout") {
@@ -461,6 +660,12 @@ Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags) {
   if (cli.resume && cli.journal_path.empty()) {
     throw std::invalid_argument("exp: --resume needs --journal PATH (the journal to replay)");
   }
+  if (no_cache) cli.cache_dir.clear();
+  if (cli.cache_dir.empty() && (cli.cache_stats || cli.cache_gc)) {
+    throw std::invalid_argument(
+        "exp: --cache-stats/--cache-gc need a cache (--cache DIR or STOB_CACHE, and not "
+        "--no-cache)");
+  }
   return cli;
 }
 
@@ -479,6 +684,33 @@ ProcOptions proc_options_from_cli(const Cli& cli) {
   proc.worker_profile = cli.worker_profile;
   proc.worker_prof_domain = cli.worker_prof_domain;
   return proc;
+}
+
+CacheSession CacheSession::from_cli(const Cli& cli) {
+  CacheSession session;
+  // Workers inherit the supervisor's argv (cache flags included) on
+  // re-exec, but must never open the cache themselves: they publish result
+  // frames and the supervisor commits them.
+  if (cli.cache_dir.empty() || cli.worker_mode) return session;
+  session.cache_ = std::make_shared<ResultCache>(cli.cache_dir, kWorkerPayloadVersion);
+  session.stats_ = cli.cache_stats;
+  session.gc_ = cli.cache_gc;
+  session.gc_limit_ = cli.cache_gc_limit;
+  return session;
+}
+
+void CacheSession::finish(const char* tool) const {
+  if (cache_ == nullptr) return;
+  if (stats_) std::fprintf(stderr, "%s: %s\n", tool, cache_->stats_line().c_str());
+  if (gc_) {
+    const ResultCache::GcReport r = cache_->gc(gc_limit_);
+    std::fprintf(stderr,
+                 "%s: cache gc: kept %zu entries (%llu bytes), evicted %zu entries "
+                 "(%llu bytes), removed %zu junk files\n",
+                 tool, r.entries_kept, static_cast<unsigned long long>(r.bytes_kept),
+                 r.entries_evicted, static_cast<unsigned long long>(r.bytes_evicted),
+                 r.junk_removed);
+  }
 }
 
 }  // namespace stob::exp

@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "defenses/trace_defense.hpp"
 #include "exp/proc_runner.hpp"
+#include "exp/result_cache.hpp"
 #include "fault/fault.hpp"
 #include "obs/trace_recorder.hpp"
 #include "util/units.hpp"
@@ -128,6 +130,12 @@ struct RunOptions {
   ProcOptions proc;
   /// When non-null and proc mode ran, filled with the supervisor's report.
   ProcReport* proc_report = nullptr;
+  /// Content-addressed result cache (not owned; see exp/result_cache.hpp).
+  /// Non-null routes every cell through probe-or-run-and-store, in process
+  /// and in proc mode alike; results stay byte-identical to a cache-free
+  /// run. The check_determinism reference run never consults the cache, so
+  /// determinism mode also differentially verifies cached payloads.
+  ResultCache* cache = nullptr;
 };
 
 /// Run a single job (always safe to call from any thread).
@@ -150,6 +158,15 @@ bool results_identical(const JobResult& a, const JobResult& b);
 /// resumed journal can never replay a stale or mismatched payload.
 std::string cell_digest(const ExperimentGrid& grid, std::size_t index, const RunOptions& opts);
 
+/// Canonical dump of every RunOptions::page field that shapes a cell's
+/// bytes but is not a grid coordinate (connection configs, jitter params,
+/// TLS framing, fault profile, timeout) — the cache-key salt that keeps an
+/// entry from outliving a config change cell_digest cannot see. The
+/// STOB_CACHE_SALT environment variable is folded in verbatim as the escape
+/// hatch for invalidating after a *code* change (the cache cannot hash the
+/// binary: sanitizer and debug builds of one rev must share entries).
+std::string run_config_salt(const RunOptions& opts);
+
 /// Labeled dataset from ordered results (label = site index), the engine's
 /// standard reduction for WF evaluation.
 wf::Dataset to_dataset(const std::vector<JobResult>& results);
@@ -162,6 +179,12 @@ wf::Dataset to_dataset(const std::vector<JobResult>& results);
 /// (Chrome trace_event JSON). Either output flag implies profiling: the
 /// driver installs an obs::Profiler for the run.
 ///
+/// Result-cache flags (see exp/result_cache.hpp): --cache DIR (or
+/// STOB_CACHE; empty = off), --no-cache (force off, overriding the
+/// environment), --cache-stats (stderr stats line after the run),
+/// --cache-gc BYTES (evict down to BYTES after the run; accepts K/M/G
+/// suffixes).
+///
 /// Out-of-process runner flags (see exp/proc_runner.hpp): --proc-workers N
 /// (0 = in-process, the default), --job-timeout SECONDS, --retries N,
 /// --journal PATH, --resume, --inject-worker-fault crash|hang|exit[:rate].
@@ -173,6 +196,12 @@ struct Cli {
   bool check_determinism = false;
   std::string manifest_path;      ///< empty = no manifest
   std::string trace_events_path;  ///< empty = no trace_event export
+
+  // Content-addressed result cache.
+  std::string cache_dir;             ///< empty = caching off
+  bool cache_stats = false;          ///< report hit/miss stats on stderr
+  bool cache_gc = false;             ///< run eviction after the sweep
+  std::uint64_t cache_gc_limit = 0;  ///< --cache-gc byte budget
 
   // Out-of-process runner (supervisor side).
   std::size_t proc_workers = 0;        ///< 0 = run the grid in-process
@@ -226,5 +255,29 @@ Cli parse_cli(int argc, char** argv, const std::vector<FlagSpec>& extra_flags = 
 /// forwards the worker-side fields, so a driver only needs
 /// `run.proc = proc_options_from_cli(cli)` to support every runner flag.
 ProcOptions proc_options_from_cli(const Cli& cli);
+
+/// Driver-side lifetime wrapper for the result cache: opens the directory
+/// named by the CLI, hands run_grid a ResultCache*, and handles the
+/// --cache-stats / --cache-gc epilogue. A driver needs three lines:
+///
+///   exp::CacheSession cache = exp::CacheSession::from_cli(cli);
+///   run.cache = cache.cache();
+///   ...run... ; cache.finish("my_tool");
+struct CacheSession {
+  /// Disabled session (null cache) when the CLI has no cache directory or
+  /// this process is a proc-runner worker — workers publish frames and the
+  /// supervisor commits them, so a worker must never open the cache.
+  static CacheSession from_cli(const Cli& cli);
+
+  ResultCache* cache() const { return cache_.get(); }
+  /// Stats line and gc pass per the CLI flags, on stderr only (stdout is
+  /// under the byte-identity contract). Safe to call on a disabled session.
+  void finish(const char* tool) const;
+
+  std::shared_ptr<ResultCache> cache_;
+  bool stats_ = false;
+  bool gc_ = false;
+  std::uint64_t gc_limit_ = 0;
+};
 
 }  // namespace stob::exp

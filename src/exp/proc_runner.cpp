@@ -189,7 +189,8 @@ Outcome classify(Active& a, bool timed_out) {
 std::vector<std::optional<std::string>> run_cells(
     std::size_t count, const ProcOptions& opts,
     const std::function<std::string(std::size_t)>& digest,
-    const std::function<std::string(std::size_t)>& run_cell, ProcReport* report) {
+    const std::function<std::string(std::size_t)>& run_cell, ProcReport* report,
+    const CellCache* cache) {
   if (opts.workers == 0) throw std::runtime_error("proc: run_cells needs workers > 0");
   if (opts.resume && opts.journal_path.empty()) {
     throw std::runtime_error("proc: --resume needs a --journal path");
@@ -230,8 +231,27 @@ std::vector<std::optional<std::string>> run_cells(
     for (std::size_t i = 0; i < count; ++i) pending.push_back({i, 0});
   }
 
+  // Resolution order: journal (this sweep's own finished cells) first, then
+  // the cross-run cache, then a worker. Cache hits are journaled like any
+  // finished cell so a later --resume works even against a gc'd cache.
   obs::Journal journal;
   if (!opts.journal_path.empty()) journal = obs::Journal(opts.journal_path);
+
+  if (cache != nullptr && cache->probe) {
+    std::deque<Attempt> still_pending;
+    for (const Attempt& item : pending) {
+      if (std::optional<std::string> hit = cache->probe(item.job)) {
+        if (journal.is_open()) {
+          journal.append(obs::JournalCell{digests[item.job], item.job, 1, *hit});
+        }
+        payloads[item.job] = std::move(*hit);
+        rep.cache_hits += 1;
+      } else {
+        still_pending.push_back(item);
+      }
+    }
+    pending.swap(still_pending);
+  }
 
   // Resolve the worker binary once: argv[0] may be relative to a cwd that
   // could change, and /proc/self/exe survives deletion/rename of the path.
@@ -293,6 +313,10 @@ std::vector<std::optional<std::string>> run_cells(
       if (journal.is_open()) {
         journal.append(obs::JournalCell{digests[job], job,
                                         static_cast<std::uint32_t>(attempts), out.payload});
+      }
+      if (cache != nullptr && cache->commit) {
+        cache->commit(job, out.payload);
+        rep.cache_stores += 1;
       }
       payloads[job] = std::move(out.payload);
       rep.ran += 1;
@@ -429,10 +453,10 @@ std::vector<std::optional<std::string>> run_cells(
 
 void print_proc_summary(const char* tool, const ProcOptions& opts, const ProcReport& report) {
   std::fprintf(stderr,
-               "%s: proc supervisor: %zu cells, %zu ran, %zu journal hits, %zu retries, "
-               "%zu injected faults, %zu quarantined\n",
-               tool, report.cells, report.ran, report.journal_hits, report.retries,
-               report.injected_faults, report.quarantined);
+               "%s: proc supervisor: %zu cells, %zu ran, %zu journal hits, %zu cache hits, "
+               "%zu cache stores, %zu retries, %zu injected faults, %zu quarantined\n",
+               tool, report.cells, report.ran, report.journal_hits, report.cache_hits,
+               report.cache_stores, report.retries, report.injected_faults, report.quarantined);
   for (const obs::CrashRecord& f : report.failures) {
     std::fprintf(stderr,
                  "%s: quarantined cell %llu (digest %.12s…) after %u attempts: %s "

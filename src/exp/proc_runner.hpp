@@ -102,10 +102,23 @@ struct ProcReport {
   std::size_t cells = 0;          ///< total cells in the run
   std::size_t ran = 0;            ///< cells executed by workers this run
   std::size_t journal_hits = 0;   ///< cells replayed from the journal
+  std::size_t cache_hits = 0;     ///< cells served by the result cache
+  std::size_t cache_stores = 0;   ///< worker results committed to the cache
   std::size_t retries = 0;        ///< extra attempts scheduled
   std::size_t injected_faults = 0;  ///< attempts the self-fault hook hit
   std::size_t quarantined = 0;    ///< cells that failed all attempts
   std::vector<obs::CrashRecord> failures;
+};
+
+/// Supervisor-side hooks into the content-addressed result cache: `probe`
+/// is consulted before a cell is scheduled (a hit skips the worker), and
+/// `commit` is called with every worker-produced payload — workers publish
+/// frames, only the supervisor commits them, so a crashing worker can never
+/// tear a cache entry. Journal-replayed cells are neither probed nor
+/// committed (a journal payload's key context is unknown to the runner).
+struct CellCache {
+  std::function<std::optional<std::string>(std::size_t)> probe;
+  std::function<void(std::size_t, const std::string&)> commit;
 };
 
 /// Execute cells [0, count) out of process and return each cell's result
@@ -118,7 +131,8 @@ struct ProcReport {
 std::vector<std::optional<std::string>> run_cells(
     std::size_t count, const ProcOptions& opts,
     const std::function<std::string(std::size_t)>& digest,
-    const std::function<std::string(std::size_t)>& run_cell, ProcReport* report);
+    const std::function<std::string(std::size_t)>& run_cell, ProcReport* report,
+    const CellCache* cache = nullptr);
 
 /// One-line supervisor summary (and one line per quarantined cell) on
 /// stderr — never stdout, which stays byte-identical across modes.

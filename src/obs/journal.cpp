@@ -92,47 +92,88 @@ bool find_int(std::string_view line, std::string_view key, int* out) {
   return true;
 }
 
-/// Parse one line into whichever record kind it declares. Returns false
-/// when the line is torn or not one of ours.
-bool parse_line(std::string_view line, Journal::Loaded* out) {
-  // Fast sanity: a complete record is a one-line object.
-  const auto first = line.find_first_not_of(" \t\r");
-  if (first == std::string_view::npos) return true;  // blank line: not an error
-  if (line[first] != '{' || line.find('}') == std::string_view::npos) return false;
-
+/// Parse the record at the head of `text` into *out. Returns the bytes
+/// consumed — the record is accepted only when its head bytes are exactly
+/// the canonical serialization its parsed fields reproduce — or 0 when the
+/// head is torn, garbage, or non-canonical. The canonical check is what
+/// makes mid-file tears safe: a torn append glued to the next record would
+/// otherwise donate fields to a hybrid first-occurrence parse.
+std::size_t parse_one(std::string_view text, Journal::Loaded* out) {
   std::string kind;
-  if (!find_string(line, "kind", &kind)) return false;
+  if (!find_string(text, "kind", &kind)) return 0;
+  const auto accept = [&text](const auto& rec) -> std::size_t {
+    const std::string canon = to_json_line(rec);
+    return text.substr(0, canon.size()) == canon ? canon.size() : 0;
+  };
   if (kind == "cell") {
     JournalCell cell;
     std::uint64_t attempts = 0;
     std::string payload_hex;
-    if (!find_string(line, "digest", &cell.digest) || !find_u64(line, "job", &cell.job) ||
-        !find_u64(line, "attempts", &attempts) ||
-        !find_raw_string(line, "payload", &payload_hex)) {
-      return false;
+    if (!find_string(text, "digest", &cell.digest) || !find_u64(text, "job", &cell.job) ||
+        !find_u64(text, "attempts", &attempts) ||
+        !find_raw_string(text, "payload", &payload_hex)) {
+      return 0;
     }
-    if (payload_hex.size() % 2 != 0) return false;  // torn mid-byte
+    if (payload_hex.size() % 2 != 0) return 0;  // torn mid-byte
     cell.attempts = static_cast<std::uint32_t>(attempts);
     cell.payload = hex_decode(payload_hex);
-    out->cells.push_back(std::move(cell));
-    return true;
+    const std::size_t used = accept(cell);
+    if (used > 0) out->cells.push_back(std::move(cell));
+    return used;
   }
   if (kind == "crash") {
     CrashRecord crash;
     std::uint64_t attempts = 0;
-    if (!find_string(line, "digest", &crash.digest) || !find_u64(line, "job", &crash.job) ||
-        !find_u64(line, "attempts", &attempts) ||
-        !find_string(line, "outcome", &crash.outcome) ||
-        !find_int(line, "signal", &crash.signal_no) ||
-        !find_int(line, "exit", &crash.exit_code) ||
-        !find_string(line, "stderr_tail", &crash.stderr_tail)) {
-      return false;
+    if (!find_string(text, "digest", &crash.digest) || !find_u64(text, "job", &crash.job) ||
+        !find_u64(text, "attempts", &attempts) ||
+        !find_string(text, "outcome", &crash.outcome) ||
+        !find_int(text, "signal", &crash.signal_no) ||
+        !find_int(text, "exit", &crash.exit_code) ||
+        !find_string(text, "stderr_tail", &crash.stderr_tail)) {
+      return 0;
     }
     crash.attempts = static_cast<std::uint32_t>(attempts);
-    out->crashes.push_back(std::move(crash));
-    return true;
+    const std::size_t used = accept(crash);
+    if (used > 0) out->crashes.push_back(std::move(crash));
+    return used;
   }
-  return false;
+  if (kind == "index") {
+    IndexEntry entry;
+    if (!find_string(text, "digest", &entry.digest) || !find_u64(text, "bytes", &entry.bytes)) {
+      return 0;
+    }
+    const std::size_t used = accept(entry);
+    if (used > 0) out->index.push_back(std::move(entry));
+    return used;
+  }
+  return 0;
+}
+
+/// One physical line may hold several records when an append was torn (no
+/// trailing newline) and later appends landed on the same line. Walk the
+/// line record by record; on a torn/garbage head, scan forward to the next
+/// record opener and keep going — skip-and-warn, so one torn entry never
+/// swallows its valid successors.
+void parse_physical_line(std::string_view line, Journal::Loaded* out) {
+  while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const auto first = line.find_first_not_of(" \t");
+  if (first == std::string_view::npos) return;  // blank line: not an error
+  line.remove_prefix(first);
+  bool torn = false;
+  while (!line.empty()) {
+    const std::size_t used = parse_one(line, out);
+    if (used > 0) {
+      line.remove_prefix(used);
+      continue;
+    }
+    torn = true;
+    // `{"kind":"` cannot occur inside a record (payloads are hex, strings
+    // are escaped so a raw quote never follows a raw brace).
+    const std::size_t next = line.find("{\"kind\":\"", 1);
+    if (next == std::string_view::npos) break;
+    line.remove_prefix(next);
+  }
+  if (torn) out->malformed_lines += 1;
 }
 
 }  // namespace
@@ -184,6 +225,13 @@ std::string to_json_line(const CrashRecord& crash) {
   return out;
 }
 
+std::string to_json_line(const IndexEntry& entry) {
+  std::string out = "{\"kind\":\"index\",\"digest\":\"";
+  json_escape(out, entry.digest);
+  out += "\",\"bytes\":" + std::to_string(entry.bytes) + "}";
+  return out;
+}
+
 Journal::Journal(const std::filesystem::path& path) {
   f_ = std::fopen(path.string().c_str(), "ab");
   if (f_ == nullptr) {
@@ -222,6 +270,7 @@ void append_line(std::FILE* f, const std::string& line) {
 
 void Journal::append(const JournalCell& cell) { append_line(f_, to_json_line(cell)); }
 void Journal::append(const CrashRecord& crash) { append_line(f_, to_json_line(crash)); }
+void Journal::append(const IndexEntry& entry) { append_line(f_, to_json_line(entry)); }
 
 Journal::Loaded Journal::load(const std::filesystem::path& path) {
   Loaded out;
@@ -237,8 +286,7 @@ Journal::Loaded Journal::load(const std::filesystem::path& path) {
     const bool last = end == std::string::npos;
     if (last) end = text.size();
     if (end > start) {
-      const std::string_view line(text.data() + start, end - start);
-      if (!parse_line(line, &out)) out.malformed_lines += 1;
+      parse_physical_line(std::string_view(text.data() + start, end - start), &out);
     }
     if (last) break;
     start = end + 1;

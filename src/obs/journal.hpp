@@ -19,10 +19,17 @@
 // resume they are *not* treated as finished — a quarantined cell gets a
 // fresh chance (the condition that killed it may have been transient).
 //
-// Loading tolerates a torn final line (the supervisor may die mid-append):
-// the valid prefix of the file is returned and the tail is ignored. The
-// same leniency applies to any malformed interior line, so a journal can
-// only ever under-approximate the finished set — never replay a bad cell.
+// A third kind, {"kind":"index","digest":"…","bytes":N}, is the commit log
+// of exp::ResultCache — the cache's index file reuses the journal's JSONL
+// discipline (append + flush, torn-line-tolerant load) so both files share
+// one recovery story.
+//
+// Loading tolerates torn lines anywhere, not just at the tail: a record is
+// accepted only when its bytes are exactly the canonical serialization its
+// parsed fields reproduce, and a torn append glued to a later valid record
+// on one physical line is skipped while the valid record is recovered
+// (skip-and-warn). A journal can therefore only ever under-approximate the
+// finished set — never replay a bad cell.
 #pragma once
 
 #include <cstdint>
@@ -59,9 +66,19 @@ struct CrashRecord {
   friend bool operator==(const CrashRecord&, const CrashRecord&) = default;
 };
 
+/// One committed cache entry. exp::ResultCache's index file is a journal
+/// of these; their order in the file is gc's eviction order (oldest first).
+struct IndexEntry {
+  std::string digest;       ///< cache entry key (SHA-256 hex)
+  std::uint64_t bytes = 0;  ///< size of the entry file on disk
+
+  friend bool operator==(const IndexEntry&, const IndexEntry&) = default;
+};
+
 /// Exact JSONL forms (golden-tested): one line, no trailing newline.
 std::string to_json_line(const JournalCell& cell);
 std::string to_json_line(const CrashRecord& crash);
+std::string to_json_line(const IndexEntry& entry);
 
 std::string hex_encode(std::string_view bytes);
 std::string hex_decode(std::string_view hex);  ///< ignores a torn trailing nibble
@@ -84,11 +101,13 @@ class Journal {
   /// call returns (a SIGKILL can tear at most the line being written).
   void append(const JournalCell& cell);
   void append(const CrashRecord& crash);
+  void append(const IndexEntry& entry);
 
   struct Loaded {
     std::vector<JournalCell> cells;
     std::vector<CrashRecord> crashes;
-    std::size_t malformed_lines = 0;  ///< torn/garbage lines skipped
+    std::vector<IndexEntry> index;
+    std::size_t malformed_lines = 0;  ///< physical lines with torn/garbage bytes
   };
 
   /// Parse every intact record of `path` (missing file = empty result).

@@ -4,9 +4,11 @@
 // byte-identical to 1-thread output (metrics snapshots and exported trace
 // CSVs included).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -22,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
 #include "obs/trace_recorder.hpp"
+#include "util/log.hpp"
 #include "workload/website.hpp"
 
 namespace stob::exp {
@@ -489,6 +492,75 @@ TEST(ParseCli, DuplicateFlagLastWins) {
   const Cli cli = parse({"--jobs", "2", "--jobs", "6", "--manifest=a", "--manifest=b"});
   EXPECT_EQ(cli.jobs, 6u);
   EXPECT_EQ(cli.manifest_path, "b");
+}
+
+TEST(ParseCli, DuplicateFlagWarningGoesToStderrNeverStdout) {
+  // The drivers' byte-identity checks diff stdout, so the last-wins warning
+  // must land on stderr only — and unconditionally, independent of the log
+  // threshold (regression: it used to go through the leveled logger).
+  const log::Level saved = log::level();
+  log::set_level(log::Level::Off);
+  ::testing::internal::CaptureStdout();
+  ::testing::internal::CaptureStderr();
+  const Cli cli = parse({"--jobs", "2", "--jobs", "6"});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  log::set_level(saved);
+  EXPECT_EQ(cli.jobs, 6u);
+  EXPECT_EQ(out, "");
+  EXPECT_NE(err.find("--jobs given more than once"), std::string::npos);
+}
+
+TEST(ParseCli, CacheFlags) {
+  ::unsetenv("STOB_CACHE");
+  const Cli off = parse({"--jobs", "2"});
+  EXPECT_EQ(off.cache_dir, "");
+  EXPECT_FALSE(off.cache_stats);
+  EXPECT_FALSE(off.cache_gc);
+
+  const Cli on = parse({"--cache", "/tmp/c", "--cache-stats", "--cache-gc", "512M"});
+  EXPECT_EQ(on.cache_dir, "/tmp/c");
+  EXPECT_TRUE(on.cache_stats);
+  EXPECT_TRUE(on.cache_gc);
+  EXPECT_EQ(on.cache_gc_limit, 512ull << 20);
+
+  EXPECT_EQ(parse({"--cache-gc=1K", "--cache=d"}).cache_gc_limit, 1024u);
+  EXPECT_EQ(parse({"--cache-gc=2g", "--cache=d"}).cache_gc_limit, 2ull << 30);
+  EXPECT_EQ(parse({"--cache-gc=0", "--cache=d"}).cache_gc_limit, 0u);
+  EXPECT_THROW(parse({"--cache-gc", "10X", "--cache=d"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--cache-gc", "", "--cache=d"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--cache-gc", "K", "--cache=d"}), std::invalid_argument);
+}
+
+TEST(ParseCli, CacheEnvDefaultAndNoCacheOverride) {
+  ::setenv("STOB_CACHE", "/tmp/envcache", 1);
+  EXPECT_EQ(parse({}).cache_dir, "/tmp/envcache");
+  EXPECT_EQ(parse({"--cache", "/tmp/flag"}).cache_dir, "/tmp/flag");
+  EXPECT_EQ(parse({"--no-cache"}).cache_dir, "");
+  // --no-cache beats --cache regardless of order: it exists so CI can force
+  // a cold run against any inherited environment.
+  EXPECT_EQ(parse({"--no-cache", "--cache", "/tmp/flag"}).cache_dir, "");
+  ::unsetenv("STOB_CACHE");
+  EXPECT_EQ(parse({}).cache_dir, "");
+}
+
+TEST(ParseCli, CacheStatsAndGcRequireACache) {
+  ::unsetenv("STOB_CACHE");
+  EXPECT_THROW(parse({"--cache-stats"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--cache-gc", "1G"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--no-cache", "--cache=d", "--cache-stats"}), std::invalid_argument);
+}
+
+TEST(CacheSessionTest, WorkerModeNeverOpensTheCache) {
+  Cli cli;
+  cli.cache_dir = (std::filesystem::temp_directory_path() /
+                   ("cache_session_worker_" + std::to_string(::getpid())))
+                      .string();
+  cli.worker_mode = true;
+  const CacheSession session = CacheSession::from_cli(cli);
+  EXPECT_EQ(session.cache(), nullptr);
+  EXPECT_FALSE(std::filesystem::exists(cli.cache_dir));
+  session.finish("test");  // disabled session: must be a no-op
 }
 
 TEST(ParseCli, ExtraFlagsRegisterAndParse) {

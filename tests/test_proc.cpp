@@ -270,6 +270,103 @@ TEST(Journal, MissingFileLoadsEmpty) {
   EXPECT_TRUE(loaded.crashes.empty());
 }
 
+TEST(JournalGolden, IndexLineFormatIsPinned) {
+  obs::IndexEntry e;
+  e.digest = "feedface";
+  e.bytes = 1234;
+  EXPECT_EQ(obs::to_json_line(e), "{\"kind\":\"index\",\"digest\":\"feedface\",\"bytes\":1234}");
+}
+
+TEST(Journal, IndexEntriesRoundTrip) {
+  TempFile tmp("index");
+  obs::IndexEntry a;
+  a.digest = "aaaa";
+  a.bytes = 10;
+  obs::IndexEntry b;
+  b.digest = "bbbb";
+  b.bytes = 0;
+  {
+    obs::Journal j(tmp.path);
+    j.append(a);
+    j.append(b);
+  }
+  const obs::Journal::Loaded loaded = obs::Journal::load(tmp.path);
+  EXPECT_EQ(loaded.malformed_lines, 0u);
+  ASSERT_EQ(loaded.index.size(), 2u);
+  EXPECT_EQ(loaded.index[0], a);
+  EXPECT_EQ(loaded.index[1], b);
+}
+
+TEST(Journal, TornMidFileEntryFollowedByValidLinesIsSkippedWithWarning) {
+  // A crash can tear an entry in the *middle* of the file when a later append
+  // lands on the same physical line (the torn record had no trailing
+  // newline). The loader must skip the torn head, recover the glued-on valid
+  // record, and keep every later line.
+  obs::JournalCell a;
+  a.digest = "da";
+  a.job = 0;
+  a.attempts = 1;
+  a.payload = "one";
+  obs::JournalCell b;
+  b.digest = "db";
+  b.job = 1;
+  b.attempts = 1;
+  b.payload = "two";
+  obs::JournalCell c;
+  c.digest = "dc";
+  c.job = 2;
+  c.attempts = 1;
+  c.payload = "three";
+
+  TempFile tmp("torn_mid");
+  {
+    std::ofstream out(tmp.path, std::ios::binary);
+    out << obs::to_json_line(a) << "\n";
+    // Record torn mid-payload, with record b appended onto the same line.
+    const std::string torn = obs::to_json_line(c).substr(0, 30);
+    out << torn << obs::to_json_line(b) << "\n";
+    out << obs::to_json_line(c) << "\n";
+  }
+  const obs::Journal::Loaded loaded = obs::Journal::load(tmp.path);
+  EXPECT_EQ(loaded.malformed_lines, 1u);
+  ASSERT_EQ(loaded.cells.size(), 3u);
+  EXPECT_EQ(loaded.cells[0], a);
+  EXPECT_EQ(loaded.cells[1], b);  // recovered from the torn line
+  EXPECT_EQ(loaded.cells[2], c);
+}
+
+TEST(Journal, TornEntryWholeLineGarbageDoesNotPoisonLaterLines) {
+  obs::JournalCell a;
+  a.digest = "da";
+  a.job = 0;
+  a.attempts = 1;
+  a.payload = "one";
+  TempFile tmp("torn_garbage");
+  {
+    std::ofstream out(tmp.path, std::ios::binary);
+    out << "{\"kind\":\"cell\",\"digest\":\"dx\",\"job\":9,\"attempts\"garbage\n";
+    out << std::string(64, '\xff') << "\n";
+    out << obs::to_json_line(a) << "\n";
+  }
+  const obs::Journal::Loaded loaded = obs::Journal::load(tmp.path);
+  EXPECT_EQ(loaded.malformed_lines, 2u);
+  ASSERT_EQ(loaded.cells.size(), 1u);
+  EXPECT_EQ(loaded.cells[0], a);
+}
+
+TEST(Journal, NonCanonicalRecordBytesAreRejected) {
+  // Only byte-exact canonical lines count as finished work: a record with
+  // reordered keys or extra whitespace is treated as torn, never trusted.
+  TempFile tmp("noncanon");
+  {
+    std::ofstream out(tmp.path, std::ios::binary);
+    out << "{\"kind\":\"cell\",\"job\":7,\"digest\":\"abc\",\"attempts\":1,\"payload\":\"\"}\n";
+  }
+  const obs::Journal::Loaded loaded = obs::Journal::load(tmp.path);
+  EXPECT_TRUE(loaded.cells.empty());
+  EXPECT_EQ(loaded.malformed_lines, 1u);
+}
+
 // ------------------------------------------------------------------ codec
 
 TEST(JobCodec, RoundTripIsResultsIdentical) {
