@@ -1,0 +1,176 @@
+// Million-trace open-world evaluation over memory-mapped feature stores.
+//
+// Two phases, both deterministic and --jobs-invariant on stdout:
+//
+//  1. --generate N: synthesise a monitored corpus (--sites x --instances
+//     page loads) and N background page loads, extract k-FP features, and
+//     stream them into STOBFST1 stores under --corpus DIR
+//     (monitored.fst / background.fst). Every row is a pure function of
+//     (seed, identity), extraction uses only exact kernels, and chunks are
+//     appended in order — so the store files are byte-identical for every
+//     --jobs value AND for scalar vs SIMD dispatch (CI diffs them).
+//  2. Evaluation: mmap both stores and run wf::open_world_stream — the
+//     background corpus is streamed block-wise with pages dropped behind
+//     the pass, so peak memory stays constant in corpus size (peak RSS is
+//     reported on stderr as peak_rss_kb=).
+//
+// Flags: --corpus DIR (required), --generate N, --smoke (tiny sizes,
+// implies --generate), --sites S, --instances I, --bg-train B,
+// --block-rows R, --jobs N. Environment: STOB_TREES, STOB_SEED.
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/worker_pool.hpp"
+#include "wf/corpus.hpp"
+#include "wf/features.hpp"
+#include "wf/open_world.hpp"
+#include "wf/synth_traces.hpp"
+
+namespace {
+
+using namespace stob;
+namespace fs = std::filesystem;
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : fallback;
+}
+
+std::uint64_t flag_u64(const exp::Cli& cli, const std::string& name, std::uint64_t fallback) {
+  const std::string v = cli.get(name);
+  return v.empty() ? fallback : static_cast<std::uint64_t>(std::atoll(v.c_str()));
+}
+
+/// One generated chunk: `rows * features` values plus one label per row.
+struct Chunk {
+  std::vector<double> values;
+  std::vector<int> labels;
+};
+
+/// Stream `total` rows into `file`. make_row(r, out_span) fills row r's
+/// features and returns its label; rows are pure functions of r, chunks
+/// are generated in parallel but appended in index order, and memory is
+/// bounded by one wave of chunks (never the whole corpus).
+template <typename MakeRow>
+void generate_store(const fs::path& file, std::uint64_t total, std::size_t features,
+                    std::size_t jobs, MakeRow make_row) {
+  wf::FeatureStoreWriter writer(file, features);
+  constexpr std::uint64_t kChunkRows = 2048;
+  const std::uint64_t chunks = (total + kChunkRows - 1) / kChunkRows;
+  const std::uint64_t wave = std::max<std::uint64_t>(1, 4 * std::max<std::size_t>(1, jobs));
+  for (std::uint64_t wave_lo = 0; wave_lo < chunks; wave_lo += wave) {
+    const std::uint64_t wave_n = std::min(wave, chunks - wave_lo);
+    const std::vector<Chunk> results = exp::run_ordered<Chunk>(
+        static_cast<std::size_t>(wave_n), jobs, [&](std::size_t c) {
+          const std::uint64_t lo = (wave_lo + c) * kChunkRows;
+          const std::uint64_t n = std::min(kChunkRows, total - lo);
+          Chunk chunk;
+          chunk.values.assign(n * features, 0.0);
+          chunk.labels.resize(n);
+          for (std::uint64_t i = 0; i < n; ++i) {
+            chunk.labels[i] =
+                make_row(lo + i, std::span<double>(chunk.values.data() + i * features, features));
+          }
+          return chunk;
+        });
+    for (const Chunk& chunk : results) {
+      for (std::size_t i = 0; i < chunk.labels.size(); ++i) {
+        writer.append_row({chunk.values.data() + i * features, features}, chunk.labels[i]);
+      }
+    }
+  }
+  writer.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::Cli cli = exp::parse_cli(argc, argv,
+                                      {{"--corpus", true},
+                                       {"--generate", true},
+                                       {"--smoke", false},
+                                       {"--sites", true},
+                                       {"--instances", true},
+                                       {"--bg-train", true},
+                                       {"--block-rows", true}});
+  if (!cli.has("--corpus")) {
+    std::fprintf(stderr, "openworld_scale: --corpus DIR is required\n");
+    return 2;
+  }
+  const fs::path dir = cli.get("--corpus");
+  const bool smoke = cli.has("--smoke");
+  const std::size_t jobs = cli.jobs == 0 ? exp::default_jobs() : cli.jobs;
+  const auto seed = static_cast<std::uint64_t>(env_int("STOB_SEED", 20251117));
+  const auto trees = static_cast<std::size_t>(env_int("STOB_TREES", smoke ? 30 : 100));
+  const std::uint64_t sites = flag_u64(cli, "--sites", smoke ? 6 : 20);
+  const std::uint64_t instances = flag_u64(cli, "--instances", smoke ? 30 : 100);
+  const std::uint64_t bg_train = flag_u64(cli, "--bg-train", smoke ? 200 : 1000);
+  const std::uint64_t block_rows = flag_u64(cli, "--block-rows", smoke ? 512 : 8192);
+  std::uint64_t generate = flag_u64(cli, "--generate", 0);
+  if (smoke && generate == 0) generate = 3000;
+
+  const std::size_t features = wf::kfp_feature_count();
+  const fs::path mon_path = dir / "monitored.fst";
+  const fs::path bg_path = dir / "background.fst";
+
+  std::printf("=== openworld_scale: streaming open-world k-FP over mmap'd stores ===\n");
+  std::fprintf(stderr, "openworld_scale: running with %zu jobs\n", jobs);
+
+  if (generate > 0) {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const std::uint64_t mon_total = sites * instances;
+    generate_store(mon_path, mon_total, features, jobs, [&](std::uint64_t r, std::span<double> out) {
+      const int site = static_cast<int>(r / instances);
+      wf::kfp_features_into(wf::synth_site_trace(seed, site, r % instances), out);
+      return site;
+    });
+    generate_store(bg_path, generate, features, jobs, [&](std::uint64_t r, std::span<double> out) {
+      wf::kfp_features_into(wf::synth_background_trace(seed, r), out);
+      return -1;
+    });
+    std::printf("generated monitored=%llu (sites=%llu x instances=%llu) background=%llu\n",
+                static_cast<unsigned long long>(mon_total),
+                static_cast<unsigned long long>(sites),
+                static_cast<unsigned long long>(instances),
+                static_cast<unsigned long long>(generate));
+  }
+
+  try {
+    const wf::FeatureStore monitored(mon_path, features);
+    const wf::FeatureStore background(bg_path, features);
+
+    wf::OpenWorldStreamConfig cfg;
+    cfg.forest.num_trees = trees;
+    cfg.forest.fit_jobs = jobs;
+    cfg.seed = seed;
+    cfg.bg_train_count = bg_train;
+    cfg.block_rows = block_rows;
+    cfg.jobs = jobs;
+    const wf::OpenWorldResult res = wf::open_world_stream(monitored, background, cfg);
+
+    std::printf("monitored rows=%llu  background rows=%llu  trees=%zu seed=%llu\n",
+                static_cast<unsigned long long>(monitored.rows()),
+                static_cast<unsigned long long>(background.rows()), trees,
+                static_cast<unsigned long long>(seed));
+    std::printf("tpr=%.4f fpr=%.6f precision=%.4f site_accuracy=%.4f\n", res.tpr, res.fpr,
+                res.precision, res.monitored_accuracy);
+    std::printf("monitored_tested=%zu background_tested=%zu\n", res.monitored_tested,
+                res.background_tested);
+  } catch (const wf::CorpusError& e) {
+    std::fprintf(stderr, "openworld_scale: corpus error (%s): %s\n",
+                 wf::corpus_error_name(e.code()), e.what());
+    return 1;
+  }
+
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  std::fprintf(stderr, "peak_rss_kb=%ld\n", ru.ru_maxrss);
+  return 0;
+}

@@ -58,7 +58,10 @@ int main(int argc, char** argv) {
                 fresh.smoke ? "smoke" : "full");
     std::printf("%-28s %14s %14s %9s\n", "benchmark", "baseline ev/s", "fresh ev/s", "speedup");
     for (const stob::bench::Comparison& c : stob::bench::compare(baseline, fresh)) {
-      if (c.fresh_eps > 0.0) {
+      if (baseline.find(c.name) == nullptr) {
+        // Candidate-only benchmark: informational, no baseline to gate on.
+        std::printf("%-28s %14s %14.0f %9s\n", c.name.c_str(), "NEW", c.fresh_eps, "-");
+      } else if (c.fresh_eps > 0.0) {
         std::printf("%-28s %14.0f %14.0f %8.2fx\n", c.name.c_str(), c.baseline_eps,
                     c.fresh_eps, c.ratio);
       } else {
@@ -77,6 +80,9 @@ int main(int argc, char** argv) {
     for (const stob::bench::Comparison& c : result.regressions) {
       std::printf("FAIL %s: %.2fx of baseline (threshold %.2fx)\n", c.name.c_str(), c.ratio,
                   1.0 - opts.max_regression);
+    }
+    for (const std::string& name : result.added) {
+      std::printf("note: %s is new in the fresh run (informational, not gated)\n", name.c_str());
     }
     if (result.ok) {
       std::printf("perf gate OK (%zu benchmarks, max regression %.0f%%)\n",

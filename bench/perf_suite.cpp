@@ -9,7 +9,7 @@
 // this translation unit.
 //
 // Usage:
-//   perf_suite [--smoke] [--out BENCH_5.json] [--baseline OLD.json]
+//   perf_suite [--smoke] [--out BENCH_7.json] [--baseline OLD.json]
 //              [--filter substr] [--jobs N] [--emit-manifest]
 //
 //   --smoke      tiny problem sizes (CI smoke job; numbers are not
@@ -56,9 +56,13 @@
 #include "net/pipe.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "wf/corpus.hpp"
 #include "wf/features.hpp"
 #include "wf/kfp.hpp"
+#include "wf/leaf_knn.hpp"
+#include "wf/open_world.hpp"
 #include "wf/random_forest.hpp"
+#include "wf/synth_traces.hpp"
 #include "workload/page_load.hpp"
 #include "workload/website.hpp"
 
@@ -362,6 +366,74 @@ std::uint64_t wf_knn_leaf(const WfBenchData& data, std::size_t trees, int passes
   return static_cast<std::uint64_t>(passes) * data.x.rows() * data.x.rows();
 }
 
+/// Pure blocked-descent kernel: leaf ids for the whole dataset, `passes`
+/// times, on a pre-trained forest. Unlike wf.predict_batch this skips vote
+/// aggregation, so the number isolates kernels::descend_block (the SIMD
+/// dispatch target). events = rows x trees tree-walk units.
+std::uint64_t wf_descent_simd(const wf::RandomForest& forest, const WfBenchData& data,
+                              int passes) {
+  std::vector<std::uint32_t> leaves(data.x.rows() * forest.tree_count());
+  std::uint64_t sink = 0;
+  for (int p = 0; p < passes; ++p) {
+    forest.leaf_batch(data.x.data(), data.x.row_stride(), data.x.rows(), leaves.data());
+    sink += leaves[0];
+  }
+  if (sink == 0xFFFFFFFFull) std::printf("?");
+  return static_cast<std::uint64_t>(passes) * data.x.rows() * forest.tree_count();
+}
+
+/// Pure leaf-agreement kernel over precomputed leaf vectors. wf.knn_leaf
+/// times fit + leaf extraction + matching together; this entry times only
+/// kernels::leaf_match_block so kernel speedups are not diluted by
+/// training. events = query x train pairs.
+std::uint64_t wf_knn_simd(const std::vector<std::uint32_t>& leaves, std::size_t rows,
+                          std::size_t trees, int passes) {
+  std::vector<int> counts(rows * rows);
+  std::uint64_t sink = 0;
+  for (int p = 0; p < passes; ++p) {
+    wf::leaf_match_matrix(leaves, rows, leaves, rows, trees, counts);
+    sink += static_cast<std::uint64_t>(counts[0]);
+  }
+  if (sink == 0xFFFFFFFFull) std::printf("?");
+  return static_cast<std::uint64_t>(passes) * rows * rows;
+}
+
+/// k-FP feature extraction over pre-generated synthetic page loads: the
+/// timed body is kfp_features_into (counting/banding kernels + scalar
+/// stats). events = packets consumed.
+std::uint64_t wf_features_simd(const std::vector<wf::Trace>& traces, std::uint64_t packets,
+                               int passes) {
+  std::vector<double> row(wf::kfp_feature_count());
+  double sink = 0;
+  for (int p = 0; p < passes; ++p) {
+    for (const wf::Trace& t : traces) {
+      wf::kfp_features_into(t, row);
+      sink += row[0];
+    }
+  }
+  if (sink < 0) std::printf("?");
+  return static_cast<std::uint64_t>(passes) * packets;
+}
+
+/// Store-backed streaming open world end to end: mmap + sha256-validate
+/// two STOBFST1 stores, fit a forest from sampled rows, stream the
+/// background corpus block-wise with pages dropped behind the pass. The
+/// stores are written once outside the timed body. events = background
+/// rows x trees (tree-walk units of the streaming pass).
+std::uint64_t corpus_stream_fit(const std::filesystem::path& dir, std::size_t trees,
+                                std::size_t block_rows) {
+  const wf::FeatureStore monitored(dir / "monitored.fst", wf::kfp_feature_count());
+  const wf::FeatureStore background(dir / "background.fst", wf::kfp_feature_count());
+  wf::OpenWorldStreamConfig cfg;
+  cfg.forest.num_trees = trees;
+  cfg.bg_train_count = background.rows() / 10;
+  cfg.block_rows = block_rows;
+  cfg.seed = 0xC0FFEEull;
+  const wf::OpenWorldResult res = wf::open_world_stream(monitored, background, cfg);
+  if (res.background_tested == 0) std::printf("?");
+  return background.rows() * trees;
+}
+
 /// Miniature Table 2 pipeline: collect a (site x sample) grid through the
 /// simulated stack, sanitise, then cross-validate k-FP over (scope x
 /// countermeasure) cells — the paper's dominant evaluation loop end to end.
@@ -467,7 +539,7 @@ void write_json(const std::string& path, const std::vector<BenchResult>& results
 int main(int argc, char** argv) {
   bool smoke = false;
   bool emit_manifest = false;
-  std::string out_path = "BENCH_5.json";
+  std::string out_path = "BENCH_7.json";
   std::string baseline_path;
   std::string filter;
   std::size_t jobs_n = std::thread::hardware_concurrency();
@@ -575,10 +647,73 @@ int main(int argc, char** argv) {
       results.push_back(run_bench("wf.knn_leaf", wf_iters,
                                   [&] { return wf_knn_leaf(wf_data, wf_trees, passes); }));
     }
+    if (want("wf.descent_simd") || want("wf.knn_simd")) {
+      wf::RandomForest::Config cfg;
+      cfg.num_trees = wf_trees;
+      wf::RandomForest forest(cfg);
+      forest.fit({&wf_data.x, wf_data.labels, wf_data.classes});
+      if (want("wf.descent_simd")) {
+        const int passes = smoke ? 4 : 40;
+        results.push_back(run_bench("wf.descent_simd", wf_iters,
+                                    [&] { return wf_descent_simd(forest, wf_data, passes); }));
+      }
+      if (want("wf.knn_simd")) {
+        const std::vector<std::uint32_t> leaves = forest.leaf_batch(wf_data.x);
+        const int passes = smoke ? 8 : 60;
+        results.push_back(run_bench("wf.knn_simd", wf_iters, [&] {
+          return wf_knn_simd(leaves, wf_data.x.rows(), forest.tree_count(), passes);
+        }));
+      }
+    }
+    if (want("wf.features_simd")) {
+      std::vector<wf::Trace> traces;
+      std::uint64_t packets = 0;
+      const std::size_t n_traces = smoke ? 60 : 400;
+      traces.reserve(n_traces);
+      for (std::size_t i = 0; i < n_traces; ++i) {
+        traces.push_back(wf::synth_background_trace(0xFEA7ull, i));
+        packets += traces.back().size();
+      }
+      const int passes = smoke ? 2 : 10;
+      results.push_back(run_bench("wf.features_simd", wf_iters,
+                                  [&] { return wf_features_simd(traces, packets, passes); }));
+    }
   }
   if (want("grid.table2")) {
     results.push_back(run_bench("grid.table2", 1, [&] {
       return grid_table2(smoke ? 2 : 9, smoke ? 2 : 12, /*folds=*/3, smoke ? 15 : 60);
+    }));
+  }
+  if (want("corpus.stream_fit")) {
+    // The stores are generated once up front; the timed body is mmap +
+    // sha validation + streaming fit/eval (the million-trace driver's
+    // steady-state path at benchmark scale).
+    const std::filesystem::path dir = std::filesystem::temp_directory_path() / "stob_perf_corpus";
+    std::filesystem::create_directories(dir);
+    const std::size_t features = wf::kfp_feature_count();
+    const std::uint64_t c_sites = smoke ? 4 : 10;
+    const std::uint64_t c_inst = smoke ? 10 : 40;
+    const std::uint64_t c_bg = smoke ? 800 : 20'000;
+    const std::size_t c_trees = smoke ? 10 : 40;
+    {
+      std::vector<double> row(features);
+      wf::FeatureStoreWriter mon(dir / "monitored.fst", features);
+      for (std::uint64_t s = 0; s < c_sites; ++s) {
+        for (std::uint64_t i = 0; i < c_inst; ++i) {
+          wf::kfp_features_into(wf::synth_site_trace(0xC0DEull, static_cast<int>(s), i), row);
+          mon.append_row(row, static_cast<int>(s));
+        }
+      }
+      mon.finish();
+      wf::FeatureStoreWriter bg(dir / "background.fst", features);
+      for (std::uint64_t i = 0; i < c_bg; ++i) {
+        wf::kfp_features_into(wf::synth_background_trace(0xC0DEull, i), row);
+        bg.append_row(row, -1);
+      }
+      bg.finish();
+    }
+    results.push_back(run_bench("corpus.stream_fit", smoke ? 1 : 2, [&] {
+      return corpus_stream_fit(dir, c_trees, smoke ? 256 : 2048);
     }));
   }
 

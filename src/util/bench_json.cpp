@@ -101,6 +101,15 @@ std::vector<Comparison> compare(const BenchSnapshot& baseline, const BenchSnapsh
     c.ratio = c.baseline_eps > 0.0 ? c.fresh_eps / c.baseline_eps : 0.0;
     out.push_back(std::move(c));
   }
+  // Candidate-only entries ride along after the baseline rows so a freshly
+  // added benchmark shows up in the table (with no baseline to compare to).
+  for (const BenchEntry& f : fresh.entries) {
+    if (baseline.find(f.name) != nullptr) continue;
+    Comparison c;
+    c.name = f.name;
+    c.fresh_eps = f.events_per_sec;
+    out.push_back(std::move(c));
+  }
   return out;
 }
 
@@ -114,6 +123,11 @@ GateResult gate(const BenchSnapshot& baseline, const BenchSnapshot& fresh,
       // otherwise let its regressions go unmeasured forever.
       r.missing.push_back(c.name);
       r.ok = false;
+      continue;
+    }
+    if (baseline.find(c.name) == nullptr) {
+      // New benchmark: informational only — gaining coverage never fails.
+      r.added.push_back(c.name);
       continue;
     }
     if (r.ratios_skipped || c.baseline_eps <= 0.0) continue;

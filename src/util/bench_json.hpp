@@ -56,6 +56,9 @@ struct Comparison {
 /// Pair up every baseline entry with the same-named fresh entry, in
 /// baseline order. Baseline entries missing from the fresh run get
 /// fresh_eps == 0 and ratio == 0 (the coverage gate below flags them).
+/// Fresh-only entries follow the baseline rows, in fresh order, with
+/// baseline_eps == 0 and ratio == 0 — a newly added benchmark is reported,
+/// not silently dropped from the table.
 std::vector<Comparison> compare(const BenchSnapshot& baseline, const BenchSnapshot& fresh);
 
 struct GateOptions {
@@ -76,6 +79,10 @@ struct GateResult {
   std::vector<std::string> missing;
   /// Benchmarks whose ratio fell below the regression threshold.
   std::vector<Comparison> regressions;
+  /// Candidate-only benchmarks (present fresh, absent from the baseline).
+  /// Purely informational: a suite gaining coverage must never fail the
+  /// gate — only losing coverage (`missing`) does.
+  std::vector<std::string> added;
   /// True when the throughput gate was skipped due to a smoke mismatch.
   bool ratios_skipped = false;
 };

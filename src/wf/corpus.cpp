@@ -1,0 +1,421 @@
+#include "wf/corpus.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace stob::wf {
+
+// Both formats are raw little-endian structs; the code never byte-swaps.
+static_assert(std::endian::native == std::endian::little,
+              "corpus formats are little-endian on-disk");
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kCorpusMagic[8] = {'S', 'T', 'O', 'B', 'C', 'R', 'P', '1'};
+constexpr char kStoreMagic[8] = {'S', 'T', 'O', 'B', 'F', 'S', 'T', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+struct CorpusHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::uint64_t trace_count;
+  std::uint64_t payload_bytes;
+  char sha256_hex[64];
+};
+static_assert(sizeof(CorpusHeader) == 96);
+
+struct StoreHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::uint64_t rows;
+  std::uint64_t cols;
+  std::uint64_t row_stride;     // doubles between row starts, % 8 == 0
+  std::uint64_t labels_offset;  // data_offset + rows * row_stride * 8
+  std::uint64_t data_offset;    // 64-byte aligned, >= sizeof(StoreHeader)
+  std::uint64_t payload_bytes;  // file size - sizeof(StoreHeader)
+  char sha256_hex[64];
+};
+static_assert(sizeof(StoreHeader) == 128);
+
+struct PacketOnDisk {
+  double time;
+  std::int32_t direction;
+  std::int32_t pad;
+  std::int64_t size;
+};
+static_assert(sizeof(PacketOnDisk) == 24);
+
+constexpr std::size_t kDoublesPerLine = 64 / sizeof(double);
+
+/// Move a bad file out of the way (best effort) and throw. A quarantined
+/// file can never be opened again under its original name, so a corrupt
+/// corpus is served exactly zero times.
+[[noreturn]] void quarantine_and_throw(const fs::path& path, CorpusErrorCode code,
+                                       const std::string& what) {
+  std::error_code ec;
+  fs::rename(path, fs::path(path.string() + ".quarantined"), ec);
+  throw CorpusError(code, what + " [" + path.string() + "]");
+}
+
+/// mmap a whole file read-only. Returns nullptr + size 0 on empty files.
+const unsigned char* map_file(const fs::path& path, std::size_t& size_out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw CorpusError(CorpusErrorCode::Io, "cannot open " + path.string());
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw CorpusError(CorpusErrorCode::Io, "cannot stat " + path.string());
+  }
+  size_out = static_cast<std::size_t>(st.st_size);
+  if (size_out == 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  void* p = ::mmap(nullptr, size_out, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (p == MAP_FAILED) throw CorpusError(CorpusErrorCode::Io, "cannot mmap " + path.string());
+  return static_cast<const unsigned char*>(p);
+}
+
+/// SHA-256 of map[offset, size), streamed in 4 MiB chunks with progressive
+/// MADV_DONTNEED so verification never accumulates resident pages.
+std::string hash_mapped_payload(const unsigned char* map, std::size_t offset, std::size_t size) {
+  util::Sha256 sha;
+  constexpr std::size_t kChunk = std::size_t{4} << 20;
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  std::size_t off = offset;
+  while (off < size) {
+    const std::size_t n = std::min(kChunk, size - off);
+    sha.update(map + off, n);
+    const std::size_t lo = off & ~(page - 1);
+    ::madvise(const_cast<unsigned char*>(map) + lo, off + n - lo, MADV_DONTNEED);
+    off += n;
+  }
+  return sha.hex_digest();
+}
+
+}  // namespace
+
+const char* corpus_error_name(CorpusErrorCode code) {
+  switch (code) {
+    case CorpusErrorCode::Io: return "io";
+    case CorpusErrorCode::BadMagic: return "bad_magic";
+    case CorpusErrorCode::BadVersion: return "bad_version";
+    case CorpusErrorCode::BadHeader: return "bad_header";
+    case CorpusErrorCode::Truncated: return "truncated";
+    case CorpusErrorCode::DimMismatch: return "dim_mismatch";
+    case CorpusErrorCode::ShaMismatch: return "sha_mismatch";
+    case CorpusErrorCode::Empty: return "empty";
+    case CorpusErrorCode::Modified: return "modified";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------ CorpusWriter
+
+CorpusWriter::CorpusWriter(const std::filesystem::path& path) : path_(path) {
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) throw CorpusError(CorpusErrorCode::Io, "cannot create " + path.string());
+  // Placeholder header of zeros: until finish() rewrites it, the file fails
+  // the magic check, so a crashed writer cannot produce a servable corpus.
+  const char zeros[sizeof(CorpusHeader)] = {};
+  if (std::fwrite(zeros, 1, sizeof(zeros), f_) != sizeof(zeros)) {
+    throw CorpusError(CorpusErrorCode::Io, "write failed: " + path.string());
+  }
+}
+
+CorpusWriter::~CorpusWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void CorpusWriter::write_raw(const void* p, std::size_t n) {
+  if (std::fwrite(p, 1, n, f_) != n) {
+    throw CorpusError(CorpusErrorCode::Io, "write failed: " + path_.string());
+  }
+  sha_.update(p, n);
+  payload_bytes_ += n;
+}
+
+void CorpusWriter::add(const Trace& trace, int label) {
+  const std::uint32_t rec[2] = {static_cast<std::uint32_t>(label),
+                                static_cast<std::uint32_t>(trace.size())};
+  write_raw(rec, sizeof(rec));
+  static thread_local std::vector<PacketOnDisk> buf;
+  buf.resize(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const PacketRecord& p = trace.packets()[i];
+    buf[i] = {p.time, static_cast<std::int32_t>(p.direction), 0, p.size};
+  }
+  if (!buf.empty()) write_raw(buf.data(), buf.size() * sizeof(PacketOnDisk));
+  count_ += 1;
+}
+
+void CorpusWriter::finish() {
+  if (finished_) return;
+  CorpusHeader h{};
+  std::memcpy(h.magic, kCorpusMagic, sizeof(h.magic));
+  h.version = kFormatVersion;
+  h.trace_count = count_;
+  h.payload_bytes = payload_bytes_;
+  const std::string hex = sha_.hex_digest();
+  std::memcpy(h.sha256_hex, hex.data(), sizeof(h.sha256_hex));
+  if (std::fseek(f_, 0, SEEK_SET) != 0 || std::fwrite(&h, 1, sizeof(h), f_) != sizeof(h) ||
+      std::fflush(f_) != 0) {
+    throw CorpusError(CorpusErrorCode::Io, "header write failed: " + path_.string());
+  }
+  std::fclose(f_);
+  f_ = nullptr;
+  finished_ = true;
+}
+
+// ------------------------------------------------------------ CorpusReader
+
+CorpusReader::CorpusReader(const std::filesystem::path& path) {
+  map_ = map_file(path, map_size_);
+  if (map_size_ < sizeof(CorpusHeader)) {
+    quarantine_and_throw(path, CorpusErrorCode::Truncated, "corpus shorter than its header");
+  }
+  CorpusHeader h{};
+  std::memcpy(&h, map_, sizeof(h));
+  if (std::memcmp(h.magic, kCorpusMagic, sizeof(h.magic)) != 0) {
+    quarantine_and_throw(path, CorpusErrorCode::BadMagic, "not a STOBCRP1 corpus");
+  }
+  if (h.version != kFormatVersion) {
+    quarantine_and_throw(path, CorpusErrorCode::BadVersion, "unsupported corpus version");
+  }
+  if (h.trace_count == 0) {
+    quarantine_and_throw(path, CorpusErrorCode::Empty, "corpus holds zero traces");
+  }
+  if (h.payload_bytes != map_size_ - sizeof(CorpusHeader)) {
+    quarantine_and_throw(path,
+                         h.payload_bytes > map_size_ - sizeof(CorpusHeader)
+                             ? CorpusErrorCode::Truncated
+                             : CorpusErrorCode::BadHeader,
+                         "corpus payload size does not match the file");
+  }
+  const std::string got = hash_mapped_payload(map_, sizeof(CorpusHeader), map_size_);
+  if (std::memcmp(got.data(), h.sha256_hex, sizeof(h.sha256_hex)) != 0) {
+    quarantine_and_throw(path, CorpusErrorCode::ShaMismatch, "corpus payload hash mismatch");
+  }
+  count_ = h.trace_count;
+  cursor_ = sizeof(CorpusHeader);
+}
+
+CorpusReader::~CorpusReader() {
+  if (map_ != nullptr) ::munmap(const_cast<unsigned char*>(map_), map_size_);
+}
+
+void CorpusReader::rewind() {
+  cursor_ = sizeof(CorpusHeader);
+  read_ = 0;
+}
+
+bool CorpusReader::next(Trace& trace, int& label) {
+  if (read_ >= count_) return false;
+  if (cursor_ + 8 > map_size_) {
+    throw CorpusError(CorpusErrorCode::Truncated, "corpus record header out of bounds");
+  }
+  std::uint32_t rec[2];
+  std::memcpy(rec, map_ + cursor_, sizeof(rec));
+  cursor_ += sizeof(rec);
+  const std::size_t n = rec[1];
+  if (cursor_ + n * sizeof(PacketOnDisk) > map_size_) {
+    throw CorpusError(CorpusErrorCode::Truncated, "corpus packet data out of bounds");
+  }
+  label = static_cast<std::int32_t>(rec[0]);
+  auto& pkts = trace.packets();
+  pkts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PacketOnDisk p;
+    std::memcpy(&p, map_ + cursor_ + i * sizeof(PacketOnDisk), sizeof(p));
+    pkts[i] = {p.time, static_cast<int>(p.direction), p.size};
+  }
+  cursor_ += n * sizeof(PacketOnDisk);
+  read_ += 1;
+  return true;
+}
+
+Dataset load_corpus(const std::filesystem::path& path) {
+  CorpusReader reader(path);
+  Dataset out;
+  Trace t;
+  int label = 0;
+  while (reader.next(t, label)) out.add(std::move(t), label);
+  return out;
+}
+
+// ------------------------------------------------------ FeatureStoreWriter
+
+FeatureStoreWriter::FeatureStoreWriter(const std::filesystem::path& path, std::size_t cols)
+    : path_(path),
+      cols_(cols),
+      stride_((cols + kDoublesPerLine - 1) / kDoublesPerLine * kDoublesPerLine) {
+  if (cols == 0) throw CorpusError(CorpusErrorCode::BadHeader, "store needs cols > 0");
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) throw CorpusError(CorpusErrorCode::Io, "cannot create " + path.string());
+  const char zeros[sizeof(StoreHeader)] = {};
+  if (std::fwrite(zeros, 1, sizeof(zeros), f_) != sizeof(zeros)) {
+    throw CorpusError(CorpusErrorCode::Io, "write failed: " + path.string());
+  }
+  row_buf_.assign(stride_, 0.0);
+}
+
+FeatureStoreWriter::~FeatureStoreWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void FeatureStoreWriter::write_raw(const void* p, std::size_t n) {
+  if (std::fwrite(p, 1, n, f_) != n) {
+    throw CorpusError(CorpusErrorCode::Io, "write failed: " + path_.string());
+  }
+  sha_.update(p, n);
+}
+
+void FeatureStoreWriter::append_row(std::span<const double> row, int label) {
+  if (row.size() != cols_) {
+    throw CorpusError(CorpusErrorCode::DimMismatch, "appended row width != store cols");
+  }
+  std::copy(row.begin(), row.end(), row_buf_.begin());  // padding lanes stay 0
+  write_raw(row_buf_.data(), row_buf_.size() * sizeof(double));
+  labels_.push_back(static_cast<std::int32_t>(label));
+  rows_ += 1;
+}
+
+void FeatureStoreWriter::finish() {
+  if (finished_) return;
+  if (!labels_.empty()) write_raw(labels_.data(), labels_.size() * sizeof(std::int32_t));
+  StoreHeader h{};
+  std::memcpy(h.magic, kStoreMagic, sizeof(h.magic));
+  h.version = kFormatVersion;
+  h.rows = rows_;
+  h.cols = cols_;
+  h.row_stride = stride_;
+  h.data_offset = sizeof(StoreHeader);
+  h.labels_offset = h.data_offset + rows_ * stride_ * sizeof(double);
+  h.payload_bytes = rows_ * stride_ * sizeof(double) + rows_ * sizeof(std::int32_t);
+  const std::string hex = sha_.hex_digest();
+  std::memcpy(h.sha256_hex, hex.data(), sizeof(h.sha256_hex));
+  if (std::fseek(f_, 0, SEEK_SET) != 0 || std::fwrite(&h, 1, sizeof(h), f_) != sizeof(h) ||
+      std::fflush(f_) != 0) {
+    throw CorpusError(CorpusErrorCode::Io, "header write failed: " + path_.string());
+  }
+  std::fclose(f_);
+  f_ = nullptr;
+  finished_ = true;
+}
+
+// ------------------------------------------------------------ FeatureStore
+
+FeatureStore::FeatureStore(const std::filesystem::path& path, std::size_t expected_cols) {
+  map_ = map_file(path, map_size_);
+  if (map_size_ < sizeof(StoreHeader)) {
+    quarantine_and_throw(path, CorpusErrorCode::Truncated, "store shorter than its header");
+  }
+  StoreHeader h{};
+  std::memcpy(&h, map_, sizeof(h));
+  std::memcpy(header_copy_, map_, sizeof(header_copy_));
+  if (std::memcmp(h.magic, kStoreMagic, sizeof(h.magic)) != 0) {
+    quarantine_and_throw(path, CorpusErrorCode::BadMagic, "not a STOBFST1 feature store");
+  }
+  if (h.version != kFormatVersion) {
+    quarantine_and_throw(path, CorpusErrorCode::BadVersion, "unsupported store version");
+  }
+  if (h.rows == 0) quarantine_and_throw(path, CorpusErrorCode::Empty, "store holds zero rows");
+  if (h.cols == 0 || h.row_stride % kDoublesPerLine != 0 || h.row_stride < h.cols ||
+      h.data_offset < sizeof(StoreHeader) || h.data_offset % 64 != 0) {
+    quarantine_and_throw(path, CorpusErrorCode::BadHeader, "store header fields inconsistent");
+  }
+  // All size arithmetic overflow-checked: a hostile header must not be able
+  // to wrap these into something that passes the bounds comparison.
+  std::uint64_t data_bytes = 0, with_data = 0, label_end = 0;
+  if (__builtin_mul_overflow(h.rows * sizeof(double), h.row_stride, &data_bytes) ||
+      __builtin_add_overflow(h.data_offset, data_bytes, &with_data) ||
+      __builtin_add_overflow(with_data, h.rows * sizeof(std::int32_t), &label_end)) {
+    quarantine_and_throw(path, CorpusErrorCode::BadHeader, "store header sizes overflow");
+  }
+  if (h.labels_offset != with_data) {
+    quarantine_and_throw(path, CorpusErrorCode::BadHeader, "store labels_offset inconsistent");
+  }
+  if (map_size_ < label_end) {
+    quarantine_and_throw(path, CorpusErrorCode::Truncated, "store shorter than header promises");
+  }
+  if (map_size_ != label_end || h.payload_bytes != map_size_ - sizeof(StoreHeader)) {
+    quarantine_and_throw(path, CorpusErrorCode::BadHeader, "store size does not match header");
+  }
+  if (expected_cols != 0 && h.cols != expected_cols) {
+    quarantine_and_throw(path, CorpusErrorCode::DimMismatch,
+                         "store cols " + std::to_string(h.cols) + " != expected " +
+                             std::to_string(expected_cols));
+  }
+  const std::string got = hash_mapped_payload(map_, sizeof(StoreHeader), map_size_);
+  if (std::memcmp(got.data(), h.sha256_hex, sizeof(h.sha256_hex)) != 0) {
+    quarantine_and_throw(path, CorpusErrorCode::ShaMismatch, "store payload hash mismatch");
+  }
+  rows_ = h.rows;
+  cols_ = h.cols;
+  stride_ = h.row_stride;
+  data_ = reinterpret_cast<const double*>(map_ + h.data_offset);
+  labels_ = reinterpret_cast<const std::int32_t*>(map_ + h.labels_offset);
+}
+
+FeatureStore::~FeatureStore() {
+  if (map_ != nullptr) ::munmap(const_cast<unsigned char*>(map_), map_size_);
+}
+
+const double* FeatureStore::block(std::uint64_t lo, std::uint64_t n) const {
+  if (lo + n > rows_) {
+    throw CorpusError(CorpusErrorCode::BadHeader, "store block out of range");
+  }
+  if (std::memcmp(map_, header_copy_, sizeof(header_copy_)) != 0) {
+    throw CorpusError(CorpusErrorCode::Modified, "store header changed after open");
+  }
+  return data_ + lo * stride_;
+}
+
+void FeatureStore::verify_payload() const {
+  if (std::memcmp(map_, header_copy_, sizeof(header_copy_)) != 0) {
+    throw CorpusError(CorpusErrorCode::Modified, "store header changed after open");
+  }
+  StoreHeader h{};
+  std::memcpy(&h, header_copy_, sizeof(h));
+  const std::string got = hash_mapped_payload(map_, sizeof(StoreHeader), map_size_);
+  if (std::memcmp(got.data(), h.sha256_hex, sizeof(h.sha256_hex)) != 0) {
+    throw CorpusError(CorpusErrorCode::Modified, "store payload changed after open");
+  }
+}
+
+void FeatureStore::drop_pages() const {
+  ::madvise(const_cast<unsigned char*>(map_), map_size_, MADV_DONTNEED);
+}
+
+void FeatureStore::drop_rows(std::uint64_t lo, std::uint64_t n) const {
+  if (n == 0 || lo + n > rows_) return;
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const auto base = reinterpret_cast<std::uintptr_t>(data_ + lo * stride_);
+  const auto end = reinterpret_cast<std::uintptr_t>(data_ + (lo + n) * stride_);
+  const std::uintptr_t a = (base + page - 1) & ~(page - 1);  // shrink inward
+  const std::uintptr_t b = end & ~(page - 1);
+  if (b > a) ::madvise(reinterpret_cast<void*>(a), b - a, MADV_DONTNEED);
+}
+
+std::size_t FeatureStore::resident_payload_bytes() const {
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t pages = (map_size_ + page - 1) / page;
+  std::vector<unsigned char> vec(pages, 0);
+  if (::mincore(const_cast<unsigned char*>(map_), map_size_, vec.data()) != 0) return 0;
+  std::size_t resident = 0;
+  for (unsigned char v : vec) resident += (v & 1u) != 0 ? page : 0;
+  return resident;
+}
+
+}  // namespace stob::wf

@@ -1,0 +1,222 @@
+// Streaming on-disk trace corpus and memory-mapped feature store — the
+// storage layer behind million-trace open-world evaluation.
+//
+// Two versioned little-endian binary formats, both golden-pinned by tests
+// (headers carry no timestamps, so the same input always produces the same
+// bytes, sha256 included):
+//
+//   "STOBCRP1" trace corpus — 96-byte header
+//       magic[8] | u32 version | u32 reserved | u64 trace_count |
+//       u64 payload_bytes | char sha256_hex[64]
+//     followed by trace_count records:
+//       u32 label | u32 packet_count | packet_count x
+//         { f64 time | i32 direction | i32 pad(=0) | i64 size }   (24 B)
+//
+//   "STOBFST1" feature store — 128-byte header
+//       magic[8] | u32 version | u32 reserved | u64 rows | u64 cols |
+//       u64 row_stride | u64 labels_offset | u64 data_offset |
+//       u64 payload_bytes | char sha256_hex[64]
+//     data_offset = 128 (64-byte aligned by construction), row_stride is
+//     cols rounded up to 8 doubles, so every mmap'd row is 64-byte aligned
+//     exactly like FeatureMatrix rows; the i32 label array follows the row
+//     data at labels_offset. The sha256 covers the whole payload
+//     (everything after the header) in file order.
+//
+// FeatureStore mmaps the file read-only and validates everything on open —
+// magic, version, header arithmetic, exact file size, payload sha256 — so
+// consumers can iterate blocks of rows without materialising the corpus in
+// RAM. The sha pass streams with progressive madvise(MADV_DONTNEED), so
+// even verification keeps resident memory bounded. A file that fails
+// validation is quarantined (renamed to <path>.quarantined) and never
+// served; every failure is a structured CorpusError, never UB.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/sha256.hpp"
+#include "wf/trace.hpp"
+
+namespace stob::wf {
+
+enum class CorpusErrorCode {
+  Io,           ///< open/read/map/write syscall failure
+  BadMagic,     ///< not a corpus/store file
+  BadVersion,   ///< format version this build does not speak
+  BadHeader,    ///< header fields inconsistent (offsets, stride, arithmetic)
+  Truncated,    ///< file shorter than the header promises
+  DimMismatch,  ///< store cols differ from what the consumer expects
+  ShaMismatch,  ///< payload bytes do not hash to the header sha256
+  Empty,        ///< zero rows/traces (never valid for a finished file)
+  Modified,     ///< mapped header changed after open (file mutated in place)
+};
+
+const char* corpus_error_name(CorpusErrorCode code);
+
+/// Structured failure for every corpus/store fault path.
+class CorpusError : public std::runtime_error {
+ public:
+  CorpusError(CorpusErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  CorpusErrorCode code() const { return code_; }
+
+ private:
+  CorpusErrorCode code_;
+};
+
+// ------------------------------------------------------------ trace corpus
+
+/// Appends labeled traces to a STOBCRP1 file. Records stream straight to
+/// disk (constant memory in corpus size); the header is finalised by
+/// finish(), without which the file stays invalid (trace_count = 0 is
+/// rejected by the reader, so a crashed writer cannot be mistaken for a
+/// complete corpus).
+class CorpusWriter {
+ public:
+  explicit CorpusWriter(const std::filesystem::path& path);
+  ~CorpusWriter();
+  CorpusWriter(const CorpusWriter&) = delete;
+  CorpusWriter& operator=(const CorpusWriter&) = delete;
+
+  void add(const Trace& trace, int label);
+  /// Seal the file: write the final header (count, payload size, sha256).
+  void finish();
+
+  std::uint64_t trace_count() const { return count_; }
+
+ private:
+  void write_raw(const void* p, std::size_t n);
+
+  std::FILE* f_ = nullptr;
+  std::filesystem::path path_;
+  util::Sha256 sha_;
+  std::uint64_t count_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// Sequentially decodes a STOBCRP1 file. The whole file is validated on
+/// construction (header + payload sha); iteration itself cannot fail.
+class CorpusReader {
+ public:
+  explicit CorpusReader(const std::filesystem::path& path);
+  ~CorpusReader();
+  CorpusReader(const CorpusReader&) = delete;
+  CorpusReader& operator=(const CorpusReader&) = delete;
+
+  std::uint64_t trace_count() const { return count_; }
+
+  /// Decode the next trace; false once all records were consumed.
+  bool next(Trace& trace, int& label);
+
+  /// Restart iteration from the first record.
+  void rewind();
+
+ private:
+  const unsigned char* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t read_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+/// Convenience: decode a whole (small) corpus into a Dataset.
+Dataset load_corpus(const std::filesystem::path& path);
+
+// ---------------------------------------------------------- feature store
+
+/// Streams 64-byte-aligned feature rows (padded to a multiple of 8 doubles,
+/// FeatureMatrix layout) plus i32 labels into a STOBFST1 file. Row data is
+/// written as it arrives; labels are buffered (4 bytes/row) and flushed by
+/// finish(), which also seals the header.
+class FeatureStoreWriter {
+ public:
+  FeatureStoreWriter(const std::filesystem::path& path, std::size_t cols);
+  ~FeatureStoreWriter();
+  FeatureStoreWriter(const FeatureStoreWriter&) = delete;
+  FeatureStoreWriter& operator=(const FeatureStoreWriter&) = delete;
+
+  std::size_t cols() const { return cols_; }
+  std::size_t row_stride() const { return stride_; }
+  std::uint64_t rows() const { return rows_; }
+
+  /// Append one row (exactly cols() values; padding lanes are zero).
+  void append_row(std::span<const double> row, int label);
+  void finish();
+
+ private:
+  void write_raw(const void* p, std::size_t n);
+
+  std::FILE* f_ = nullptr;
+  std::filesystem::path path_;
+  util::Sha256 sha_;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+  std::uint64_t rows_ = 0;
+  std::vector<std::int32_t> labels_;
+  std::vector<double> row_buf_;
+  bool finished_ = false;
+};
+
+/// Read-only mmap view of a STOBFST1 file. Open validates the header and
+/// the payload sha256 (streamed, bounded RSS); afterwards row(r) / block()
+/// hand out pointers directly into the mapping, so iterating the store
+/// costs page-cache pages only — drop_pages() returns them to the kernel
+/// between blocks.
+class FeatureStore {
+ public:
+  /// Validates and maps; throws CorpusError (and quarantines the file) on
+  /// any fault. expected_cols != 0 additionally enforces the feature
+  /// dimensionality (DimMismatch).
+  explicit FeatureStore(const std::filesystem::path& path, std::size_t expected_cols = 0);
+  ~FeatureStore();
+  FeatureStore(const FeatureStore&) = delete;
+  FeatureStore& operator=(const FeatureStore&) = delete;
+
+  std::uint64_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t row_stride() const { return stride_; }
+
+  /// Row r (cols() valid doubles, row_stride() apart, 64-byte aligned).
+  const double* row(std::uint64_t r) const { return data_ + r * stride_; }
+  std::int32_t label(std::uint64_t r) const { return labels_[r]; }
+  const std::int32_t* labels() const { return labels_; }
+
+  /// Start of a block of `n` rows at `lo`, after re-checking that the
+  /// mapped header still matches what open() validated (throws Modified if
+  /// the file was rewritten in place behind the mapping).
+  const double* block(std::uint64_t lo, std::uint64_t n) const;
+
+  /// Re-hash the payload and compare against the header (throws ShaMismatch
+  /// / Modified on divergence). Bounded RSS like open().
+  void verify_payload() const;
+
+  /// Advise the kernel to drop the payload's resident pages (between
+  /// blocks of a streaming pass).
+  void drop_pages() const;
+
+  /// Drop only the pages backing rows [lo, lo+n) — the per-worker variant
+  /// for parallel streaming (page range is shrunk inward, so neighbouring
+  /// blocks being read by other workers are never evicted).
+  void drop_rows(std::uint64_t lo, std::uint64_t n) const;
+
+  /// Bytes of the payload currently resident in memory (via mincore) —
+  /// lets tests assert that streaming passes stay bounded.
+  std::size_t resident_payload_bytes() const;
+
+ private:
+  const unsigned char* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  const double* data_ = nullptr;
+  const std::int32_t* labels_ = nullptr;
+  std::uint64_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+  unsigned char header_copy_[128] = {};
+};
+
+}  // namespace stob::wf

@@ -1,43 +1,100 @@
 #include "wf/feature_matrix.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace stob::wf {
 
+namespace {
+
+constexpr std::size_t kDoublesPerLine = FeatureMatrix::kRowAlign / sizeof(double);
+
+std::size_t padded_stride(std::size_t cols) {
+  return (cols + kDoublesPerLine - 1) / kDoublesPerLine * kDoublesPerLine;
+}
+
+}  // namespace
+
+std::unique_ptr<double[], FeatureMatrix::AlignedDelete> FeatureMatrix::allocate(std::size_t n) {
+  if (n == 0) return nullptr;
+  // Value-initialised: padding lanes start (and stay) zero.
+  return std::unique_ptr<double[], AlignedDelete>(new (std::align_val_t(kRowAlign))
+                                                      double[n]());
+}
+
+FeatureMatrix::FeatureMatrix(std::size_t rows, std::size_t cols)
+    : cols_(cols), stride_(padded_stride(cols)), rows_(rows), cap_rows_(rows) {
+  data_ = allocate(rows_ * stride_);
+}
+
+FeatureMatrix::FeatureMatrix(const FeatureMatrix& other)
+    : cols_(other.cols_), stride_(other.stride_), rows_(other.rows_), cap_rows_(other.rows_) {
+  data_ = allocate(rows_ * stride_);
+  if (rows_ > 0) std::memcpy(data_.get(), other.data_.get(), rows_ * stride_ * sizeof(double));
+}
+
+FeatureMatrix& FeatureMatrix::operator=(const FeatureMatrix& other) {
+  if (this != &other) *this = FeatureMatrix(other);
+  return *this;
+}
+
 FeatureMatrix FeatureMatrix::from_rows(const std::vector<std::vector<double>>& rows) {
   FeatureMatrix m;
   if (rows.empty()) return m;
-  m.cols_ = rows[0].size();
-  m.data_.reserve(rows.size() * m.cols_);
-  for (const std::vector<double>& r : rows) {
-    if (r.size() != m.cols_) throw std::invalid_argument("FeatureMatrix: ragged rows");
-    m.data_.insert(m.data_.end(), r.begin(), r.end());
+  m = FeatureMatrix(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) throw std::invalid_argument("FeatureMatrix: ragged rows");
+    std::copy(rows[r].begin(), rows[r].end(), m.row(r).begin());
   }
   return m;
 }
 
 void FeatureMatrix::set_cols(std::size_t cols) {
-  if (!data_.empty()) throw std::logic_error("FeatureMatrix::set_cols on non-empty matrix");
+  if (rows_ != 0) throw std::logic_error("FeatureMatrix::set_cols on non-empty matrix");
   cols_ = cols;
+  stride_ = padded_stride(cols);
+  cap_rows_ = 0;
+  data_.reset();
+}
+
+void FeatureMatrix::reserve_rows(std::size_t cap_rows) {
+  if (cap_rows <= cap_rows_) return;
+  auto grown = allocate(cap_rows * stride_);
+  if (rows_ > 0) std::memcpy(grown.get(), data_.get(), rows_ * stride_ * sizeof(double));
+  data_ = std::move(grown);
+  cap_rows_ = cap_rows;
 }
 
 void FeatureMatrix::append_row(std::span<const double> values) {
-  if (cols_ == 0 && data_.empty()) cols_ = values.size();
+  if (cols_ == 0 && rows_ == 0) {
+    cols_ = values.size();
+    stride_ = padded_stride(cols_);
+  }
   if (values.size() != cols_) throw std::invalid_argument("FeatureMatrix: row width mismatch");
-  data_.insert(data_.end(), values.begin(), values.end());
+  if (rows_ == cap_rows_) reserve_rows(std::max<std::size_t>(8, cap_rows_ * 2));
+  std::copy(values.begin(), values.end(), data_.get() + rows_ * stride_);
+  rows_ += 1;
 }
 
 FeatureMatrix FeatureMatrix::gathered(std::span<const std::size_t> indices) const {
-  FeatureMatrix out;
-  out.cols_ = cols_;
-  out.data_.resize(indices.size() * cols_);
-  double* dst = out.data_.data();
+  FeatureMatrix out(indices.size(), cols_);
+  double* dst = out.data_.get();
   for (std::size_t i : indices) {
-    std::copy_n(data_.data() + i * cols_, cols_, dst);
-    dst += cols_;
+    std::memcpy(dst, data_.get() + i * stride_, stride_ * sizeof(double));
+    dst += stride_;
   }
   return out;
+}
+
+bool operator==(const FeatureMatrix& a, const FeatureMatrix& b) {
+  if (a.rows_ != b.rows_ || a.cols_ != b.cols_) return false;
+  for (std::size_t r = 0; r < a.rows_; ++r) {
+    const std::span<const double> ra = a.row(r);
+    const std::span<const double> rb = b.row(r);
+    if (!std::equal(ra.begin(), ra.end(), rb.begin())) return false;
+  }
+  return true;
 }
 
 }  // namespace stob::wf

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "util/stats.hpp"
+#include "wf/simd_kernels.hpp"
 
 namespace stob::wf {
 
@@ -30,12 +31,13 @@ class FeatureBuilder {
   void add_stats(std::string_view prefix, std::span<const double> xs) {
     add2(prefix, "_mean", stats::mean(xs));
     add2(prefix, "_std", stats::stddev(xs));
-    sorted_.assign(xs.begin(), xs.end());
-    std::sort(sorted_.begin(), sorted_.end());
-    add2(prefix, "_min", sorted_.empty() ? 0.0 : sorted_.front());
-    add2(prefix, "_max", sorted_.empty() ? 0.0 : sorted_.back());
-    add2(prefix, "_median", stats::percentile_sorted(sorted_, 50.0));
-    add2(prefix, "_p75", stats::percentile_sorted(sorted_, 75.0));
+    thread_local std::vector<double> sorted;
+    sorted.assign(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    add2(prefix, "_min", sorted.empty() ? 0.0 : sorted.front());
+    add2(prefix, "_max", sorted.empty() ? 0.0 : sorted.back());
+    add2(prefix, "_median", stats::percentile_sorted(sorted, 50.0));
+    add2(prefix, "_p75", stats::percentile_sorted(sorted, 75.0));
   }
 
   void collect_names(std::vector<std::string>* names) { names_ = names; }
@@ -56,199 +58,204 @@ class FeatureBuilder {
   std::span<double> out_;
   std::size_t cursor_ = 0;
   std::vector<std::string>* names_ = nullptr;
-  std::vector<double> sorted_;
 };
 
-/// The single implementation walked both for names and values.
+/// Per-thread extraction scratch. A million-trace streaming run calls
+/// build() once per trace; reusing these buffers (capacity survives
+/// clear()) removes ~20 heap allocations per trace from the hot path.
+struct Scratch {
+  std::vector<double> dir01;  // 1.0 for outgoing, 0.0 for incoming
+  std::vector<double> in_times, out_times, all_times;
+  std::vector<double> in_sizes, out_sizes;
+  std::vector<double> out_positions, in_positions;
+  std::vector<double> conc, conc30, conc30_alt;
+  std::vector<double> bursts, in_bursts;
+  std::vector<double> gap_all, gap_in, gap_out, gap_head;
+  std::vector<double> sorted_times, pps;
+};
+
+/// gaps of ts into g via the pair-difference kernel (independent
+/// subtractions — bit-identical to the sequential loop).
+void fill_gaps(const std::vector<double>& ts, std::vector<double>& g) {
+  g.resize(ts.size() > 1 ? ts.size() - 1 : 0);
+  kernels::pair_diffs(ts.data(), ts.size(), g.data());
+}
+
+/// The single implementation walked both for names and values. The
+/// vectorizable pieces (directional counts, chunk sums, burst thresholds,
+/// size bands, inter-arrival gaps) go through kernels::*, all of which are
+/// exact, so values are bit-identical to the pre-SIMD scalar loops.
 void build(const Trace& trace, FeatureBuilder& fb) {
+  thread_local Scratch s;
   const auto& pkts = trace.packets();
   const double n = static_cast<double>(pkts.size());
 
-  std::vector<double> in_times, out_times, all_times;
-  std::vector<double> in_sizes, out_sizes;
-  all_times.reserve(pkts.size());
-  in_times.reserve(pkts.size());
-  out_times.reserve(pkts.size());
-  in_sizes.reserve(pkts.size());
-  out_sizes.reserve(pkts.size());
+  s.dir01.clear();
+  s.all_times.clear();
+  s.in_times.clear();
+  s.out_times.clear();
+  s.in_sizes.clear();
+  s.out_sizes.clear();
+  s.dir01.reserve(pkts.size());
+  s.all_times.reserve(pkts.size());
   for (const PacketRecord& p : pkts) {
-    all_times.push_back(p.time);
+    s.all_times.push_back(p.time);
     if (p.direction > 0) {
-      out_times.push_back(p.time);
-      out_sizes.push_back(static_cast<double>(p.size));
+      s.dir01.push_back(1.0);
+      s.out_times.push_back(p.time);
+      s.out_sizes.push_back(static_cast<double>(p.size));
     } else {
-      in_times.push_back(p.time);
-      in_sizes.push_back(static_cast<double>(p.size));
+      s.dir01.push_back(0.0);
+      s.in_times.push_back(p.time);
+      s.in_sizes.push_back(static_cast<double>(p.size));
     }
   }
 
   // ---- 1. Counts and fractions.
   fb.add("count_total", n);
-  fb.add("count_in", static_cast<double>(in_times.size()));
-  fb.add("count_out", static_cast<double>(out_times.size()));
-  fb.add("frac_in", n > 0 ? static_cast<double>(in_times.size()) / n : 0.0);
-  fb.add("frac_out", n > 0 ? static_cast<double>(out_times.size()) / n : 0.0);
+  fb.add("count_in", static_cast<double>(s.in_times.size()));
+  fb.add("count_out", static_cast<double>(s.out_times.size()));
+  fb.add("frac_in", n > 0 ? static_cast<double>(s.in_times.size()) / n : 0.0);
+  fb.add("frac_out", n > 0 ? static_cast<double>(s.out_times.size()) / n : 0.0);
 
-  // ---- 2. First/last 30 packet composition.
+  // ---- 2. First/last 30 packet composition (0/1 sums: exact).
   const std::size_t head = std::min<std::size_t>(30, pkts.size());
-  double head_in = 0, head_out = 0;
-  for (std::size_t i = 0; i < head; ++i) (pkts[i].direction > 0 ? head_out : head_in) += 1;
-  fb.add("first30_in", head_in);
+  const double head_out = kernels::sum_ints(s.dir01.data(), head);
+  fb.add("first30_in", static_cast<double>(head) - head_out);
   fb.add("first30_out", head_out);
-  double tail_in = 0, tail_out = 0;
-  for (std::size_t i = pkts.size() >= 30 ? pkts.size() - 30 : 0; i < pkts.size(); ++i) {
-    (pkts[i].direction > 0 ? tail_out : tail_in) += 1;
-  }
-  fb.add("last30_in", tail_in);
+  const std::size_t tail = std::min<std::size_t>(30, pkts.size());
+  const double tail_out = kernels::sum_ints(s.dir01.data() + (pkts.size() - tail), tail);
+  fb.add("last30_in", static_cast<double>(tail) - tail_out);
   fb.add("last30_out", tail_out);
 
   // ---- 3. Packet ordering: for the i-th outgoing (resp. incoming) packet,
   // its absolute position in the trace.
-  std::vector<double> out_positions, in_positions;
+  s.out_positions.clear();
+  s.in_positions.clear();
   for (std::size_t i = 0; i < pkts.size(); ++i) {
-    (pkts[i].direction > 0 ? out_positions : in_positions).push_back(static_cast<double>(i));
+    (pkts[i].direction > 0 ? s.out_positions : s.in_positions).push_back(static_cast<double>(i));
   }
-  fb.add("order_out_mean", stats::mean(out_positions));
-  fb.add("order_out_std", stats::stddev(out_positions));
-  fb.add("order_in_mean", stats::mean(in_positions));
-  fb.add("order_in_std", stats::stddev(in_positions));
+  fb.add("order_out_mean", stats::mean(s.out_positions));
+  fb.add("order_out_std", stats::stddev(s.out_positions));
+  fb.add("order_in_mean", stats::mean(s.in_positions));
+  fb.add("order_in_std", stats::stddev(s.in_positions));
 
   // ---- 4. Concentration of outgoing packets (chunks of 20 packets).
-  std::vector<double> conc;
+  s.conc.clear();
   for (std::size_t base = 0; base < pkts.size(); base += 20) {
-    double c = 0;
-    for (std::size_t i = base; i < std::min(base + 20, pkts.size()); ++i) {
-      if (pkts[i].direction > 0) c += 1;
-    }
-    conc.push_back(c);
+    const std::size_t len = std::min<std::size_t>(20, pkts.size() - base);
+    s.conc.push_back(kernels::sum_ints(s.dir01.data() + base, len));
   }
-  fb.add_stats("conc20_out", conc);
-  fb.add("conc20_out_sum", stats::sum(conc));
+  fb.add_stats("conc20_out", s.conc);
+  fb.add("conc20_out_sum", stats::sum(s.conc));
 
   // Alternative concentration: chunks of 30, decimated (k-FP's "alternative
   // concentration" keeps every other chunk to reduce dimensionality).
-  std::vector<double> conc30;
+  s.conc30.clear();
   for (std::size_t base = 0; base < pkts.size(); base += 30) {
-    double c = 0;
-    for (std::size_t i = base; i < std::min(base + 30, pkts.size()); ++i) {
-      if (pkts[i].direction > 0) c += 1;
-    }
-    conc30.push_back(c);
+    const std::size_t len = std::min<std::size_t>(30, pkts.size() - base);
+    s.conc30.push_back(kernels::sum_ints(s.dir01.data() + base, len));
   }
-  std::vector<double> conc30_alt;
-  for (std::size_t i = 0; i < conc30.size(); i += 2) conc30_alt.push_back(conc30[i]);
-  fb.add_stats("conc30alt_out", conc30_alt);
+  s.conc30_alt.clear();
+  for (std::size_t i = 0; i < s.conc30.size(); i += 2) s.conc30_alt.push_back(s.conc30[i]);
+  fb.add_stats("conc30alt_out", s.conc30_alt);
 
   // ---- 5. Bursts: maximal runs of consecutive outgoing packets.
-  std::vector<double> bursts;
+  s.bursts.clear();
   double run = 0;
   for (const PacketRecord& p : pkts) {
     if (p.direction > 0) {
       run += 1;
     } else if (run > 0) {
-      bursts.push_back(run);
+      s.bursts.push_back(run);
       run = 0;
     }
   }
-  if (run > 0) bursts.push_back(run);
-  fb.add("burst_count", static_cast<double>(bursts.size()));
-  fb.add_stats("burst_len", bursts);
-  fb.add("burst_gt5", static_cast<double>(std::count_if(
-                          bursts.begin(), bursts.end(), [](double b) { return b > 5; })));
-  fb.add("burst_gt10", static_cast<double>(std::count_if(
-                           bursts.begin(), bursts.end(), [](double b) { return b > 10; })));
-  fb.add("burst_gt15", static_cast<double>(std::count_if(
-                           bursts.begin(), bursts.end(), [](double b) { return b > 15; })));
+  if (run > 0) s.bursts.push_back(run);
+  fb.add("burst_count", static_cast<double>(s.bursts.size()));
+  fb.add_stats("burst_len", s.bursts);
+  fb.add("burst_gt5",
+         static_cast<double>(kernels::count_gt(s.bursts.data(), s.bursts.size(), 5.0)));
+  fb.add("burst_gt10",
+         static_cast<double>(kernels::count_gt(s.bursts.data(), s.bursts.size(), 10.0)));
+  fb.add("burst_gt15",
+         static_cast<double>(kernels::count_gt(s.bursts.data(), s.bursts.size(), 15.0)));
 
   // Incoming bursts as well (download trains are site-specific).
-  std::vector<double> in_bursts;
+  s.in_bursts.clear();
   run = 0;
   for (const PacketRecord& p : pkts) {
     if (p.direction < 0) {
       run += 1;
     } else if (run > 0) {
-      in_bursts.push_back(run);
+      s.in_bursts.push_back(run);
       run = 0;
     }
   }
-  if (run > 0) in_bursts.push_back(run);
-  fb.add("in_burst_count", static_cast<double>(in_bursts.size()));
-  fb.add_stats("in_burst_len", in_bursts);
+  if (run > 0) s.in_bursts.push_back(run);
+  fb.add("in_burst_count", static_cast<double>(s.in_bursts.size()));
+  fb.add_stats("in_burst_len", s.in_bursts);
 
   // ---- 6. Inter-arrival times: total / in / out.
-  auto gaps = [](const std::vector<double>& ts) {
-    std::vector<double> g;
-    if (ts.size() > 1) g.reserve(ts.size() - 1);
-    for (std::size_t i = 1; i < ts.size(); ++i) g.push_back(ts[i] - ts[i - 1]);
-    return g;
-  };
-  const std::vector<double> gap_all = gaps(all_times);
-  const std::vector<double> gap_in = gaps(in_times);
-  const std::vector<double> gap_out = gaps(out_times);
-  fb.add_stats("iat_all", gap_all);
-  fb.add_stats("iat_in", gap_in);
-  fb.add_stats("iat_out", gap_out);
+  fill_gaps(s.all_times, s.gap_all);
+  fill_gaps(s.in_times, s.gap_in);
+  fill_gaps(s.out_times, s.gap_out);
+  fb.add_stats("iat_all", s.gap_all);
+  fb.add_stats("iat_in", s.gap_in);
+  fb.add_stats("iat_out", s.gap_out);
 
   // First-20-gap statistics (early-connection behaviour, relevant to the
   // censorship setting where only a prefix is observed).
-  std::vector<double> gap_head(gap_all.begin(),
-                               gap_all.begin() + std::min<std::size_t>(20, gap_all.size()));
-  fb.add_stats("iat_first20", gap_head);
+  s.gap_head.assign(s.gap_all.begin(),
+                    s.gap_all.begin() + std::min<std::size_t>(20, s.gap_all.size()));
+  fb.add_stats("iat_first20", s.gap_head);
 
   // ---- 7. Transmission time quantiles. One sort per list feeds all three
   // quantiles (same sorted order, hence same interpolated values, as the
   // sort-per-call stats::percentile).
   fb.add("time_total", trace.duration());
-  std::vector<double> sorted_times;
-  const auto sort_times = [&sorted_times](const std::vector<double>& ts) {
-    sorted_times.assign(ts.begin(), ts.end());
-    std::sort(sorted_times.begin(), sorted_times.end());
+  const auto sort_times = [&s](const std::vector<double>& ts) {
+    s.sorted_times.assign(ts.begin(), ts.end());
+    std::sort(s.sorted_times.begin(), s.sorted_times.end());
   };
-  sort_times(all_times);
-  fb.add("time_q25_all", stats::percentile_sorted(sorted_times, 25.0));
-  fb.add("time_q50_all", stats::percentile_sorted(sorted_times, 50.0));
-  fb.add("time_q75_all", stats::percentile_sorted(sorted_times, 75.0));
-  sort_times(in_times);
-  fb.add("time_q25_in", stats::percentile_sorted(sorted_times, 25.0));
-  fb.add("time_q50_in", stats::percentile_sorted(sorted_times, 50.0));
-  fb.add("time_q75_in", stats::percentile_sorted(sorted_times, 75.0));
-  sort_times(out_times);
-  fb.add("time_q25_out", stats::percentile_sorted(sorted_times, 25.0));
-  fb.add("time_q50_out", stats::percentile_sorted(sorted_times, 50.0));
-  fb.add("time_q75_out", stats::percentile_sorted(sorted_times, 75.0));
+  sort_times(s.all_times);
+  fb.add("time_q25_all", stats::percentile_sorted(s.sorted_times, 25.0));
+  fb.add("time_q50_all", stats::percentile_sorted(s.sorted_times, 50.0));
+  fb.add("time_q75_all", stats::percentile_sorted(s.sorted_times, 75.0));
+  sort_times(s.in_times);
+  fb.add("time_q25_in", stats::percentile_sorted(s.sorted_times, 25.0));
+  fb.add("time_q50_in", stats::percentile_sorted(s.sorted_times, 50.0));
+  fb.add("time_q75_in", stats::percentile_sorted(s.sorted_times, 75.0));
+  sort_times(s.out_times);
+  fb.add("time_q25_out", stats::percentile_sorted(s.sorted_times, 25.0));
+  fb.add("time_q50_out", stats::percentile_sorted(s.sorted_times, 50.0));
+  fb.add("time_q75_out", stats::percentile_sorted(s.sorted_times, 75.0));
 
   // ---- 8. Packets per second.
-  std::vector<double> pps;
-  if (!all_times.empty()) {
-    const auto seconds = static_cast<std::size_t>(all_times.back()) + 1;
-    pps.assign(std::min<std::size_t>(seconds, 120), 0.0);  // cap at 2 minutes
-    for (double t : all_times) {
-      const auto s = static_cast<std::size_t>(t);
-      if (s < pps.size()) pps[s] += 1.0;
+  s.pps.clear();
+  if (!s.all_times.empty()) {
+    const auto seconds = static_cast<std::size_t>(s.all_times.back()) + 1;
+    s.pps.assign(std::min<std::size_t>(seconds, 120), 0.0);  // cap at 2 minutes
+    for (double t : s.all_times) {
+      const auto sec = static_cast<std::size_t>(t);
+      if (sec < s.pps.size()) s.pps[sec] += 1.0;
     }
   }
-  fb.add_stats("pps", pps);
-  fb.add("pps_sum", stats::sum(pps));
+  fb.add_stats("pps", s.pps);
+  fb.add("pps_sum", stats::sum(s.pps));
 
   // ---- 9. Volume (sizes are visible to the adversary even under TLS).
   fb.add("bytes_total", static_cast<double>(trace.total_bytes()));
   fb.add("bytes_in", static_cast<double>(trace.incoming_bytes()));
   fb.add("bytes_out", static_cast<double>(trace.outgoing_bytes()));
-  fb.add_stats("size_in", in_sizes);
-  fb.add_stats("size_out", out_sizes);
+  fb.add_stats("size_in", s.in_sizes);
+  fb.add_stats("size_out", s.out_sizes);
 
   // Size histogram coarse shape: share of incoming packets in size bands.
   double in_small = 0, in_mid = 0, in_full = 0;
-  for (double s : in_sizes) {
-    if (s < 600) {
-      in_small += 1;
-    } else if (s < 1400) {
-      in_mid += 1;
-    } else {
-      in_full += 1;
-    }
-  }
-  const double in_n = std::max<double>(1.0, static_cast<double>(in_sizes.size()));
+  kernels::band_counts(s.in_sizes.data(), s.in_sizes.size(), 600.0, 1400.0, &in_small, &in_mid,
+                       &in_full);
+  const double in_n = std::max<double>(1.0, static_cast<double>(s.in_sizes.size()));
   fb.add("in_size_frac_small", in_small / in_n);
   fb.add("in_size_frac_mid", in_mid / in_n);
   fb.add("in_size_frac_full", in_full / in_n);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "wf/simd_kernels.hpp"
+
 namespace stob::wf {
 
 namespace {
@@ -12,13 +14,7 @@ constexpr std::size_t kQueryBlock = 8;   // queries sharing one train tile
 void leaf_match_counts(std::span<const std::uint32_t> train_leaves, std::size_t n_train,
                        std::span<const std::uint32_t> query, std::span<int> counts) {
   const std::size_t trees = query.size();
-  const std::uint32_t* q = query.data();
-  for (std::size_t i = 0; i < n_train; ++i) {
-    const std::uint32_t* row = train_leaves.data() + i * trees;
-    int c = 0;
-    for (std::size_t t = 0; t < trees; ++t) c += static_cast<int>(row[t] == q[t]);
-    counts[i] = c;
-  }
+  kernels::leaf_match_block(train_leaves.data(), n_train, trees, query.data(), counts.data());
 }
 
 void leaf_match_matrix(std::span<const std::uint32_t> train_leaves, std::size_t n_train,
@@ -31,12 +27,8 @@ void leaf_match_matrix(std::span<const std::uint32_t> train_leaves, std::size_t 
       for (std::size_t q = q_lo; q < q_hi; ++q) {
         const std::uint32_t* qrow = query_leaves.data() + q * trees;
         int* out = counts.data() + q * n_train;
-        for (std::size_t i = i_lo; i < i_hi; ++i) {
-          const std::uint32_t* row = train_leaves.data() + i * trees;
-          int c = 0;
-          for (std::size_t t = 0; t < trees; ++t) c += static_cast<int>(row[t] == qrow[t]);
-          out[i] = c;
-        }
+        kernels::leaf_match_block(train_leaves.data() + i_lo * trees, i_hi - i_lo, trees, qrow,
+                                  out + i_lo);
       }
     }
   }

@@ -44,4 +44,29 @@ struct OpenWorldConfig {
 OpenWorldResult open_world_evaluate(const Dataset& monitored, const Dataset& background,
                                     const OpenWorldConfig& cfg);
 
+class FeatureStore;
+
+struct OpenWorldStreamConfig {
+  RandomForest::Config forest;
+  std::size_t k_neighbors = 3;  ///< unanimity over this many neighbours
+  double train_fraction = 0.6;  ///< per-class split of the monitored store
+  /// Background fingerprints folded into the training set, drawn by a
+  /// deterministic stride over the store (row r trains iff r % step == 0,
+  /// step = rows / bg_train_count) — O(bg_train_count) memory, no O(corpus)
+  /// shuffle. Everything else in the background store is test traffic.
+  std::size_t bg_train_count = 1000;
+  std::size_t block_rows = 8192;  ///< background rows streamed per block
+  std::size_t jobs = 1;           ///< worker threads (never changes results)
+  std::uint64_t seed = 0x0B5Eull;
+};
+
+/// Open-world evaluation over mmap'd feature stores: the monitored store
+/// (labels 0..M-1) is materialised for training/testing, the background
+/// store is streamed block-wise with pages dropped behind the pass, so
+/// peak memory is O(train set + one block) — constant in corpus size.
+/// Per-block counters are reduced in block order via exp::run_ordered, so
+/// results are identical for every `jobs` value.
+OpenWorldResult open_world_stream(const FeatureStore& monitored, const FeatureStore& background,
+                                  const OpenWorldStreamConfig& cfg);
+
 }  // namespace stob::wf

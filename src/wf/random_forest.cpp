@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "exp/worker_pool.hpp"
+#include "wf/simd_kernels.hpp"
 
 namespace stob::wf {
 
@@ -117,60 +118,20 @@ namespace {
 constexpr std::size_t kBlock = 512;  // samples walked per tree pass (block rows stay L2-resident)
 }
 
-void RandomForest::descend_block(std::uint32_t root, const double* const* rows, std::size_t m,
-                                 std::uint32_t* leaves) const {
-  const FlatNode* nodes = flat_.nodes.data();
-  // One branch-free level step for one lane; a lane already at its leaf
-  // (feature < 0) re-selects the leaf via conditional moves.
-  const auto step = [nodes](std::uint32_t c, std::int32_t f, const double* x) {
-    const FlatNode& nd = nodes[c];
-    const std::size_t i = f < 0 ? 0 : static_cast<std::size_t>(f);
-    const std::uint32_t next = nd.kid[!(x[i] <= nd.threshold)];
-    return f < 0 ? c : next;
-  };
-  // Four lanes in flight: their dependent node loads overlap instead of
-  // serializing, and the group exits once all four reached a leaf (max of
-  // four path lengths, not tree depth).
-  std::size_t r = 0;
-  for (; r + 4 <= m; r += 4) {
-    std::uint32_t c0 = root, c1 = root, c2 = root, c3 = root;
-    const double* x0 = rows[r];
-    const double* x1 = rows[r + 1];
-    const double* x2 = rows[r + 2];
-    const double* x3 = rows[r + 3];
-    while (true) {
-      const std::int32_t f0 = nodes[c0].feature;
-      const std::int32_t f1 = nodes[c1].feature;
-      const std::int32_t f2 = nodes[c2].feature;
-      const std::int32_t f3 = nodes[c3].feature;
-      if ((f0 & f1 & f2 & f3) < 0) break;  // all four at leaves
-      c0 = step(c0, f0, x0);
-      c1 = step(c1, f1, x1);
-      c2 = step(c2, f2, x2);
-      c3 = step(c3, f3, x3);
-    }
-    leaves[r] = c0;
-    leaves[r + 1] = c1;
-    leaves[r + 2] = c2;
-    leaves[r + 3] = c3;
-  }
-  for (; r < m; ++r) leaves[r] = descend_flat(root, rows[r]);
-}
-
 std::vector<int> RandomForest::predict_batch(const FeatureMatrix& x) const {
   const std::size_t rows = x.rows();
+  const std::size_t stride = x.row_stride();
   const auto classes = static_cast<std::size_t>(num_classes_);
   const std::size_t num_trees = trees_.size();
   std::vector<int> out(rows, 0);
   std::vector<int> votes(kBlock * classes);
-  const double* row_ptr[kBlock];
   std::uint32_t leaves[kBlock];
   for (std::size_t lo = 0; lo < rows; lo += kBlock) {
     const std::size_t m = std::min(rows - lo, kBlock);
-    for (std::size_t r = 0; r < m; ++r) row_ptr[r] = x.row(lo + r).data();
+    const double* base = x.data() + lo * stride;
     std::fill(votes.begin(), votes.begin() + static_cast<std::ptrdiff_t>(m * classes), 0);
     for (std::size_t t = 0; t < num_trees; ++t) {
-      descend_block(flat_.tree_base[t], row_ptr, m, leaves);
+      kernels::descend_block(flat_.nodes.data(), flat_.tree_base[t], base, stride, m, leaves);
       for (std::size_t r = 0; r < m; ++r) votes[r * classes + flat_.nodes[leaves[r]].kid[1]] += 1;
     }
     for (std::size_t r = 0; r < m; ++r) {
@@ -187,18 +148,18 @@ std::vector<int> RandomForest::predict_batch(const FeatureMatrix& x) const {
 
 std::vector<double> RandomForest::predict_proba_batch(const FeatureMatrix& x) const {
   const std::size_t rows = x.rows();
+  const std::size_t stride = x.row_stride();
   const auto classes = static_cast<std::size_t>(num_classes_);
   const std::size_t num_trees = trees_.size();
   std::vector<double> out(rows * classes, 0.0);
-  const double* row_ptr[kBlock];
   std::uint32_t leaves[kBlock];
   // Trees outer, samples inner: per sample the accumulation still happens
   // in tree order, so sums are bit-identical to the per-sample path.
   for (std::size_t lo = 0; lo < rows; lo += kBlock) {
     const std::size_t m = std::min(rows - lo, kBlock);
-    for (std::size_t r = 0; r < m; ++r) row_ptr[r] = x.row(lo + r).data();
+    const double* base = x.data() + lo * stride;
     for (std::size_t t = 0; t < num_trees; ++t) {
-      descend_block(flat_.tree_base[t], row_ptr, m, leaves);
+      kernels::descend_block(flat_.nodes.data(), flat_.tree_base[t], base, stride, m, leaves);
       for (std::size_t r = 0; r < m; ++r) {
         const double* dist = flat_.dists.data() + flat_.nodes[leaves[r]].kid[0];
         double* acc = out.data() + (lo + r) * classes;
@@ -210,21 +171,24 @@ std::vector<double> RandomForest::predict_proba_batch(const FeatureMatrix& x) co
   return out;
 }
 
-std::vector<std::uint32_t> RandomForest::leaf_batch(const FeatureMatrix& x) const {
-  const std::size_t rows = x.rows();
+void RandomForest::leaf_batch(const double* x, std::size_t stride, std::size_t rows,
+                              std::uint32_t* out) const {
   const std::size_t num_trees = trees_.size();
-  std::vector<std::uint32_t> out(rows * num_trees, 0);
-  const double* row_ptr[kBlock];
   std::uint32_t leaves[kBlock];
   for (std::size_t lo = 0; lo < rows; lo += kBlock) {
     const std::size_t m = std::min(rows - lo, kBlock);
-    for (std::size_t r = 0; r < m; ++r) row_ptr[r] = x.row(lo + r).data();
+    const double* base = x + lo * stride;
     for (std::size_t t = 0; t < num_trees; ++t) {
       const std::uint32_t root = flat_.tree_base[t];
-      descend_block(root, row_ptr, m, leaves);
+      kernels::descend_block(flat_.nodes.data(), root, base, stride, m, leaves);
       for (std::size_t r = 0; r < m; ++r) out[(lo + r) * num_trees + t] = leaves[r] - root;
     }
   }
+}
+
+std::vector<std::uint32_t> RandomForest::leaf_batch(const FeatureMatrix& x) const {
+  std::vector<std::uint32_t> out(x.rows() * trees_.size(), 0);
+  leaf_batch(x.data(), x.row_stride(), x.rows(), out.data());
   return out;
 }
 

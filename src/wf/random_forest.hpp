@@ -5,10 +5,12 @@
 // scheduling, and results are byte-identical to a serial fit.
 //
 // After fit() the per-tree node structures are flattened into one
-// contiguous pool of packed 24-byte nodes (all trees back to back), which
-// the batch kernels (predict_batch / predict_proba_batch / leaf_batch)
-// walk over blocks of samples: tree nodes stay cache-hot across a block
-// instead of being re-fetched per sample.
+// contiguous pool of packed 24-byte nodes (all trees back to back; layout
+// in forest_layout.hpp), which the batch kernels (predict_batch /
+// predict_proba_batch / leaf_batch) walk over blocks of samples: tree
+// nodes stay cache-hot across a block instead of being re-fetched per
+// sample. Descent itself goes through kernels::descend_block — the
+// runtime-dispatched scalar/AVX2 kernel of simd_kernels.cpp.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +18,7 @@
 
 #include "wf/decision_tree.hpp"
 #include "wf/feature_matrix.hpp"
+#include "wf/forest_layout.hpp"
 
 namespace stob::wf {
 
@@ -58,6 +61,13 @@ class RandomForest {
   /// Batched leaf vectors, row-major rows x tree_count(), tree-local ids.
   std::vector<std::uint32_t> leaf_batch(const FeatureMatrix& x) const;
 
+  /// Raw-storage leaf_batch over `rows` samples at x + r*stride (stride in
+  /// doubles). Lets FeatureStore consumers fingerprint mmap'd blocks
+  /// without copying them into a FeatureMatrix first. `out` must hold
+  /// rows x tree_count() entries.
+  void leaf_batch(const double* x, std::size_t stride, std::size_t rows,
+                  std::uint32_t* out) const;
+
   std::size_t tree_count() const { return trees_.size(); }
   int num_classes() const { return num_classes_; }
   bool trained() const { return !trees_.empty(); }
@@ -66,20 +76,10 @@ class RandomForest {
   const std::vector<DecisionTree>& trees() const { return trees_; }
 
  private:
-  /// One packed 24-byte node of the flattened pool: a descent step reads a
-  /// single cache line, and the child is picked by indexing kid[] with the
-  /// comparison result — address arithmetic instead of a 50/50 branch.
-  /// Internal nodes (feature >= 0) use kid as absolute left/right child
-  /// indices; leaves reuse the slots as {dist offset, majority class}.
-  struct FlatNode {
-    double threshold = 0.0;
-    std::int32_t feature = -1;  // -1 marks a leaf
-    std::uint32_t kid[2] = {0, 0};
-  };
-
-  /// All trees' nodes in one contiguous pool. Child and distribution
-  /// offsets are absolute; tree_base[t] is tree t's root (and the bias
-  /// subtracted to recover tree-local leaf ids).
+  /// All trees' nodes in one contiguous pool of packed FlatNode records
+  /// (forest_layout.hpp). Child and distribution offsets are absolute;
+  /// tree_base[t] is tree t's root (and the bias subtracted to recover
+  /// tree-local leaf ids).
   struct Flat {
     std::vector<FlatNode> nodes;
     std::vector<double> dists;
@@ -88,11 +88,6 @@ class RandomForest {
 
   void flatten();
   std::uint32_t descend_flat(std::uint32_t root, const double* x) const;
-  /// Descend one tree for a block of samples four lanes at a time, so the
-  /// dependent node loads of different samples overlap instead of
-  /// serializing. leaves[r] ends at r's (absolute) leaf index.
-  void descend_block(std::uint32_t root, const double* const* rows, std::size_t m,
-                     std::uint32_t* leaves) const;
 
   Config cfg_;
   int num_classes_ = 0;

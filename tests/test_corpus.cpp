@@ -1,0 +1,293 @@
+// Streaming corpus + mmap feature store: format round trips, golden-pinned
+// bytes, and hostile-input rejection.
+//
+// The two on-disk formats (STOBCRP1 / STOBFST1) are deliberately
+// timestamp-free, so identical inputs must produce byte-identical files —
+// the golden tests pin the sha256 of a tiny fixed corpus and store so any
+// accidental format change (field order, padding, header size) fails
+// loudly instead of silently orphaning every cached corpus. The hostile
+// suite feeds truncated/corrupted/foreign files to the validators and
+// asserts a structured CorpusError plus quarantine, never UB.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/sha256.hpp"
+#include "wf/corpus.hpp"
+#include "wf/synth_traces.hpp"
+#include "wf/trace.hpp"
+
+namespace {
+
+using namespace stob;
+using namespace stob::wf;
+namespace fs = std::filesystem;
+
+fs::path temp_file(const char* name) {
+  const fs::path p = fs::temp_directory_path() / "stob_corpus_test" / name;
+  fs::create_directories(p.parent_path());
+  fs::remove(p);
+  fs::remove(p.string() + ".quarantined");
+  return p;
+}
+
+std::string file_sha(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  util::Sha256 sha;
+  sha.update(bytes.data(), bytes.size());
+  return sha.hex_digest();
+}
+
+/// Flip one byte at `offset` in an existing file.
+void corrupt_byte(const fs::path& p, std::size_t offset) {
+  std::FILE* f = std::fopen(p.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  std::fputc(c ^ 0x5A, f);
+  std::fclose(f);
+}
+
+/// Tiny fixed corpus: 3 deterministic synthetic traces.
+void write_fixed_corpus(const fs::path& p) {
+  CorpusWriter w(p);
+  w.add(synth_site_trace(7, 0, 0), 0);
+  w.add(synth_site_trace(7, 1, 0), 1);
+  w.add(synth_background_trace(7, 0), -1);
+  w.finish();
+}
+
+/// Tiny fixed store: 5 rows x 3 cols with hand-picked values.
+void write_fixed_store(const fs::path& p) {
+  FeatureStoreWriter w(p, 3);
+  for (int r = 0; r < 5; ++r) {
+    const double row[3] = {r * 1.5, r * -2.0, 1000.0 + r};
+    w.append_row(row, r - 1);
+  }
+  w.finish();
+}
+
+// ---------------------------------------------------------- trace corpus
+
+TEST(Corpus, RoundTripPreservesTracesAndLabels) {
+  const fs::path p = temp_file("roundtrip.crp");
+  std::vector<Trace> in;
+  std::vector<int> labels;
+  for (int i = 0; i < 10; ++i) {
+    in.push_back(synth_background_trace(42, static_cast<std::uint64_t>(i)));
+    labels.push_back(i % 3 - 1);
+  }
+  {
+    CorpusWriter w(p);
+    for (std::size_t i = 0; i < in.size(); ++i) w.add(in[i], labels[i]);
+    EXPECT_EQ(w.trace_count(), in.size());
+    w.finish();
+  }
+
+  CorpusReader r(p);
+  EXPECT_EQ(r.trace_count(), in.size());
+  Trace t;
+  int label = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_TRUE(r.next(t, label)) << i;
+    EXPECT_EQ(label, labels[i]);
+    ASSERT_EQ(t.size(), in[i].size());
+    for (std::size_t k = 0; k < t.size(); ++k) {
+      EXPECT_EQ(t.packets()[k].time, in[i].packets()[k].time);
+      EXPECT_EQ(t.packets()[k].direction, in[i].packets()[k].direction);
+      EXPECT_EQ(t.packets()[k].size, in[i].packets()[k].size);
+    }
+  }
+  EXPECT_FALSE(r.next(t, label));
+  r.rewind();
+  EXPECT_TRUE(r.next(t, label));
+
+  const Dataset ds = load_corpus(p);
+  EXPECT_EQ(ds.size(), in.size());
+  EXPECT_EQ(ds.label(0), labels[0]);
+}
+
+TEST(Corpus, WritesAreDeterministic) {
+  const fs::path a = temp_file("det_a.crp");
+  const fs::path b = temp_file("det_b.crp");
+  write_fixed_corpus(a);
+  write_fixed_corpus(b);
+  EXPECT_EQ(file_sha(a), file_sha(b));
+}
+
+TEST(Corpus, UnfinishedWriterIsRejected) {
+  const fs::path p = temp_file("crashed.crp");
+  {
+    CorpusWriter w(p);
+    w.add(synth_background_trace(1, 0), -1);
+    // No finish(): the placeholder header stays zeroed (a crashed writer).
+  }
+  try {
+    CorpusReader r(p);
+    FAIL() << "crashed corpus must not open";
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.code(), CorpusErrorCode::BadMagic);
+  }
+}
+
+TEST(Corpus, TruncatedPayloadIsRejected) {
+  const fs::path p = temp_file("trunc.crp");
+  write_fixed_corpus(p);
+  fs::resize_file(p, fs::file_size(p) - 16);
+  try {
+    CorpusReader r(p);
+    FAIL() << "truncated corpus must not open";
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.code(), CorpusErrorCode::Truncated);
+  }
+}
+
+TEST(Corpus, CorruptPayloadIsRejected) {
+  const fs::path p = temp_file("corrupt.crp");
+  write_fixed_corpus(p);
+  corrupt_byte(p, 96 + 13);  // somewhere inside the first record
+  EXPECT_THROW(CorpusReader r(p), CorpusError);
+}
+
+// ---------------------------------------------------------- feature store
+
+TEST(FeatureStore, RoundTripRowsLabelsAlignment) {
+  const fs::path p = temp_file("roundtrip.fst");
+  write_fixed_store(p);
+
+  const FeatureStore s(p, 3);
+  EXPECT_EQ(s.rows(), 5u);
+  EXPECT_EQ(s.cols(), 3u);
+  EXPECT_EQ(s.row_stride(), 8u);  // 3 cols rounded up to 8 doubles
+  for (std::uint64_t r = 0; r < s.rows(); ++r) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.row(r)) % 64, 0u) << r;
+    EXPECT_EQ(s.row(r)[0], r * 1.5);
+    EXPECT_EQ(s.row(r)[1], r * -2.0);
+    EXPECT_EQ(s.row(r)[2], 1000.0 + r);
+    // Padding lanes are zero (part of the hashed payload).
+    for (std::size_t c = s.cols(); c < s.row_stride(); ++c) EXPECT_EQ(s.row(r)[c], 0.0);
+    EXPECT_EQ(s.label(r), static_cast<std::int32_t>(r) - 1);
+  }
+  EXPECT_EQ(s.block(1, 3), s.row(1));
+  s.verify_payload();  // freshly written file must verify
+  // mincore is page-granular: bound by the file size rounded up to pages.
+  EXPECT_LE(s.resident_payload_bytes(), (fs::file_size(p) + 4095) / 4096 * 4096);
+  s.drop_rows(0, 2);
+  s.drop_pages();
+  EXPECT_EQ(s.row(4)[2], 1004.0);  // mapping stays valid after advise
+}
+
+TEST(FeatureStore, GoldenPinnedBytes) {
+  // Byte-identical output is the caching contract: --jobs, SIMD dispatch
+  // and rewrites of the writer must never change these hashes. If this
+  // test fails the format changed — bump the version, don't repin blindly.
+  const fs::path c = temp_file("golden.crp");
+  const fs::path f = temp_file("golden.fst");
+  write_fixed_corpus(c);
+  write_fixed_store(f);
+  EXPECT_EQ(file_sha(c), "5d30d10d7de15523ffe7eb9a1ad2724a61d5770d85af38607852e671771fc75d");
+  EXPECT_EQ(file_sha(f), "9b553e36e494c05bab5cb6f544bb38b3101e96b24ec7a74244748ba06d1cbc23");
+}
+
+TEST(FeatureStore, WrongMagicIsRejectedAndQuarantined) {
+  const fs::path p = temp_file("magic.fst");
+  write_fixed_store(p);
+  corrupt_byte(p, 0);
+  try {
+    FeatureStore s(p);
+    FAIL() << "foreign file must not open";
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.code(), CorpusErrorCode::BadMagic);
+    EXPECT_STREQ(corpus_error_name(e.code()), "bad_magic");
+  }
+  EXPECT_FALSE(fs::exists(p)) << "rejected file must be moved aside";
+  EXPECT_TRUE(fs::exists(p.string() + ".quarantined"));
+}
+
+TEST(FeatureStore, WrongVersionIsRejected) {
+  const fs::path p = temp_file("version.fst");
+  write_fixed_store(p);
+  corrupt_byte(p, 8);  // u32 version right after magic[8]
+  try {
+    FeatureStore s(p);
+    FAIL();
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.code(), CorpusErrorCode::BadVersion);
+  }
+}
+
+TEST(FeatureStore, DimMismatchIsRejected) {
+  const fs::path p = temp_file("dims.fst");
+  write_fixed_store(p);  // 3 cols
+  try {
+    FeatureStore s(p, 175);
+    FAIL();
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.code(), CorpusErrorCode::DimMismatch);
+  }
+}
+
+TEST(FeatureStore, TruncatedFileIsRejected) {
+  const fs::path p = temp_file("trunc.fst");
+  write_fixed_store(p);
+  fs::resize_file(p, fs::file_size(p) - 4);
+  try {
+    FeatureStore s(p);
+    FAIL();
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.code(), CorpusErrorCode::Truncated);
+  }
+}
+
+TEST(FeatureStore, CorruptPayloadFailsSha) {
+  const fs::path p = temp_file("sha.fst");
+  write_fixed_store(p);
+  corrupt_byte(p, 128 + 8);  // a payload double
+  try {
+    FeatureStore s(p);
+    FAIL();
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.code(), CorpusErrorCode::ShaMismatch);
+  }
+}
+
+TEST(FeatureStore, UnfinishedWriterIsRejected) {
+  const fs::path p = temp_file("crashed.fst");
+  {
+    FeatureStoreWriter w(p, 3);
+    const double row[3] = {1, 2, 3};
+    w.append_row(row, 0);
+    // no finish()
+  }
+  try {
+    FeatureStore s(p);
+    FAIL();
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.code(), CorpusErrorCode::BadMagic);
+  }
+}
+
+TEST(FeatureStore, InPlaceHeaderRewriteIsDetected) {
+  const fs::path p = temp_file("mutated.fst");
+  write_fixed_store(p);
+  const FeatureStore s(p, 3);
+  // Rewrite the mapped header behind the store's back (shared page cache:
+  // the read-only mapping observes the new bytes).
+  corrupt_byte(p, 16);  // u64 rows field
+  try {
+    s.block(0, 1);
+    FAIL() << "mutated header must be detected by block()";
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.code(), CorpusErrorCode::Modified);
+  }
+}
+
+}  // namespace

@@ -559,6 +559,30 @@ TEST(BenchJson, SmokeMismatchSkipsThroughputGateOnly) {
   ASSERT_EQ(forced.regressions.size(), 1u);
 }
 
+TEST(BenchJson, NewBenchmarksAreInformationalNotGated) {
+  // A suite gaining coverage (fresh-only benchmark "c") must never fail
+  // the gate: the candidate rides along in compare() after the baseline
+  // rows, and gate() reports it under `added` instead of `regressions`.
+  const bench::BenchSnapshot base =
+      bench::parse_snapshot(snapshot_json(false, {{"a", 100.0}, {"b", 200.0}}));
+  const bench::BenchSnapshot fresh = bench::parse_snapshot(
+      snapshot_json(false, {{"a", 100.0}, {"b", 200.0}, {"c", 1.0}}));
+
+  const std::vector<bench::Comparison> rows = bench::compare(base, fresh);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2].name, "c");  // fresh-only rows follow baseline order
+  EXPECT_EQ(rows[2].baseline_eps, 0.0);
+  EXPECT_EQ(rows[2].fresh_eps, 1.0);
+  EXPECT_EQ(rows[2].ratio, 0.0);  // ratio 0 must NOT count as a regression
+
+  const bench::GateResult result = bench::gate(base, fresh);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.regressions.empty());
+  EXPECT_TRUE(result.missing.empty());
+  ASSERT_EQ(result.added.size(), 1u);
+  EXPECT_EQ(result.added[0], "c");
+}
+
 // --------------------------------------------------------------- buffer pool
 
 TEST(BufferPool, SpillsWhenBucketCapExceededAndOnOversize) {
