@@ -59,13 +59,27 @@ constexpr std::size_t kDoublesPerLine = 64 / sizeof(double);
 
 /// Move a bad file out of the way (best effort) and throw. A quarantined
 /// file can never be opened again under its original name, so a corrupt
-/// corpus is served exactly zero times.
+/// corpus is served exactly zero times. Reserved for integrity failures
+/// (magic/version/size/sha) — a structurally valid file a consumer merely
+/// cannot use (DimMismatch) is left in place for other consumers.
 [[noreturn]] void quarantine_and_throw(const fs::path& path, CorpusErrorCode code,
                                        const std::string& what) {
   std::error_code ec;
   fs::rename(path, fs::path(path.string() + ".quarantined"), ec);
   throw CorpusError(code, what + " [" + path.string() + "]");
 }
+
+/// Unmaps on destruction unless release()d — open-time validation throws
+/// from the reader constructors, where the member destructor never runs,
+/// so without this every rejected file would leak its mapping.
+struct MapGuard {
+  const unsigned char* p = nullptr;
+  std::size_t size = 0;
+  ~MapGuard() {
+    if (p != nullptr) ::munmap(const_cast<unsigned char*>(p), size);
+  }
+  void release() { p = nullptr; }
+};
 
 /// mmap a whole file read-only. Returns nullptr + size 0 on empty files.
 const unsigned char* map_file(const fs::path& path, std::size_t& size_out) {
@@ -130,6 +144,8 @@ CorpusWriter::CorpusWriter(const std::filesystem::path& path) : path_(path) {
   // the magic check, so a crashed writer cannot produce a servable corpus.
   const char zeros[sizeof(CorpusHeader)] = {};
   if (std::fwrite(zeros, 1, sizeof(zeros), f_) != sizeof(zeros)) {
+    std::fclose(f_);  // throwing from the ctor skips the destructor
+    f_ = nullptr;
     throw CorpusError(CorpusErrorCode::Io, "write failed: " + path.string());
   }
 }
@@ -182,6 +198,7 @@ void CorpusWriter::finish() {
 
 CorpusReader::CorpusReader(const std::filesystem::path& path) {
   map_ = map_file(path, map_size_);
+  MapGuard guard{map_, map_size_};  // unmap if validation throws below
   if (map_size_ < sizeof(CorpusHeader)) {
     quarantine_and_throw(path, CorpusErrorCode::Truncated, "corpus shorter than its header");
   }
@@ -207,6 +224,7 @@ CorpusReader::CorpusReader(const std::filesystem::path& path) {
   if (std::memcmp(got.data(), h.sha256_hex, sizeof(h.sha256_hex)) != 0) {
     quarantine_and_throw(path, CorpusErrorCode::ShaMismatch, "corpus payload hash mismatch");
   }
+  guard.release();
   count_ = h.trace_count;
   cursor_ = sizeof(CorpusHeader);
 }
@@ -265,6 +283,8 @@ FeatureStoreWriter::FeatureStoreWriter(const std::filesystem::path& path, std::s
   if (f_ == nullptr) throw CorpusError(CorpusErrorCode::Io, "cannot create " + path.string());
   const char zeros[sizeof(StoreHeader)] = {};
   if (std::fwrite(zeros, 1, sizeof(zeros), f_) != sizeof(zeros)) {
+    std::fclose(f_);  // throwing from the ctor skips the destructor
+    f_ = nullptr;
     throw CorpusError(CorpusErrorCode::Io, "write failed: " + path.string());
   }
   row_buf_.assign(stride_, 0.0);
@@ -318,6 +338,7 @@ void FeatureStoreWriter::finish() {
 
 FeatureStore::FeatureStore(const std::filesystem::path& path, std::size_t expected_cols) {
   map_ = map_file(path, map_size_);
+  MapGuard guard{map_, map_size_};  // unmap if validation throws below
   if (map_size_ < sizeof(StoreHeader)) {
     quarantine_and_throw(path, CorpusErrorCode::Truncated, "store shorter than its header");
   }
@@ -335,12 +356,16 @@ FeatureStore::FeatureStore(const std::filesystem::path& path, std::size_t expect
       h.data_offset < sizeof(StoreHeader) || h.data_offset % 64 != 0) {
     quarantine_and_throw(path, CorpusErrorCode::BadHeader, "store header fields inconsistent");
   }
-  // All size arithmetic overflow-checked: a hostile header must not be able
-  // to wrap these into something that passes the bounds comparison.
-  std::uint64_t data_bytes = 0, with_data = 0, label_end = 0;
-  if (__builtin_mul_overflow(h.rows * sizeof(double), h.row_stride, &data_bytes) ||
+  // All size arithmetic overflow-checked, every multiply included: a plain
+  // `h.rows * sizeof(double)` would wrap *before* the checks run (e.g.
+  // rows = 2^62 makes both products 0, so a 128-byte file with an
+  // empty-payload sha would validate and rows() would promise 2^62 rows).
+  std::uint64_t row_bytes = 0, data_bytes = 0, label_bytes = 0, with_data = 0, label_end = 0;
+  if (__builtin_mul_overflow(h.rows, sizeof(double), &row_bytes) ||
+      __builtin_mul_overflow(row_bytes, h.row_stride, &data_bytes) ||
+      __builtin_mul_overflow(h.rows, sizeof(std::int32_t), &label_bytes) ||
       __builtin_add_overflow(h.data_offset, data_bytes, &with_data) ||
-      __builtin_add_overflow(with_data, h.rows * sizeof(std::int32_t), &label_end)) {
+      __builtin_add_overflow(with_data, label_bytes, &label_end)) {
     quarantine_and_throw(path, CorpusErrorCode::BadHeader, "store header sizes overflow");
   }
   if (h.labels_offset != with_data) {
@@ -353,14 +378,18 @@ FeatureStore::FeatureStore(const std::filesystem::path& path, std::size_t expect
     quarantine_and_throw(path, CorpusErrorCode::BadHeader, "store size does not match header");
   }
   if (expected_cols != 0 && h.cols != expected_cols) {
-    quarantine_and_throw(path, CorpusErrorCode::DimMismatch,
-                         "store cols " + std::to_string(h.cols) + " != expected " +
-                             std::to_string(expected_cols));
+    // Not an integrity failure: the file is structurally valid, this
+    // consumer just expects a different feature dimensionality. Leave it in
+    // place (no quarantine) so consumers built with other dims can use it.
+    throw CorpusError(CorpusErrorCode::DimMismatch,
+                      "store cols " + std::to_string(h.cols) + " != expected " +
+                          std::to_string(expected_cols) + " [" + path.string() + "]");
   }
   const std::string got = hash_mapped_payload(map_, sizeof(StoreHeader), map_size_);
   if (std::memcmp(got.data(), h.sha256_hex, sizeof(h.sha256_hex)) != 0) {
     quarantine_and_throw(path, CorpusErrorCode::ShaMismatch, "store payload hash mismatch");
   }
+  guard.release();
   rows_ = h.rows;
   cols_ = h.cols;
   stride_ = h.row_stride;

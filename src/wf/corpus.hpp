@@ -26,9 +26,13 @@
 // magic, version, header arithmetic, exact file size, payload sha256 — so
 // consumers can iterate blocks of rows without materialising the corpus in
 // RAM. The sha pass streams with progressive madvise(MADV_DONTNEED), so
-// even verification keeps resident memory bounded. A file that fails
-// validation is quarantined (renamed to <path>.quarantined) and never
-// served; every failure is a structured CorpusError, never UB.
+// even verification keeps resident memory bounded. A file that fails an
+// integrity check (magic/version/size/sha) is quarantined (renamed to
+// <path>.quarantined) and never served; a DimMismatch — a structurally
+// valid file whose cols differ from what this consumer expects — throws
+// without renaming, leaving the file usable for other consumers. Every
+// failure is a structured CorpusError, never UB, and a rejected open
+// unmaps before throwing.
 #pragma once
 
 #include <cstdint>
@@ -169,9 +173,9 @@ class FeatureStoreWriter {
 /// between blocks.
 class FeatureStore {
  public:
-  /// Validates and maps; throws CorpusError (and quarantines the file) on
-  /// any fault. expected_cols != 0 additionally enforces the feature
-  /// dimensionality (DimMismatch).
+  /// Validates and maps; throws CorpusError on any fault, quarantining the
+  /// file on integrity failures. expected_cols != 0 additionally enforces
+  /// the feature dimensionality (DimMismatch, thrown without quarantine).
   explicit FeatureStore(const std::filesystem::path& path, std::size_t expected_cols = 0);
   ~FeatureStore();
   FeatureStore(const FeatureStore&) = delete;

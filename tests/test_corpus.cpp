@@ -7,9 +7,11 @@
 // accidental format change (field order, padding, header size) fails
 // loudly instead of silently orphaning every cached corpus. The hostile
 // suite feeds truncated/corrupted/foreign files to the validators and
-// asserts a structured CorpusError plus quarantine, never UB.
+// asserts a structured CorpusError plus quarantine on integrity failures
+// (DimMismatch leaves the file in place), never UB.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -233,6 +235,69 @@ TEST(FeatureStore, DimMismatchIsRejected) {
   } catch (const CorpusError& e) {
     EXPECT_EQ(e.code(), CorpusErrorCode::DimMismatch);
   }
+  // The file is structurally valid — rejecting it for this consumer's dims
+  // must not quarantine it away from consumers built with the right dims.
+  EXPECT_TRUE(fs::exists(p)) << "dim mismatch must not rename the file";
+  EXPECT_FALSE(fs::exists(p.string() + ".quarantined"));
+  const FeatureStore ok(p, 3);
+  EXPECT_EQ(ok.rows(), 5u);
+}
+
+TEST(FeatureStore, OverflowingRowCountIsRejected) {
+  // A 128-byte file whose header claims rows = 2^62: both size products
+  // (rows * 8 and rows * 4) wrap to 0 mod 2^64, so unchained overflow
+  // checks would see label_end == data_offset == map_size, an empty
+  // payload whose sha trivially matches — and then serve 2^62 rows of
+  // out-of-bounds reads. Every multiply must be overflow-checked.
+  const fs::path p = temp_file("overflow.fst");
+  unsigned char h[128] = {};
+  std::memcpy(h, "STOBFST1", 8);
+  const std::uint32_t version = 1;
+  std::memcpy(h + 8, &version, sizeof(version));
+  const std::uint64_t rows = std::uint64_t{1} << 62;
+  const std::uint64_t cols = 3, stride = 8, offsets = 128;  // payload_bytes stays 0
+  std::memcpy(h + 16, &rows, 8);
+  std::memcpy(h + 24, &cols, 8);
+  std::memcpy(h + 32, &stride, 8);
+  std::memcpy(h + 40, &offsets, 8);  // labels_offset
+  std::memcpy(h + 48, &offsets, 8);  // data_offset
+  util::Sha256 empty_sha;
+  const std::string hex = empty_sha.hex_digest();
+  std::memcpy(h + 64, hex.data(), 64);
+  std::ofstream(p, std::ios::binary).write(reinterpret_cast<const char*>(h), sizeof(h));
+  try {
+    FeatureStore s(p);
+    FAIL() << "wrapping row count must not open";
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.code(), CorpusErrorCode::BadHeader);
+  }
+  EXPECT_TRUE(fs::exists(p.string() + ".quarantined"));
+}
+
+/// Lines of /proc/self/maps that reference this test's temp directory —
+/// a leaked file mapping shows up here under either name (original or
+/// .quarantined; rename keeps the inode and maps shows the current path).
+std::size_t test_file_mapping_count() {
+  std::ifstream in("/proc/self/maps");
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    if (line.find("stob_corpus_test") != std::string::npos) ++n;
+  }
+  return n;
+}
+
+TEST(FeatureStore, RejectedOpenDoesNotLeakMapping) {
+  const fs::path p = temp_file("leak.fst");
+  write_fixed_store(p);
+  corrupt_byte(p, 128 + 8);  // payload byte -> ShaMismatch on open
+  const std::size_t before = test_file_mapping_count();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_THROW(FeatureStore s(p), CorpusError);
+    fs::rename(p.string() + ".quarantined", p);  // undo quarantine, probe again
+  }
+  EXPECT_EQ(test_file_mapping_count(), before)
+      << "validation failure in the constructor must munmap before throwing";
 }
 
 TEST(FeatureStore, TruncatedFileIsRejected) {
